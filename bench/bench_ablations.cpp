@@ -1,0 +1,115 @@
+// Ablations for design choices DESIGN.md calls out:
+//   1. Query batching (per-query block dedup) on/off — the silent workhorse
+//      behind partitioning gains.
+//   2. DRAM allocator: hit-rate-curve greedy vs uniform split.
+//   3. Shadow-multiplier x threshold interaction.
+//   4. SHP refinement iterations vs achieved fanout & runtime.
+#include "bench_common.h"
+
+using namespace bandana;
+using namespace bandana::bench;
+
+int main() {
+  constexpr double kScale = 0.2;
+  const auto runs = make_runs(kScale, 30'000, 15'000);
+  ThreadPool pool;
+
+  std::vector<ShpResult> shp;
+  std::vector<BlockLayout> layouts;
+  for (const auto& r : runs) {
+    ShpConfig sc;
+    sc.vectors_per_block = 32;
+    shp.push_back(run_shp(r.train, r.cfg.num_vectors, sc, &pool));
+    layouts.push_back(BlockLayout::from_order(shp.back().order, 32));
+  }
+
+  print_header("Ablation 1: query batching on/off (threshold policy, SHP)",
+               "DESIGN.md: per-query block dedup", "2k cache vectors/table");
+  {
+    TablePrinter t({"table", "reads_batched", "reads_unbatched", "penalty"});
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      CachePolicyConfig pc;
+      pc.capacity_vectors = 2000;
+      pc.policy = PrefetchPolicy::kThreshold;
+      pc.access_threshold = 5;
+      const auto on =
+          simulate_cache(runs[i].eval, layouts[i], pc, shp[i].access_counts);
+      pc.batch_dedup = false;
+      const auto off =
+          simulate_cache(runs[i].eval, layouts[i], pc, shp[i].access_counts);
+      t.add_row({runs[i].cfg.name, std::to_string(on.nvm_block_reads),
+                 std::to_string(off.nvm_block_reads),
+                 pct(static_cast<double>(off.nvm_block_reads) /
+                         static_cast<double>(on.nvm_block_reads) -
+                     1.0)});
+    }
+    t.print();
+  }
+
+  print_header("\nAblation 2: DRAM allocator greedy vs uniform",
+               "Sec 4.3.3 / Dynacache", "total budget sweep, all tables");
+  {
+    std::vector<HitRateCurve> curves;
+    for (const auto& r : runs) {
+      curves.push_back(
+          approximate_hit_rate_curve(r.train, r.cfg.num_vectors, 0.05));
+    }
+    TablePrinter t({"total_cache", "greedy_hits", "uniform_hits", "advantage"});
+    for (std::uint64_t total : {8000ULL, 16000ULL, 32000ULL}) {
+      const auto g = allocate_dram(curves, total, 512);
+      const auto u = allocate_uniform(curves, total);
+      t.add_row({std::to_string(total), std::to_string(g.expected_hits),
+                 std::to_string(u.expected_hits),
+                 pct(static_cast<double>(g.expected_hits) /
+                         std::max<std::uint64_t>(1, u.expected_hits) -
+                     1.0)});
+    }
+    t.print();
+  }
+
+  print_header("\nAblation 3: shadow multiplier x admission (table 2)",
+               "Fig. 11b extension", "cache 1200 vectors");
+  {
+    const auto& r = runs[1];
+    CachePolicyConfig none;
+    none.capacity_vectors = 1200;
+    none.policy = PrefetchPolicy::kNone;
+    const auto base = simulate_cache(r.eval, layouts[1], none).nvm_block_reads;
+    TablePrinter t({"shadow_mult", "shadow_only", "shadow+position0.5"});
+    for (double mult : {1.0, 1.5, 2.0, 3.0}) {
+      CachePolicyConfig s;
+      s.capacity_vectors = 1200;
+      s.policy = PrefetchPolicy::kShadow;
+      s.shadow_multiplier = mult;
+      const auto a = simulate_cache(r.eval, layouts[1], s).nvm_block_reads;
+      s.policy = PrefetchPolicy::kShadowPosition;
+      s.insertion_position = 0.5;
+      const auto b = simulate_cache(r.eval, layouts[1], s).nvm_block_reads;
+      t.add_row({TablePrinter::fmt(mult, 1), pct(effective_bw_increase(base, a)),
+                 pct(effective_bw_increase(base, b))});
+    }
+    t.print();
+  }
+
+  print_header("\nAblation 4: SHP iterations vs fanout and runtime (table 2)",
+               "ShpConfig::iters_per_level", "1:100 table 2, 30k queries");
+  {
+    const auto& r = runs[1];
+    TablePrinter t({"iters/level", "train_fanout", "eval_fanout", "seconds"});
+    for (std::uint32_t iters : {1u, 2u, 4u, 8u, 16u, 32u}) {
+      ShpConfig sc;
+      sc.vectors_per_block = 32;
+      sc.iters_per_level = iters;
+      WallTimer w;
+      const auto result = run_shp(r.train, r.cfg.num_vectors, sc, &pool);
+      const double secs = w.seconds();
+      const auto layout = BlockLayout::from_order(result.order, 32);
+      t.add_row({std::to_string(iters),
+                 TablePrinter::fmt(result.final_avg_fanout, 2),
+                 TablePrinter::fmt(compute_fanout(r.eval, layout).avg_fanout, 2),
+                 TablePrinter::fmt(secs, 2)});
+    }
+    t.print();
+  }
+  return 0;
+}

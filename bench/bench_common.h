@@ -1,0 +1,84 @@
+// Shared setup for the figure/table reproduction benches.
+//
+// Every bench runs the scaled 8-table workload from trace/paper_workload.h
+// (~1:100 of the paper's production tables) and prints the same rows/series
+// the paper reports. Absolute numbers differ from the paper (synthetic
+// traces, simulated device); the *shape* — who wins, by roughly what
+// factor, where crossovers fall — is the reproduction target. See
+// EXPERIMENTS.md for the side-by-side.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/table_printer.h"
+#include "core/bandana.h"
+
+namespace bandana::bench {
+
+struct TableRun {
+  TableWorkloadConfig cfg;
+  std::unique_ptr<TraceGenerator> gen;
+  Trace train;
+  Trace eval;
+};
+
+/// Instantiate the 8 paper tables at `scale`, generating `train_queries`
+/// then `eval_queries` from each table's stream.
+inline std::vector<TableRun> make_runs(double scale, std::size_t train_queries,
+                                       std::size_t eval_queries,
+                                       std::uint16_t dim = 32,
+                                       std::uint64_t seed = 1234) {
+  PaperWorkloadOptions opts;
+  opts.scale = scale;
+  opts.dim = dim;
+  auto cfgs = paper_tables(opts);
+  std::vector<TableRun> runs;
+  runs.reserve(cfgs.size());
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    TableRun r;
+    r.cfg = cfgs[i];
+    r.gen = std::make_unique<TraceGenerator>(cfgs[i], splitmix64(seed + i));
+    r.train = r.gen->generate(train_queries);
+    r.eval = r.gen->generate(eval_queries);
+    runs.push_back(std::move(r));
+  }
+  return runs;
+}
+
+/// NVM block reads of the paper's §4.1 baseline policy on this table.
+inline std::uint64_t baseline_reads(const Trace& eval, std::uint32_t vectors,
+                                    std::uint64_t capacity,
+                                    bool unlimited = false) {
+  const auto layout = BlockLayout::identity(vectors, 32);
+  return simulate_cache(eval, layout, baseline_policy(capacity, unlimited))
+      .nvm_block_reads;
+}
+
+class WallTimer {
+ public:
+  WallTimer() : t0_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point t0_;
+};
+
+inline std::string pct(double fraction, int precision = 1) {
+  return TablePrinter::pct(fraction, precision);
+}
+
+inline void print_header(const char* experiment, const char* paper_ref,
+                         const std::string& scale_note) {
+  std::printf("== %s ==\n", experiment);
+  std::printf("Reproduces: %s\n", paper_ref);
+  std::printf("Scale: %s\n\n", scale_note.c_str());
+}
+
+}  // namespace bandana::bench

@@ -1,0 +1,37 @@
+// Fig. 4: access histograms — how many vectors were read N times — for the
+// four top-lookup tables. Heavy-tailed: some vectors in table 2 are read
+// orders of magnitude more often than table 7's hottest.
+#include "bench_common.h"
+
+using namespace bandana;
+using namespace bandana::bench;
+
+int main() {
+  constexpr double kScale = 0.2;
+  const auto runs = make_runs(kScale, 0, 30'000);
+  const int tables[4] = {0, 1, 5, 6};
+
+  print_header("Figure 4: access histograms (top-lookup tables)",
+               "paper Fig. 4 (log-scale vector counts per access bucket)",
+               "1:100 tables, 30k queries");
+
+  for (int i : tables) {
+    const auto counts = access_counts(runs[i].eval, runs[i].cfg.num_vectors);
+    std::uint32_t max_count = 0;
+    for (auto c : counts) max_count = std::max(max_count, c);
+    const auto h = access_histogram(counts, max_count + 1, 12);
+
+    std::printf("-- %s (max accesses of a single vector: %u) --\n",
+                runs[i].cfg.name.c_str(), max_count);
+    TablePrinter t({"accesses_range", "num_vectors"});
+    for (std::size_t b = 0; b < h.bucket_count(); ++b) {
+      if (h.bucket_value(b) == 0) continue;
+      const auto [lo, hi] = h.bucket_range(b);
+      t.add_row({"[" + std::to_string(lo) + ", " + std::to_string(hi) + ")",
+                 std::to_string(h.bucket_value(b))});
+    }
+    t.print();
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Fig. 5: mean and P99 device latency as a function of *application*
+// request throughput, for the baseline policy (each 4 KB block read serves
+// one 128 B vector -> 3.1% effective bandwidth) vs 100% effective bandwidth
+// (the full 4 KB is useful). The baseline's latency hockey-sticks at ~1/32
+// of the device bandwidth.
+#include "bench_common.h"
+
+using namespace bandana;
+using namespace bandana::bench;
+
+int main() {
+  const NvmDeviceConfig cfg;
+  const double peak_iops = cfg.peak_bandwidth_bytes_per_s() / cfg.block_bytes;
+
+  print_header("Figure 5: latency vs application throughput",
+               "paper Fig. 5 (baseline saturates ~32x earlier than 4 KB reads)",
+               "open-loop Poisson arrivals, 150k IOs per point");
+
+  TablePrinter t({"policy", "app_MB/s", "device_util", "mean_us", "p99_us"});
+  for (double util : {0.1, 0.3, 0.5, 0.7, 0.85, 0.95}) {
+    const auto r = run_open_loop(cfg, util * peak_iops, 150'000, 11);
+    for (const bool baseline : {true, false}) {
+      const double useful_bytes = baseline ? 128.0 : 4096.0;
+      t.add_row({baseline ? "baseline(128B useful)" : "100%-effective(4KB)",
+                 TablePrinter::fmt(r.iops() * useful_bytes / 1e6, 1),
+                 pct(util, 0), TablePrinter::fmt(r.latency_us.mean(), 1),
+                 TablePrinter::fmt(r.latency_us.percentile(0.99), 1)});
+    }
+  }
+  t.print();
+  std::printf(
+      "\nAt the same device utilization (same latency), the baseline serves "
+      "32x less\napplication throughput: it saturates near %.0f MB/s while "
+      "4 KB reads reach %.0f MB/s.\n",
+      peak_iops * 128.0 / 1e6 * 0.95, peak_iops * 4096.0 / 1e6 * 0.95);
+  return 0;
+}

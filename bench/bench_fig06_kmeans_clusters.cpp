@@ -1,0 +1,52 @@
+// Fig. 6: effective bandwidth increase when ordering vectors by flat
+// K-means clusters, as a function of the number of clusters (unlimited
+// cache). Semantically aligned tables (1, 2) gain the most; the
+// high-compulsory-miss table 8 gains the least.
+#include "bench_common.h"
+
+using namespace bandana;
+using namespace bandana::bench;
+
+int main() {
+  constexpr double kScale = 0.1;  // K-means is the paper's scalability pain
+  const auto runs = make_runs(kScale, 0, 15'000);
+  const int tables[4] = {0, 1, 5, 7};  // tables 1, 2, 6, 8
+  ThreadPool pool;
+
+  print_header("Figure 6: EBW increase vs number of K-means clusters",
+               "paper Fig. 6 (tables 1-2 up to ~180%; little gain past a "
+               "point; weak tables flat)",
+               "1:200 tables, 15k queries, unlimited cache");
+
+  TablePrinter t({"clusters", "table1", "table2", "table6", "table8"});
+  CachePolicyConfig batched;
+  batched.unlimited = true;
+  batched.policy = PrefetchPolicy::kNone;
+
+  std::vector<std::uint64_t> base(4);
+  std::vector<EmbeddingTable> values;
+  for (int j = 0; j < 4; ++j) {
+    const auto& r = runs[tables[j]];
+    base[j] = baseline_reads(r.eval, r.cfg.num_vectors, 0, /*unlimited=*/true);
+    values.push_back(r.gen->make_embeddings());
+  }
+
+  for (std::uint32_t k : {1u, 8u, 32u, 128u, 512u, 1024u}) {
+    std::vector<std::string> row{std::to_string(k)};
+    for (int j = 0; j < 4; ++j) {
+      const auto& r = runs[tables[j]];
+      KMeansConfig kc;
+      kc.k = k;
+      kc.max_iters = 8;
+      kc.seed = 5;
+      const auto km = kmeans(values[j], kc, &pool);
+      const auto layout =
+          BlockLayout::from_order(cluster_major_order(km.assignment, km.k), 32);
+      const auto reads = simulate_cache(r.eval, layout, batched).nvm_block_reads;
+      row.push_back(pct(effective_bw_increase(base[j], reads)));
+    }
+    t.add_row(std::move(row));
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Fig. 7: partitioner runtimes. (a) flat K-means grows superlinearly with
+// the cluster count — it does not scale to block-level granularity;
+// (b) two-stage recursive K-means stays nearly flat in the sub-cluster
+// count; (c) SHP runtime per table scales with trace volume.
+#include "bench_common.h"
+
+using namespace bandana;
+using namespace bandana::bench;
+
+int main() {
+  ThreadPool pool;
+  constexpr double kScale = 0.1;
+  auto runs = make_runs(kScale, 10'000, 1);
+  const auto values = runs[3].gen->make_embeddings();  // table 4, as paper
+
+  print_header("Figure 7a: flat K-means runtime vs clusters (table 4)",
+               "paper Fig. 7a (exponential-looking growth; 2.3 h at 8192)",
+               "1:200 table, dim 32, 8 Lloyd iterations");
+  {
+    TablePrinter t({"clusters", "seconds"});
+    for (std::uint32_t k : {16u, 64u, 256u, 1024u, 2048u}) {
+      KMeansConfig kc;
+      kc.k = k;
+      kc.max_iters = 8;
+      WallTimer w;
+      (void)kmeans(values, kc, &pool);
+      t.add_row({std::to_string(k), TablePrinter::fmt(w.seconds(), 2)});
+    }
+    t.print();
+  }
+
+  print_header("\nFigure 7b: two-stage K-means runtime vs sub-clusters",
+               "paper Fig. 7b (flat: 6-18 minutes across 256..65536)",
+               "1:200 table, 64 top clusters");
+  {
+    TablePrinter t({"sub_clusters", "seconds"});
+    for (std::uint32_t leaves : {256u, 1024u, 4096u, 8192u}) {
+      RecursiveKMeansConfig rc;
+      rc.top_clusters = 64;
+      rc.total_leaves = leaves;
+      rc.max_iters = 8;
+      WallTimer w;
+      (void)recursive_kmeans(values, rc, &pool);
+      t.add_row({std::to_string(leaves), TablePrinter::fmt(w.seconds(), 2)});
+    }
+    t.print();
+  }
+
+  print_header("\nFigure 7c: SHP runtime per table",
+               "paper Fig. 7c (1-7 minutes per table, 16 iterations)",
+               "1:200 tables, 10k training queries, 16 iterations");
+  {
+    TablePrinter t({"table", "seconds", "train_fanout_before", "after"});
+    for (auto& r : runs) {
+      ShpConfig sc;
+      sc.vectors_per_block = 32;
+      WallTimer w;
+      const auto shp = run_shp(r.train, r.cfg.num_vectors, sc, &pool);
+      t.add_row({r.cfg.name, TablePrinter::fmt(w.seconds(), 2),
+                 TablePrinter::fmt(shp.initial_avg_fanout, 2),
+                 TablePrinter::fmt(shp.final_avg_fanout, 2)});
+    }
+    t.print();
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Fig. 8: effective bandwidth increase for two-stage (recursive) K-means as
+// a function of the total number of sub-clusters (unlimited cache).
+// Matches flat K-means' quality at a fraction of the cost; no benefit past
+// a moderate leaf count.
+#include "bench_common.h"
+
+using namespace bandana;
+using namespace bandana::bench;
+
+int main() {
+  constexpr double kScale = 0.1;
+  const auto runs = make_runs(kScale, 0, 15'000);
+  const int tables[4] = {0, 1, 5, 7};
+  ThreadPool pool;
+
+  print_header("Figure 8: EBW increase vs recursive K-means sub-clusters",
+               "paper Fig. 8 (flat beyond ~8192 sub-clusters at full scale)",
+               "1:200 tables, 64 top clusters, unlimited cache");
+
+  CachePolicyConfig batched;
+  batched.unlimited = true;
+  batched.policy = PrefetchPolicy::kNone;
+
+  TablePrinter t({"sub_clusters", "table1", "table2", "table6", "table8"});
+  std::vector<std::uint64_t> base(4);
+  std::vector<EmbeddingTable> values;
+  for (int j = 0; j < 4; ++j) {
+    const auto& r = runs[tables[j]];
+    base[j] = baseline_reads(r.eval, r.cfg.num_vectors, 0, true);
+    values.push_back(r.gen->make_embeddings());
+  }
+  for (std::uint32_t leaves : {64u, 256u, 1024u, 4096u}) {
+    std::vector<std::string> row{std::to_string(leaves)};
+    for (int j = 0; j < 4; ++j) {
+      const auto& r = runs[tables[j]];
+      RecursiveKMeansConfig rc;
+      rc.top_clusters = 64;
+      rc.total_leaves = leaves;
+      rc.max_iters = 8;
+      const auto rk = recursive_kmeans(values[j], rc, &pool);
+      const auto layout = BlockLayout::from_order(rk.order, 32);
+      const auto reads = simulate_cache(r.eval, layout, batched).nvm_block_reads;
+      row.push_back(pct(effective_bw_increase(base[j], reads)));
+    }
+    t.add_row(std::move(row));
+  }
+  t.print();
+  return 0;
+}

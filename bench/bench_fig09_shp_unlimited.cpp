@@ -1,0 +1,41 @@
+// Fig. 9: effective bandwidth increase per table when ordering vectors with
+// SHP, as a function of the training-set size (unlimited cache). More
+// training data -> better placement; SHP beats K-means everywhere except
+// the most semantically aligned tables.
+#include "bench_common.h"
+
+using namespace bandana;
+using namespace bandana::bench;
+
+int main() {
+  constexpr double kScale = 0.2;
+  // Train sizes scaled from the paper's 200M / 1B / 5B requests.
+  const std::size_t kTrainSizes[3] = {2'000, 10'000, 50'000};
+  const auto runs = make_runs(kScale, kTrainSizes[2], 15'000);
+  ThreadPool pool;
+
+  print_header("Figure 9: EBW increase with SHP vs training-set size",
+               "paper Fig. 9 (up to ~5.5x for table 2 at 5B; ~0 for table 8)",
+               "1:100 tables, train 2k/10k/50k queries, unlimited cache");
+
+  CachePolicyConfig batched;
+  batched.unlimited = true;
+  batched.policy = PrefetchPolicy::kNone;
+
+  TablePrinter t({"table", "train=2k", "train=10k", "train=50k"});
+  for (const auto& r : runs) {
+    const auto base = baseline_reads(r.eval, r.cfg.num_vectors, 0, true);
+    std::vector<std::string> row{r.cfg.name};
+    for (const std::size_t n : kTrainSizes) {
+      ShpConfig sc;
+      sc.vectors_per_block = 32;
+      const auto shp = run_shp(r.train.head(n), r.cfg.num_vectors, sc, &pool);
+      const auto layout = BlockLayout::from_order(shp.order, 32);
+      const auto reads = simulate_cache(r.eval, layout, batched).nvm_block_reads;
+      row.push_back(pct(effective_bw_increase(base, reads)));
+    }
+    t.add_row(std::move(row));
+  }
+  t.print();
+  return 0;
+}

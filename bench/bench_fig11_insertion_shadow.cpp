@@ -1,0 +1,93 @@
+// Fig. 11 (a/b/c): three prefetch-retention heuristics on the SHP-
+// partitioned table 2, vs a no-prefetch baseline at the same cache size:
+//   (a) insert prefetched vectors at a lower queue position;
+//   (b) admit prefetched vectors only if present in a shadow cache of past
+//       application reads;
+//   (c) both combined (shadow hit -> top, miss -> low position).
+// None is a clear win (the paper's motivation for threshold admission).
+#include "bench_common.h"
+
+using namespace bandana;
+using namespace bandana::bench;
+
+int main() {
+  constexpr double kScale = 0.2;
+  const auto runs = make_runs(kScale, 30'000, 15'000);
+  const auto& r = runs[1];  // table 2
+  ThreadPool pool;
+
+  ShpConfig sc;
+  sc.vectors_per_block = 32;
+  const auto shp = run_shp(r.train, r.cfg.num_vectors, sc, &pool);
+  const auto layout = BlockLayout::from_order(shp.order, 32);
+  const std::uint64_t caps[4] = {800, 1200, 1600, 2000};
+
+  // The Fig. 11 baseline is "no prefetches" at the same cache size
+  // (batched reads, requested vectors only).
+  auto no_prefetch_reads = [&](std::uint64_t cap) {
+    CachePolicyConfig pc;
+    pc.capacity_vectors = cap;
+    pc.policy = PrefetchPolicy::kNone;
+    return simulate_cache(r.eval, layout, pc).nvm_block_reads;
+  };
+
+  print_header("Figure 11a: prefetch insertion position (table 2, SHP layout)",
+               "paper Fig. 11a (mixed, +-30%)",
+               "1:100 table 2; cache sizes 800..2000 vectors");
+  {
+    TablePrinter t({"position", "cap=800", "cap=1200", "cap=1600", "cap=2000"});
+    for (double pos : {0.0, 0.3, 0.5, 0.7, 0.9}) {
+      std::vector<std::string> row{TablePrinter::fmt(pos, 1)};
+      for (std::uint64_t cap : caps) {
+        CachePolicyConfig pc;
+        pc.capacity_vectors = cap;
+        pc.policy = PrefetchPolicy::kPosition;
+        pc.insertion_position = pos;
+        const auto reads = simulate_cache(r.eval, layout, pc).nvm_block_reads;
+        row.push_back(pct(effective_bw_increase(no_prefetch_reads(cap), reads)));
+      }
+      t.add_row(std::move(row));
+    }
+    t.print();
+  }
+
+  print_header("\nFigure 11b: shadow-cache admission",
+               "paper Fig. 11b (tiny effect, -4%..+5%)", "shadow = 1/1.5/2x");
+  {
+    TablePrinter t({"shadow_mult", "cap=800", "cap=1200", "cap=1600", "cap=2000"});
+    for (double mult : {1.0, 1.5, 2.0}) {
+      std::vector<std::string> row{TablePrinter::fmt(mult, 1)};
+      for (std::uint64_t cap : caps) {
+        CachePolicyConfig pc;
+        pc.capacity_vectors = cap;
+        pc.policy = PrefetchPolicy::kShadow;
+        pc.shadow_multiplier = mult;
+        const auto reads = simulate_cache(r.eval, layout, pc).nvm_block_reads;
+        row.push_back(pct(effective_bw_increase(no_prefetch_reads(cap), reads)));
+      }
+      t.add_row(std::move(row));
+    }
+    t.print();
+  }
+
+  print_header("\nFigure 11c: combined (shadow hit->top, miss->position)",
+               "paper Fig. 11c (still not a clear win)", "shadow 1.5x");
+  {
+    TablePrinter t({"position", "cap=800", "cap=1200", "cap=1600", "cap=2000"});
+    for (double pos : {0.3, 0.5, 0.7, 0.9}) {
+      std::vector<std::string> row{TablePrinter::fmt(pos, 1)};
+      for (std::uint64_t cap : caps) {
+        CachePolicyConfig pc;
+        pc.capacity_vectors = cap;
+        pc.policy = PrefetchPolicy::kShadowPosition;
+        pc.insertion_position = pos;
+        pc.shadow_multiplier = 1.5;
+        const auto reads = simulate_cache(r.eval, layout, pc).nvm_block_reads;
+        row.push_back(pct(effective_bw_increase(no_prefetch_reads(cap), reads)));
+      }
+      t.add_row(std::move(row));
+    }
+    t.print();
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Fig. 12: filtering prefetched vectors by their SHP-run access count
+// (admit only if accessed > t times during training). Small caches want
+// aggressive filtering (high t); large caches want more prefetching.
+#include "bench_common.h"
+
+using namespace bandana;
+using namespace bandana::bench;
+
+int main() {
+  constexpr double kScale = 0.2;
+  const auto runs = make_runs(kScale, 30'000, 15'000);
+  const auto& r = runs[1];  // table 2
+  ThreadPool pool;
+
+  ShpConfig sc;
+  sc.vectors_per_block = 32;
+  const auto shp = run_shp(r.train, r.cfg.num_vectors, sc, &pool);
+  const auto layout = BlockLayout::from_order(shp.order, 32);
+
+  print_header("Figure 12: access-threshold prefetch admission (table 2)",
+               "paper Fig. 12 (+27%..+130%; optimum shifts with cache size)",
+               "1:100 table 2, SHP layout, thresholds on SHP-run counts");
+
+  TablePrinter t({"threshold", "cap=800", "cap=2000", "cap=4000", "cap=8000"});
+  for (std::uint32_t thr : {0u, 2u, 5u, 10u, 15u, 20u}) {
+    std::vector<std::string> row{std::to_string(thr)};
+    for (std::uint64_t cap : {800ULL, 2000ULL, 4000ULL, 8000ULL}) {
+      CachePolicyConfig none;
+      none.capacity_vectors = cap;
+      none.policy = PrefetchPolicy::kNone;
+      const auto base = simulate_cache(r.eval, layout, none).nvm_block_reads;
+      CachePolicyConfig pc;
+      pc.capacity_vectors = cap;
+      pc.policy = PrefetchPolicy::kThreshold;
+      pc.access_threshold = thr;
+      const auto reads =
+          simulate_cache(r.eval, layout, pc, shp.access_counts).nvm_block_reads;
+      row.push_back(pct(effective_bw_increase(base, reads)));
+    }
+    t.add_row(std::move(row));
+  }
+  t.print();
+  std::printf("\nBaseline: no prefetching, same SHP layout and cache size.\n");
+  return 0;
+}

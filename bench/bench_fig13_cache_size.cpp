@@ -1,0 +1,60 @@
+// Fig. 13: end-to-end effective bandwidth increase per table as a function
+// of the *total* DRAM budget across all 8 tables. Bandana = SHP layout +
+// hit-rate-curve DRAM split + per-table mini-cache-tuned threshold
+// admission; baseline = original layout, single-vector reads, same DRAM.
+#include "bench_common.h"
+
+using namespace bandana;
+using namespace bandana::bench;
+
+int main() {
+  constexpr double kScale = 0.2;
+  const auto runs = make_runs(kScale, 30'000, 15'000);
+  ThreadPool pool;
+
+  // Train once per table.
+  std::vector<ShpResult> shp;
+  std::vector<BlockLayout> layouts;
+  std::vector<HitRateCurve> curves;
+  for (const auto& r : runs) {
+    ShpConfig sc;
+    sc.vectors_per_block = 32;
+    shp.push_back(run_shp(r.train, r.cfg.num_vectors, sc, &pool));
+    layouts.push_back(BlockLayout::from_order(shp.back().order, 32));
+    curves.push_back(
+        approximate_hit_rate_curve(r.train, r.cfg.num_vectors, 0.05));
+  }
+
+  print_header("Figure 13: EBW increase vs total cache size (all 8 tables)",
+               "paper Fig. 13 (up to ~5x for table 2 at 5M vectors; weak "
+               "tables flat)",
+               "1:100 tables; total cache 1k..16k vectors across 8 tables "
+               "(paper: 1M..5M)");
+
+  TablePrinter t({"total_cache", "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8"});
+  for (std::uint64_t total : {1000ULL, 2000ULL, 4000ULL, 8000ULL, 16000ULL}) {
+    const auto alloc = allocate_dram(curves, total, 512);
+    std::vector<std::string> row{std::to_string(total)};
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const std::uint64_t cap = std::max<std::uint64_t>(alloc.per_table[i], 256);
+      MiniCacheTunerConfig mc;
+      mc.sampling_rate = 0.01;
+      const auto choice = tune_threshold(runs[i].train, layouts[i],
+                                         shp[i].access_counts, cap, mc);
+      CachePolicyConfig pc;
+      pc.capacity_vectors = cap;
+      pc.policy = PrefetchPolicy::kThreshold;
+      pc.access_threshold = choice.threshold;
+      const auto reads = simulate_cache(runs[i].eval, layouts[i], pc,
+                                        shp[i].access_counts)
+                             .nvm_block_reads;
+      const auto base = baseline_reads(runs[i].eval, runs[i].cfg.num_vectors, cap);
+      row.push_back(pct(effective_bw_increase(base, reads), 0));
+    }
+    t.add_row(std::move(row));
+  }
+  t.print();
+  std::printf("\nBaseline: original layout, single-vector reads, same "
+              "per-table DRAM.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Fig. 14: end-to-end effective bandwidth increase per table as a function
+// of the miniature-cache sampling rate, vs an oracle ("full cache") that
+// evaluates every threshold at full size. 0.1% sampling is nearly free and
+// nearly as good.
+#include "bench_common.h"
+
+using namespace bandana;
+using namespace bandana::bench;
+
+int main() {
+  constexpr double kScale = 0.2;
+  const auto runs = make_runs(kScale, 30'000, 15'000);
+  ThreadPool pool;
+  const std::uint64_t kCapPerTable = 2000;  // paper: 4M across tables
+  const std::vector<std::uint32_t> candidates{0, 2, 5, 10, 15, 20};
+
+  print_header("Figure 14: EBW increase vs mini-cache sampling rate",
+               "paper Fig. 14 (0.1% sampling ~= oracle across all tables)",
+               "1:100 tables; 2k cache vectors per table");
+
+  TablePrinter t({"table", "0.1%", "1%", "10%", "oracle"});
+  for (const auto& r : runs) {
+    ShpConfig sc;
+    sc.vectors_per_block = 32;
+    const auto shp = run_shp(r.train, r.cfg.num_vectors, sc, &pool);
+    const auto layout = BlockLayout::from_order(shp.order, 32);
+    const auto base = baseline_reads(r.eval, r.cfg.num_vectors, kCapPerTable);
+
+    auto gain_with_threshold = [&](std::uint32_t thr) {
+      CachePolicyConfig pc;
+      pc.capacity_vectors = kCapPerTable;
+      pc.policy = PrefetchPolicy::kThreshold;
+      pc.access_threshold = thr;
+      const auto reads =
+          simulate_cache(r.eval, layout, pc, shp.access_counts).nvm_block_reads;
+      return effective_bw_increase(base, reads);
+    };
+
+    std::vector<std::string> row{r.cfg.name};
+    for (double rate : {0.001, 0.01, 0.1}) {
+      MiniCacheTunerConfig mc;
+      mc.sampling_rate = rate;
+      mc.candidates = candidates;
+      const auto choice =
+          tune_threshold(r.train, layout, shp.access_counts, kCapPerTable, mc);
+      row.push_back(pct(gain_with_threshold(choice.threshold)));
+    }
+    double oracle = -1e9;
+    for (std::uint32_t thr : candidates) {
+      oracle = std::max(oracle, gain_with_threshold(thr));
+    }
+    row.push_back(pct(oracle));
+    t.add_row(std::move(row));
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Fig. 15: end-to-end effective bandwidth increase per table as a function
+// of the number of requests used to train SHP (limited cache + tuned
+// threshold admission, unlike Fig. 9's unlimited-cache variant).
+#include "bench_common.h"
+
+using namespace bandana;
+using namespace bandana::bench;
+
+int main() {
+  constexpr double kScale = 0.2;
+  const std::size_t kTrainSizes[3] = {2'000, 10'000, 50'000};
+  const auto runs = make_runs(kScale, kTrainSizes[2], 15'000);
+  ThreadPool pool;
+  const std::uint64_t kCapPerTable = 2000;
+
+  print_header("Figure 15: EBW increase vs SHP training-set size",
+               "paper Fig. 15 (200M/1B/5B requests; more data -> more BW)",
+               "1:100 tables; train 2k/10k/50k queries; 2k cache vectors");
+
+  TablePrinter t({"table", "train=2k", "train=10k", "train=50k"});
+  for (const auto& r : runs) {
+    const auto base = baseline_reads(r.eval, r.cfg.num_vectors, kCapPerTable);
+    std::vector<std::string> row{r.cfg.name};
+    for (const std::size_t n : kTrainSizes) {
+      ShpConfig sc;
+      sc.vectors_per_block = 32;
+      const Trace train = r.train.head(n);
+      const auto shp = run_shp(train, r.cfg.num_vectors, sc, &pool);
+      const auto layout = BlockLayout::from_order(shp.order, 32);
+      MiniCacheTunerConfig mc;
+      mc.sampling_rate = 0.01;
+      const auto choice =
+          tune_threshold(train, layout, shp.access_counts, kCapPerTable, mc);
+      CachePolicyConfig pc;
+      pc.capacity_vectors = kCapPerTable;
+      pc.policy = PrefetchPolicy::kThreshold;
+      pc.access_threshold = choice.threshold;
+      const auto reads =
+          simulate_cache(r.eval, layout, pc, shp.access_counts).nvm_block_reads;
+      row.push_back(pct(effective_bw_increase(base, reads)));
+    }
+    t.add_row(std::move(row));
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Fig. 16: end-to-end effective bandwidth increase per table for embedding
+// vector sizes of 64 / 128 / 256 bytes. Smaller vectors pack more per 4 KB
+// block (64/32/16), so Bandana's prefetching recovers more bandwidth.
+#include "bench_common.h"
+
+using namespace bandana;
+using namespace bandana::bench;
+
+int main() {
+  constexpr double kScale = 0.2;
+  const std::uint64_t kCapPerTable = 2000;
+
+  print_header("Figure 16: EBW increase vs embedding vector size",
+               "paper Fig. 16 (smaller vectors -> higher EBW increase)",
+               "1:100 tables; dims 16/32/64 floats = 64/128/256 B; "
+               "2k cache vectors per table");
+
+  TablePrinter t({"table", "64B", "128B", "256B"});
+  std::vector<std::vector<std::string>> rows(8);
+  ThreadPool pool;
+
+  for (const std::uint16_t dim : {16, 32, 64}) {
+    const auto runs = make_runs(kScale, 30'000, 15'000, dim);
+    const std::uint32_t vpb =
+        static_cast<std::uint32_t>(4096 / (dim * sizeof(float)));
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const auto& r = runs[i];
+      if (rows[i].empty()) rows[i].push_back(r.cfg.name);
+      ShpConfig sc;
+      sc.vectors_per_block = vpb;
+      const auto shp = run_shp(r.train, r.cfg.num_vectors, sc, &pool);
+      const auto layout = BlockLayout::from_order(shp.order, vpb);
+      MiniCacheTunerConfig mc;
+      mc.sampling_rate = 0.01;
+      const auto choice =
+          tune_threshold(r.train, layout, shp.access_counts, kCapPerTable, mc);
+      CachePolicyConfig pc;
+      pc.capacity_vectors = kCapPerTable;
+      pc.policy = PrefetchPolicy::kThreshold;
+      pc.access_threshold = choice.threshold;
+      const auto reads =
+          simulate_cache(r.eval, layout, pc, shp.access_counts).nvm_block_reads;
+      // Baseline at matching block geometry.
+      const auto base =
+          simulate_cache(r.eval, BlockLayout::identity(r.cfg.num_vectors, vpb),
+                         baseline_policy(kCapPerTable))
+              .nvm_block_reads;
+      rows[i].push_back(pct(effective_bw_increase(base, reads)));
+    }
+  }
+  for (auto& row : rows) t.add_row(std::move(row));
+  t.print();
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Micro-benchmarks (google-benchmark) for Bandana's hot kernels: the
+// insertion-position LRU, Zipf sampling, stack-distance updates, the NVM
+// event loop, SHP end-to-end on a small table, and cache replay throughput.
+#include <benchmark/benchmark.h>
+
+#include "core/bandana.h"
+
+namespace bandana {
+namespace {
+
+void BM_LruAccessInsert(benchmark::State& state) {
+  const std::uint32_t universe = 100'000;
+  InsertionLru cache(universe, static_cast<std::uint64_t>(state.range(0)));
+  Rng rng(1);
+  ZipfSampler zipf(universe, 0.9);
+  for (auto _ : state) {
+    const auto v = static_cast<VectorId>(zipf(rng));
+    if (!cache.access(v)) cache.insert(v);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LruAccessInsert)->Arg(1024)->Arg(16384)->Arg(65536);
+
+void BM_LruWithInsertionPoints(benchmark::State& state) {
+  const std::uint32_t universe = 100'000;
+  InsertionLru cache(universe, 16384, {0.0, 0.5});
+  Rng rng(1);
+  ZipfSampler zipf(universe, 0.9);
+  for (auto _ : state) {
+    const auto v = static_cast<VectorId>(zipf(rng));
+    if (!cache.access(v)) cache.insert(v, rng.next_bernoulli(0.5) ? 1 : 0);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LruWithInsertionPoints);
+
+void BM_ZipfSample(benchmark::State& state) {
+  Rng rng(2);
+  ZipfSampler zipf(10'000'000, 0.99);
+  std::uint64_t sink = 0;
+  for (auto _ : state) sink += zipf(rng);
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSample);
+
+void BM_StackDistanceAccess(benchmark::State& state) {
+  const std::uint32_t n = 100'000;
+  StackDistanceAnalyzer a(n);
+  Rng rng(3);
+  ZipfSampler zipf(n, 0.9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.access(static_cast<VectorId>(zipf(rng))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StackDistanceAccess);
+
+void BM_NvmSubmitRead(benchmark::State& state) {
+  NvmDeviceConfig cfg;
+  NvmLatencyModel model(cfg);
+  std::vector<double> channels(cfg.channels, 0.0);
+  Rng rng(4);
+  double now = 0.0;
+  for (auto _ : state) {
+    now += 1.0;
+    benchmark::DoNotOptimize(submit_read(model, now, channels, rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NvmSubmitRead);
+
+Trace make_bench_trace(std::uint32_t vectors, std::size_t queries) {
+  TableWorkloadConfig cfg;
+  cfg.num_vectors = vectors;
+  cfg.mean_lookups_per_query = 16;
+  cfg.num_profiles = vectors / 32;
+  TraceGenerator gen(cfg, 99);
+  return gen.generate(queries);
+}
+
+void BM_ShpPartition(benchmark::State& state) {
+  const auto vectors = static_cast<std::uint32_t>(state.range(0));
+  const Trace train = make_bench_trace(vectors, vectors / 4);
+  ShpConfig sc;
+  sc.vectors_per_block = 32;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_shp(train, vectors, sc));
+  }
+  state.SetItemsProcessed(state.iterations() * vectors);
+}
+BENCHMARK(BM_ShpPartition)->Arg(8192)->Arg(32768)->Unit(benchmark::kMillisecond);
+
+void BM_CacheReplay(benchmark::State& state) {
+  const std::uint32_t vectors = 50'000;
+  const Trace trace = make_bench_trace(vectors, 5000);
+  const auto layout = BlockLayout::random(vectors, 32, 7);
+  CachePolicyConfig pc;
+  pc.capacity_vectors = 4000;
+  pc.policy = PrefetchPolicy::kAll;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulate_cache(trace, layout, pc));
+  }
+  state.SetItemsProcessed(state.iterations() * trace.total_lookups());
+  state.SetLabel("lookups/iter=" + std::to_string(trace.total_lookups()));
+}
+BENCHMARK(BM_CacheReplay)->Unit(benchmark::kMillisecond);
+
+void BM_StoreLookupBatch(benchmark::State& state) {
+  TableWorkloadConfig cfg;
+  cfg.num_vectors = 32'768;
+  cfg.mean_lookups_per_query = 16;
+  TraceGenerator gen(cfg, 5);
+  const EmbeddingTable values = gen.make_embeddings();
+  StoreConfig store_cfg;
+  store_cfg.simulate_timing = true;
+  Store store(store_cfg);
+  TablePolicy policy;
+  policy.cache_vectors = 4096;
+  policy.policy = PrefetchPolicy::kAll;
+  const TableId t =
+      store.add_table(values, BlockLayout::random(cfg.num_vectors, 32, 3), policy);
+  const Trace trace = gen.generate(4000);
+  std::vector<std::byte> out(128 * 512);
+  std::size_t q = 0;
+  for (auto _ : state) {
+    store.lookup_batch(t, trace.query(q), out);
+    q = (q + 1) % trace.num_queries();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StoreLookupBatch);
+
+}  // namespace
+}  // namespace bandana
+
+BENCHMARK_MAIN();

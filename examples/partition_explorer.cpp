@@ -1,0 +1,76 @@
+// Partition explorer: compare placement strategies for one table on a
+// held-out trace — identity (original), random, K-means (semantic), and
+// SHP (supervised) — reporting fanout and effective bandwidth. This is the
+// paper's §4.2 exploration as a tool.
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table_printer.h"
+#include "core/bandana.h"
+
+using namespace bandana;
+
+int main(int argc, char** argv) {
+  // Optional: first arg selects semantic alignment (0..1) to see K-means'
+  // dependence on it (paper tables 1-2 vs 7-8).
+  const double semantic = argc > 1 ? std::atof(argv[1]) : 0.6;
+
+  TableWorkloadConfig cfg;
+  cfg.num_vectors = 30'000;
+  cfg.mean_lookups_per_query = 20;
+  cfg.semantic_strength = semantic;
+  cfg.num_profiles = 900;
+  cfg.profile_frac = 0.85;
+  TraceGenerator gen(cfg, 17);
+  const Trace train = gen.generate(15'000);
+  const Trace eval = gen.generate(5'000);
+  const EmbeddingTable values = gen.make_embeddings();
+  ThreadPool pool;
+
+  std::printf("table: %u vectors, semantic alignment %.2f\n\n",
+              cfg.num_vectors, semantic);
+
+  struct Candidate {
+    std::string name;
+    BlockLayout layout;
+  };
+  std::vector<Candidate> candidates;
+  candidates.push_back({"original(identity)",
+                        BlockLayout::identity(cfg.num_vectors, 32)});
+  candidates.push_back({"random", BlockLayout::random(cfg.num_vectors, 32, 3)});
+
+  {
+    KMeansConfig kc;
+    kc.k = 1024;
+    kc.max_iters = 10;
+    const auto km = kmeans(values, kc, &pool);
+    candidates.push_back(
+        {"kmeans(k=1024)",
+         BlockLayout::from_order(cluster_major_order(km.assignment, km.k), 32)});
+  }
+  ShpConfig sc;
+  sc.vectors_per_block = 32;
+  const auto shp = run_shp(train, cfg.num_vectors, sc, &pool);
+  candidates.push_back({"shp", BlockLayout::from_order(shp.order, 32)});
+
+  const auto base = simulate_cache(eval, candidates[0].layout,
+                                   baseline_policy(0, /*unlimited=*/true))
+                        .nvm_block_reads;
+  CachePolicyConfig batched;
+  batched.unlimited = true;
+  batched.policy = PrefetchPolicy::kNone;
+
+  TablePrinter t({"layout", "eval_fanout", "nvm_reads", "ebw_increase"});
+  for (const auto& c : candidates) {
+    const auto fanout = compute_fanout(eval, c.layout);
+    const auto reads = simulate_cache(eval, c.layout, batched).nvm_block_reads;
+    t.add_row({c.name, TablePrinter::fmt(fanout.avg_fanout, 2),
+               std::to_string(reads),
+               TablePrinter::pct(effective_bw_increase(base, reads))});
+  }
+  t.print();
+  std::printf("\nbaseline: single-vector reads, unlimited cache "
+              "(%llu block reads)\n",
+              static_cast<unsigned long long>(base));
+  return 0;
+}

@@ -1,0 +1,48 @@
+#include "cache/dram_allocator.h"
+
+#include <queue>
+
+namespace bandana {
+
+DramAllocation allocate_dram(const std::vector<HitRateCurve>& curves,
+                             std::uint64_t total_vectors, std::uint64_t chunk) {
+  DramAllocation out;
+  out.per_table.assign(curves.size(), 0);
+  if (curves.empty() || chunk == 0) return out;
+
+  // Max-heap of (marginal hits for the next chunk, table).
+  using Entry = std::pair<std::uint64_t, std::size_t>;
+  std::priority_queue<Entry> heap;
+  for (std::size_t t = 0; t < curves.size(); ++t) {
+    heap.emplace(curves[t].marginal_hits(0, chunk), t);
+  }
+  std::uint64_t remaining = total_vectors;
+  while (remaining >= chunk && !heap.empty()) {
+    auto [gain, t] = heap.top();
+    heap.pop();
+    if (gain == 0) {
+      // No table benefits from more DRAM; stop early.
+      break;
+    }
+    out.per_table[t] += chunk;
+    out.expected_hits += gain;
+    remaining -= chunk;
+    heap.emplace(curves[t].marginal_hits(out.per_table[t], chunk), t);
+  }
+  return out;
+}
+
+DramAllocation allocate_uniform(const std::vector<HitRateCurve>& curves,
+                                std::uint64_t total_vectors) {
+  DramAllocation out;
+  out.per_table.assign(curves.size(), 0);
+  if (curves.empty()) return out;
+  const std::uint64_t share = total_vectors / curves.size();
+  for (std::size_t t = 0; t < curves.size(); ++t) {
+    out.per_table[t] = share;
+    out.expected_hits += curves[t].hits(share);
+  }
+  return out;
+}
+
+}  // namespace bandana

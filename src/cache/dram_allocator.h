@@ -1,0 +1,33 @@
+// DRAM partitioning across embedding tables (paper §4.3.3; Dynacache-style
+// greedy allocation, Cidon et al. HotCloud'15).
+//
+// Given per-table hit-rate curves (exact or mini-cache approximated), split
+// a total DRAM budget (in vectors) to maximize total hits. The curves we
+// observe are concave ("convex" in the paper's miss-curve phrasing), so a
+// greedy marginal-utility allocation in fixed-size chunks is optimal up to
+// chunk granularity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/stack_distance.h"
+
+namespace bandana {
+
+struct DramAllocation {
+  std::vector<std::uint64_t> per_table;  ///< Vectors assigned to each table.
+  std::uint64_t expected_hits = 0;       ///< Sum of curve hits at allocation.
+};
+
+/// Greedy: repeatedly give `chunk` vectors to the table with the highest
+/// marginal hit gain. Tables may end with zero allocation.
+DramAllocation allocate_dram(const std::vector<HitRateCurve>& curves,
+                             std::uint64_t total_vectors,
+                             std::uint64_t chunk = 1024);
+
+/// Uniform split (ablation baseline).
+DramAllocation allocate_uniform(const std::vector<HitRateCurve>& curves,
+                                std::uint64_t total_vectors);
+
+}  // namespace bandana

@@ -1,0 +1,78 @@
+// Exact LRU queue with configurable insertion positions (paper §4.3.1).
+//
+// Bandana inserts application-requested vectors at the top (MRU end) of the
+// eviction queue but may insert *prefetched* vectors lower — e.g. at the
+// middle (position 0.5) — so speculative data cannot evict hot data. This
+// class implements a single logical LRU list with K insertion points,
+// realized as K contiguous segments delimited by marker nodes. Inserting at
+// point j places the entry at depth floor(f_j * capacity); hits promote to
+// the global MRU position; eviction takes the global LRU tail. All
+// operations are O(#insertion points).
+//
+// The id universe is dense (VectorId < universe), so the index is a flat
+// array rather than a hash table.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace bandana {
+
+class InsertionLru {
+ public:
+  /// `insertion_points` are fractions of capacity, sorted ascending; the
+  /// first must be 0.0 (the MRU end). {0.0} gives a plain LRU.
+  InsertionLru(std::uint32_t universe, std::uint64_t capacity,
+               std::vector<double> insertion_points = {0.0});
+
+  std::uint64_t size() const { return size_; }
+  std::uint64_t capacity() const { return capacity_; }
+  std::size_t num_insertion_points() const { return targets_.size(); }
+
+  bool contains(VectorId v) const { return node_of_[v] >= 0; }
+
+  /// If present: promote to global MRU and return true.
+  bool access(VectorId v);
+
+  /// Insert at insertion point `point` (default: MRU). The entry must not be
+  /// present. Returns the evicted victim, or kInvalidVector if none.
+  VectorId insert(VectorId v, std::size_t point = 0);
+
+  /// Remove a specific entry (e.g. on table republish). Returns false if
+  /// absent.
+  bool erase(VectorId v);
+
+  /// Entry ids from MRU to LRU (test/diagnostic; O(size)).
+  std::vector<VectorId> contents() const;
+
+ private:
+  using NodeIdx = std::int32_t;
+  static constexpr NodeIdx kNil = -1;
+
+  struct Node {
+    NodeIdx prev = kNil;
+    NodeIdx next = kNil;
+    VectorId id = kInvalidVector;
+    std::int16_t segment = -1;  ///< -1 for markers and free nodes.
+  };
+
+  void link_after(NodeIdx pos, NodeIdx node);
+  void unlink(NodeIdx node);
+  /// Push overflow from segment s downward toward the tail.
+  void cascade(std::size_t s);
+  NodeIdx alloc_node();
+
+  std::uint64_t capacity_;
+  std::vector<Node> nodes_;       // [0..K-1]: segment markers, [K]: end sentinel
+  std::vector<NodeIdx> node_of_;  // id -> node (or -1)
+  std::vector<std::uint64_t> seg_size_;
+  std::vector<std::uint64_t> targets_;  // per-segment capacity
+  std::vector<NodeIdx> free_;
+  std::uint64_t size_ = 0;
+  std::size_t num_segments_;
+  NodeIdx end_sentinel_;
+};
+
+}  // namespace bandana

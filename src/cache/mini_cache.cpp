@@ -1,0 +1,56 @@
+#include "cache/mini_cache.h"
+
+#include <algorithm>
+
+namespace bandana {
+
+Trace sample_trace(const Trace& trace, double rate, std::uint64_t salt) {
+  Trace out;
+  std::vector<VectorId> kept;
+  for (std::size_t q = 0; q < trace.num_queries(); ++q) {
+    kept.clear();
+    for (VectorId v : trace.query(q)) {
+      if (in_sample(v, rate, salt)) kept.push_back(v);
+    }
+    if (!kept.empty()) out.add_query(kept);
+  }
+  return out;
+}
+
+ThresholdChoice tune_threshold(const Trace& trace, const BlockLayout& layout,
+                               std::span<const std::uint32_t> access_counts,
+                               std::uint64_t capacity,
+                               const MiniCacheTunerConfig& config) {
+  const Trace mini = sample_trace(trace, config.sampling_rate, config.salt);
+  const auto mini_capacity = std::max<std::uint64_t>(
+      16, static_cast<std::uint64_t>(static_cast<double>(capacity) *
+                                     config.sampling_rate));
+
+  ThresholdChoice best;
+  bool first = true;
+  for (std::uint32_t t : config.candidates) {
+    CachePolicyConfig pc;
+    pc.capacity_vectors = mini_capacity;
+    pc.policy = PrefetchPolicy::kThreshold;
+    pc.access_threshold = t;
+    const CacheSimResult r = simulate_cache(mini, layout, pc, access_counts);
+    // Minimize NVM block reads; ties break toward the higher (more
+    // conservative) threshold, which is safer on the full cache.
+    if (first || r.nvm_block_reads <= best.mini_result.nvm_block_reads) {
+      best.threshold = t;
+      best.mini_result = r;
+      first = false;
+    }
+  }
+  return best;
+}
+
+HitRateCurve approximate_hit_rate_curve(const Trace& trace,
+                                        std::uint32_t num_vectors, double rate,
+                                        std::uint64_t salt) {
+  if (rate >= 1.0) return compute_hit_rate_curve(trace, num_vectors);
+  const Trace mini = sample_trace(trace, rate, salt);
+  return compute_hit_rate_curve(mini, num_vectors).scaled(rate);
+}
+
+}  // namespace bandana

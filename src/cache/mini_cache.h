@@ -1,0 +1,61 @@
+// Miniature-cache simulation (paper §4.3.3, Table 2, Fig. 14; after
+// Waldspurger et al., ATC'17).
+//
+// Bandana picks the prefetch admission threshold t per table by simulating
+// the cache at many candidate thresholds — but on a spatially-sampled slice
+// of the workload: vector v is in the sample iff hash(v) < rate * 2^64
+// (SHARDS), and the simulated capacity is rate * capacity. A 0.1 % sample
+// tracks ~1/1000th of the vectors yet selects nearly the same threshold as
+// a full-size simulation (Table 2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cache/cache_sim.h"
+#include "partition/layout.h"
+#include "trace/stack_distance.h"
+#include "trace/trace.h"
+
+namespace bandana {
+
+/// True iff vector v falls in the spatial sample at `rate`.
+inline bool in_sample(VectorId v, double rate, std::uint64_t salt) {
+  // hash < rate * 2^64, computed without overflow at rate == 1.
+  if (rate >= 1.0) return true;
+  const std::uint64_t h = splitmix64(static_cast<std::uint64_t>(v) ^ salt);
+  return static_cast<double>(h) <
+         rate * 18446744073709551616.0 /* 2^64 */;
+}
+
+/// Filter a trace to sampled vectors (queries keep their boundaries;
+/// queries that become empty are dropped).
+Trace sample_trace(const Trace& trace, double rate, std::uint64_t salt);
+
+struct ThresholdChoice {
+  std::uint32_t threshold = 0;
+  CacheSimResult mini_result;  ///< Result of the winning mini simulation.
+};
+
+struct MiniCacheTunerConfig {
+  double sampling_rate = 0.001;
+  std::uint64_t salt = 0x5A17;
+  /// Candidate admission thresholds to simulate (paper sweeps 5..20).
+  std::vector<std::uint32_t> candidates{0, 5, 10, 15, 20};
+};
+
+/// Pick the admission threshold maximizing effective bandwidth (minimizing
+/// NVM block reads) for `capacity` using miniature caches.
+ThresholdChoice tune_threshold(const Trace& trace, const BlockLayout& layout,
+                               std::span<const std::uint32_t> access_counts,
+                               std::uint64_t capacity,
+                               const MiniCacheTunerConfig& config);
+
+/// Approximate a table's LRU hit-rate curve from a sampled trace
+/// (SHARDS-style scaling); rate == 1 gives the exact curve.
+HitRateCurve approximate_hit_rate_curve(const Trace& trace,
+                                        std::uint32_t num_vectors, double rate,
+                                        std::uint64_t salt = 0x5A17);
+
+}  // namespace bandana

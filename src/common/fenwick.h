@@ -1,0 +1,48 @@
+// Fenwick (binary indexed) tree over uint32 counts.
+//
+// Used by the exact Mattson stack-distance analyzer (trace/stack_distance):
+// we keep a 1 at each "currently most recent access" timestamp and compute a
+// vector's reuse (stack) distance as the number of distinct vectors touched
+// since its previous access, via a prefix sum. O(log n) per operation.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace bandana {
+
+class FenwickTree {
+ public:
+  explicit FenwickTree(std::size_t n = 0) : tree_(n + 1, 0) {}
+
+  std::size_t size() const { return tree_.size() - 1; }
+
+  void resize(std::size_t n) { tree_.assign(n + 1, 0); }
+
+  /// Add delta at 0-based index i.
+  void add(std::size_t i, std::int64_t delta) {
+    assert(i < size());
+    for (std::size_t j = i + 1; j < tree_.size(); j += j & (~j + 1)) {
+      tree_[j] += delta;
+    }
+  }
+
+  /// Sum of [0, i) — the first i elements; prefix_sum(0) == 0.
+  std::int64_t prefix_sum(std::size_t i) const {
+    assert(i <= size());
+    std::int64_t s = 0;
+    for (std::size_t j = i; j > 0; j -= j & (~j + 1)) s += tree_[j];
+    return s;
+  }
+
+  /// Sum of the closed-open range [lo, hi).
+  std::int64_t range_sum(std::size_t lo, std::size_t hi) const {
+    return prefix_sum(hi) - prefix_sum(lo);
+  }
+
+ private:
+  std::vector<std::int64_t> tree_;
+};
+
+}  // namespace bandana

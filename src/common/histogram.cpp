@@ -1,0 +1,47 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace bandana {
+
+LinearHistogram::LinearHistogram(std::uint64_t max_value, std::size_t buckets)
+    : max_value_(max_value),
+      width_((max_value + buckets - 1) / buckets),
+      counts_(buckets + 1, 0) {
+  assert(buckets > 0);
+  assert(width_ > 0);
+}
+
+void LinearHistogram::add(std::uint64_t value, std::uint64_t count) {
+  const std::size_t b =
+      value >= max_value_ ? counts_.size() - 1
+                          : static_cast<std::size_t>(value / width_);
+  counts_[b] += count;
+  total_ += count;
+}
+
+std::pair<std::uint64_t, std::uint64_t> LinearHistogram::bucket_range(
+    std::size_t b) const {
+  if (b == counts_.size() - 1) {
+    return {max_value_, static_cast<std::uint64_t>(-1)};
+  }
+  return {b * width_, (b + 1) * width_};
+}
+
+void Log2Histogram::add(std::uint64_t value, std::uint64_t count) {
+  const std::size_t b =
+      value <= 1 ? 0 : static_cast<std::size_t>(std::bit_width(value) - 1);
+  if (b >= counts_.size()) counts_.resize(b + 1, 0);
+  counts_[b] += count;
+  total_ += count;
+}
+
+std::pair<std::uint64_t, std::uint64_t> Log2Histogram::bucket_range(
+    std::size_t b) const {
+  if (b == 0) return {0, 2};
+  return {1ULL << b, 1ULL << (b + 1)};
+}
+
+}  // namespace bandana

@@ -1,0 +1,47 @@
+// Linear- and log-bucketed histograms for access-count statistics (Fig. 4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bandana {
+
+/// Fixed-width linear histogram over [0, max). Values >= max land in the
+/// final overflow bucket.
+class LinearHistogram {
+ public:
+  LinearHistogram(std::uint64_t max_value, std::size_t buckets);
+
+  void add(std::uint64_t value, std::uint64_t count = 1);
+
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::uint64_t bucket_value(std::size_t b) const { return counts_[b]; }
+  /// Closed-open value range covered by bucket b.
+  std::pair<std::uint64_t, std::uint64_t> bucket_range(std::size_t b) const;
+  std::uint64_t total() const { return total_; }
+
+ private:
+  std::uint64_t max_value_;
+  std::uint64_t width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Power-of-two bucketed histogram: bucket b covers [2^b, 2^(b+1)), with
+/// bucket 0 covering {0, 1}. Suits the paper's log-scale access histograms.
+class Log2Histogram {
+ public:
+  void add(std::uint64_t value, std::uint64_t count = 1);
+
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::uint64_t bucket_value(std::size_t b) const { return counts_[b]; }
+  std::pair<std::uint64_t, std::uint64_t> bucket_range(std::size_t b) const;
+  std::uint64_t total() const { return total_; }
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace bandana

@@ -1,0 +1,91 @@
+// Deterministic, fast random number generation.
+//
+// All stochastic components in Bandana (trace generation, the NVM latency
+// model, partitioner initialization, cache sampling) take an explicit Rng so
+// experiments are reproducible bit-for-bit given a seed.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace bandana {
+
+/// SplitMix64 — used to seed and to hash ids (e.g. SHARDS spatial sampling).
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// xoshiro256** 1.0 by Blackman & Vigna. Small, fast, high quality.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& si : s_) si = x = splitmix64(x);
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n). Lemire's multiply-shift rejection-free mapping
+  /// (slightly biased for huge n, irrelevant at our scales).
+  std::uint64_t next_below(std::uint64_t n) {
+    return static_cast<std::uint64_t>(
+        (static_cast<__uint128_t>(next_u64()) * n) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in (0, 1] — safe as a log() argument.
+  double next_double_open() {
+    return (static_cast<double>(next_u64() >> 11) + 1.0) * 0x1.0p-53;
+  }
+
+  /// Standard normal via Box-Muller (polar-free variant; two uniforms).
+  double next_normal() {
+    const double u1 = next_double_open();
+    const double u2 = next_double();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(6.283185307179586476925286766559 * u2);
+  }
+
+  /// Lognormal with parameters of the underlying normal.
+  double next_lognormal(double mu, double sigma) {
+    return std::exp(mu + sigma * next_normal());
+  }
+
+  /// Exponential with the given rate (mean 1/rate).
+  double next_exponential(double rate) {
+    return -std::log(next_double_open()) / rate;
+  }
+
+  bool next_bernoulli(double p) { return next_double() < p; }
+
+  /// Derive an independent stream (e.g. one per table / per thread).
+  Rng fork() { return Rng(next_u64()); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace bandana

@@ -1,0 +1,19 @@
+#include "common/stats.h"
+
+#include <cassert>
+
+namespace bandana {
+
+double LatencyRecorder::percentile(double q) const {
+  assert(q >= 0.0 && q <= 1.0);
+  if (samples_.empty()) return 0.0;
+  if (sorted_.size() != samples_.size()) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+  }
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted_.size() - 1) + 0.5);
+  return sorted_[std::min(rank, sorted_.size() - 1)];
+}
+
+}  // namespace bandana

@@ -1,0 +1,67 @@
+// Streaming statistics and latency percentile recording.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace bandana {
+
+/// Welford running mean/variance. O(1) memory.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+  }
+  std::uint64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Records samples (e.g. per-IO latencies in ns) and answers percentile
+/// queries. Stores raw samples; our simulations produce at most a few
+/// million IOs so exact percentiles are affordable and simplest.
+class LatencyRecorder {
+ public:
+  void reserve(std::size_t n) { samples_.reserve(n); }
+  void add(double v) {
+    samples_.push_back(v);
+    stats_.add(v);
+  }
+  std::uint64_t count() const { return stats_.count(); }
+  double mean() const { return stats_.mean(); }
+  double max() const { return stats_.max(); }
+
+  /// q in [0,1]; e.g. 0.99 for P99. Exact (nearest-rank on sorted copy,
+  /// cached until the next add()).
+  double percentile(double q) const;
+
+  void clear() {
+    samples_.clear();
+    sorted_.clear();
+    stats_ = RunningStats{};
+  }
+
+ private:
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  RunningStats stats_;
+};
+
+}  // namespace bandana

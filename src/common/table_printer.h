@@ -1,0 +1,28 @@
+// Aligned plain-text table output used by every bench binary to print
+// paper-style rows/series.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace bandana {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render to stdout (or any FILE*). Columns are padded to the widest cell.
+  void print(std::FILE* out = stdout) const;
+
+  static std::string fmt(double v, int precision = 2);
+  static std::string pct(double fraction, int precision = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bandana

@@ -1,0 +1,54 @@
+// Minimal fixed-size thread pool with a blocking parallel_for.
+//
+// The partitioners (K-means assignment, SHP gain computation) are
+// embarrassingly parallel over vectors/buckets; this pool gives them
+// deterministic work decomposition (static chunking) so results do not
+// depend on scheduling.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace bandana {
+
+class ThreadPool {
+ public:
+  /// threads == 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue an arbitrary task.
+  void submit(std::function<void()> task);
+
+  /// Block until all submitted tasks have finished.
+  void wait_idle();
+
+  /// Run fn(begin, end) over [0, n) split into one static chunk per worker.
+  /// Blocks until complete. Chunk boundaries depend only on n and the pool
+  /// size, so any reduction the caller does per-chunk is reproducible.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace bandana

@@ -1,0 +1,25 @@
+// Fundamental type aliases shared across all Bandana modules.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bandana {
+
+/// Index of an embedding vector within one table (column id in the paper).
+using VectorId = std::uint32_t;
+
+/// Index of a 4 KB physical block on the NVM device.
+using BlockId = std::uint32_t;
+
+/// Index of an embedding table within a model.
+using TableId = std::uint16_t;
+
+/// Simulated time in nanoseconds.
+using SimTimeNs = std::uint64_t;
+
+inline constexpr std::size_t kDefaultBlockBytes = 4096;
+inline constexpr std::size_t kDefaultVectorBytes = 128;  // 64 x fp16 in paper
+inline constexpr VectorId kInvalidVector = static_cast<VectorId>(-1);
+
+}  // namespace bandana

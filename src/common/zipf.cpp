@@ -1,0 +1,45 @@
+#include "common/zipf.h"
+
+#include <cassert>
+
+namespace bandana {
+
+// Rejection-inversion after Hormann & Derflinger, "Rejection-inversion to
+// generate variates from monotone discrete distributions" (1996), as used in
+// e.g. Apache Commons. h(x) = ((x)^(1-s) - 1) / (1-s) is the integral of the
+// density x^-s (with the s==1 limit ln x).
+ZipfSampler::ZipfSampler(std::uint64_t n, double s) : n_(n), s_(s) {
+  assert(n >= 1);
+  assert(s >= 0.0);
+  h_x1_ = h(1.5) - 1.0;
+  h_n_ = h(static_cast<double>(n) + 0.5);
+  t_ = 2.0 - h_inv(h(2.5) - std::pow(2.0, -s));
+}
+
+double ZipfSampler::h(double x) const {
+  if (s_ == 1.0) return std::log(x);
+  return (std::pow(x, 1.0 - s_) - 1.0) / (1.0 - s_);
+}
+
+double ZipfSampler::h_inv(double x) const {
+  if (s_ == 1.0) return std::exp(x);
+  return std::pow(1.0 + x * (1.0 - s_), 1.0 / (1.0 - s_));
+}
+
+std::uint64_t ZipfSampler::operator()(Rng& rng) const {
+  if (s_ == 0.0) return rng.next_below(n_);  // uniform fast path
+  while (true) {
+    const double u = h_n_ + rng.next_double() * (h_x1_ - h_n_);
+    const double x = h_inv(u);
+    // Clamp to the valid rank range.
+    std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    if (static_cast<double>(k) - x <= t_ ||
+        u >= h(static_cast<double>(k) + 0.5) - std::pow(static_cast<double>(k), -s_)) {
+      return k - 1;  // 0-based rank
+    }
+  }
+}
+
+}  // namespace bandana

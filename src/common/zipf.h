@@ -1,0 +1,39 @@
+// Zipf-distributed sampling over {0, ..., n-1}.
+//
+// Embedding-table popularity in production recommender workloads is heavily
+// skewed (paper §3, Fig. 4); we model per-table popularity with Zipf
+// distributions of varying exponents. Uses Hormann & Derflinger
+// rejection-inversion, O(1) per sample and exact, so tables with 10^5..10^7
+// items are cheap.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace bandana {
+
+class ZipfSampler {
+ public:
+  /// Ranks 0..n-1; rank r has probability proportional to 1/(r+1)^s.
+  /// s == 0 degenerates to uniform.
+  ZipfSampler(std::uint64_t n, double s);
+
+  std::uint64_t operator()(Rng& rng) const;
+
+  std::uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  double h(double x) const;
+  double h_inv(double x) const;
+
+  std::uint64_t n_;
+  double s_;
+  double h_x1_;
+  double h_n_;
+  double t_;  // threshold for the left-most point
+};
+
+}  // namespace bandana

@@ -1,0 +1,42 @@
+// Public configuration for the Bandana store.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "cache/cache_sim.h"
+#include "common/types.h"
+#include "nvm/nvm_config.h"
+
+namespace bandana {
+
+struct StoreConfig {
+  /// NVM transfer unit; every miss costs one such read.
+  std::size_t block_bytes = kDefaultBlockBytes;
+
+  /// Bytes per embedding vector; must divide block_bytes. 128 B = the
+  /// paper's 64 x fp16 vectors, giving 32 vectors per block.
+  std::size_t vector_bytes = kDefaultVectorBytes;
+
+  /// Timing model of the backing device.
+  NvmDeviceConfig device;
+
+  /// When true the store tracks simulated IO latency through the device
+  /// model; when false it only counts block reads (fast replay mode).
+  bool simulate_timing = true;
+
+  std::uint32_t vectors_per_block() const {
+    return static_cast<std::uint32_t>(block_bytes / vector_bytes);
+  }
+};
+
+/// Per-table runtime policy (produced by the Trainer or set manually).
+struct TablePolicy {
+  std::uint64_t cache_vectors = 0;  ///< DRAM budget for this table.
+  PrefetchPolicy policy = PrefetchPolicy::kThreshold;
+  std::uint32_t access_threshold = 10;
+  double insertion_position = 0.5;
+  double shadow_multiplier = 1.5;
+};
+
+}  // namespace bandana

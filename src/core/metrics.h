@@ -1,0 +1,46 @@
+// Operational counters exposed by the store (per table and aggregated).
+#pragma once
+
+#include <cstdint>
+
+namespace bandana {
+
+struct TableMetrics {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t nvm_block_reads = 0;
+  std::uint64_t prefetch_inserted = 0;
+  std::uint64_t prefetch_hits = 0;
+  std::uint64_t nvm_bytes_read = 0;   ///< block_bytes * nvm_block_reads
+  std::uint64_t miss_bytes = 0;       ///< vector_bytes * (lookups - hits)
+  std::uint64_t app_bytes_served = 0; ///< vector_bytes * lookups
+  std::uint64_t republish_writes = 0; ///< vectors rewritten via update()
+
+  double hit_rate() const {
+    return lookups ? static_cast<double>(hits) / static_cast<double>(lookups)
+                   : 0.0;
+  }
+
+  /// Fraction of NVM read traffic that carried application-requested bytes
+  /// ("effective bandwidth", paper §4.1 — 4 % for the naive baseline).
+  double effective_bandwidth_fraction() const {
+    return nvm_bytes_read ? static_cast<double>(miss_bytes) /
+                                static_cast<double>(nvm_bytes_read)
+                          : 0.0;
+  }
+
+  TableMetrics& operator+=(const TableMetrics& o) {
+    lookups += o.lookups;
+    hits += o.hits;
+    nvm_block_reads += o.nvm_block_reads;
+    prefetch_inserted += o.prefetch_inserted;
+    prefetch_hits += o.prefetch_hits;
+    nvm_bytes_read += o.nvm_bytes_read;
+    miss_bytes += o.miss_bytes;
+    app_bytes_served += o.app_bytes_served;
+    republish_writes += o.republish_writes;
+    return *this;
+  }
+};
+
+}  // namespace bandana

@@ -1,0 +1,102 @@
+#include "core/store.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace bandana {
+
+Store::Store(StoreConfig config, std::uint64_t seed)
+    : config_(config),
+      latency_model_(config.device),
+      channel_free_us_(config.device.channels, 0.0),
+      rng_(seed),
+      endurance_(config.device.capacity_blocks * config.device.block_bytes,
+                 config.device.endurance_dwpd) {
+  if (config_.block_bytes % config_.vector_bytes != 0) {
+    throw std::invalid_argument("vector_bytes must divide block_bytes");
+  }
+}
+
+TableId Store::add_table(const EmbeddingTable& values, BlockLayout layout,
+                         TablePolicy policy,
+                         std::vector<std::uint32_t> access_counts) {
+  const std::uint32_t blocks = layout.num_blocks();
+  auto table = std::make_unique<BandanaTable>(
+      config_, policy, std::move(layout), std::move(access_counts),
+      /*first_block=*/next_block_);
+  // The store-wide storage is grown table by table: allocate a fresh
+  // arena covering all blocks so far plus this table.
+  auto grown = std::make_unique<MemoryBlockStorage>(next_block_ + blocks,
+                                                    config_.block_bytes);
+  if (storage_) {
+    std::vector<std::byte> buf(config_.block_bytes);
+    for (BlockId b = 0; b < next_block_; ++b) {
+      storage_->read_block(b, buf);
+      grown->write_block(b, buf);
+    }
+  }
+  storage_ = std::move(grown);
+  table->publish(values, *storage_);
+  endurance_.record_write(std::uint64_t{blocks} * config_.block_bytes, 0.0);
+
+  block_epochs_.emplace_back(table->num_blocks(), 0);
+  epochs_.push_back(0);
+  tables_.push_back(std::move(table));
+  next_block_ += blocks;
+  return static_cast<TableId>(tables_.size() - 1);
+}
+
+double Store::lookup_batch(TableId t, std::span<const VectorId> ids,
+                           std::span<std::byte> out) {
+  assert(t < tables_.size());
+  BandanaTable& table = *tables_[t];
+  const std::size_t vb = config_.vector_bytes;
+  assert(out.size() >= ids.size() * vb);
+
+  const std::uint32_t epoch = ++epochs_[t];
+  double max_done = now_us_;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const auto outcome =
+        table.lookup(ids[i], *storage_, out.subspan(i * vb, vb),
+                     &block_epochs_[t], epoch);
+    if (outcome.nvm_read && config_.simulate_timing) {
+      // Batched queries issue their block reads asynchronously at query
+      // start; service latency is bounded by the slowest read.
+      const double done =
+          submit_read(latency_model_, now_us_, channel_free_us_, rng_);
+      max_done = std::max(max_done, done);
+    }
+  }
+  const double latency = max_done - now_us_;
+  if (config_.simulate_timing) {
+    query_latency_.add(latency);
+    now_us_ = max_done;
+  }
+  return latency;
+}
+
+double Store::lookup(TableId t, VectorId v, std::span<std::byte> out) {
+  const VectorId ids[1] = {v};
+  return lookup_batch(t, ids, out);
+}
+
+void Store::republish(TableId t, const EmbeddingTable& values, double day) {
+  assert(t < tables_.size());
+  tables_[t]->republish(values, *storage_);
+  endurance_.record_write(
+      std::uint64_t{tables_[t]->num_blocks()} * config_.block_bytes, day);
+}
+
+const TableMetrics& Store::table_metrics(TableId t) const {
+  assert(t < tables_.size());
+  return tables_[t]->metrics();
+}
+
+TableMetrics Store::total_metrics() const {
+  TableMetrics total;
+  for (const auto& table : tables_) total += table->metrics();
+  return total;
+}
+
+}  // namespace bandana

@@ -1,0 +1,87 @@
+// bandana::Store — the public entry point: an NVM-backed embedding store
+// with locality-aware placement and a simulation-tuned DRAM cache.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   StoreConfig cfg;                       // 4 KB blocks, 128 B vectors
+//   Store store(cfg);
+//   TableId t = store.add_table(values, layout, policy, access_counts);
+//   std::vector<float> out(dim);
+//   store.lookup_batch(t, query_ids, out_buffer);   // one user request
+//
+// Misses read whole 4 KB blocks; co-located vectors are admitted to the
+// cache per the table's policy. When `simulate_timing` is on, block reads
+// flow through the NVM device model and per-query latency is recorded.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/config.h"
+#include "core/metrics.h"
+#include "core/table.h"
+#include "nvm/block_storage.h"
+#include "nvm/endurance.h"
+#include "nvm/nvm_device.h"
+#include "trace/trace.h"
+
+namespace bandana {
+
+class Store {
+ public:
+  explicit Store(StoreConfig config, std::uint64_t seed = 42);
+
+  /// Register a table: writes `values` to NVM per `layout` and sets up its
+  /// DRAM cache. `access_counts` (SHP-run query counts) are required for
+  /// the kThreshold policy. Returns the table handle.
+  TableId add_table(const EmbeddingTable& values, BlockLayout layout,
+                    TablePolicy policy,
+                    std::vector<std::uint32_t> access_counts = {});
+
+  std::size_t num_tables() const { return tables_.size(); }
+
+  /// Serve one query (batched lookups) against table `t`. Writes the
+  /// vectors contiguously into `out` (ids.size() * vector_bytes).
+  /// Returns the simulated service latency in microseconds (0 when timing
+  /// is disabled). Block reads within the query are deduplicated.
+  double lookup_batch(TableId t, std::span<const VectorId> ids,
+                      std::span<std::byte> out);
+
+  /// Convenience single lookup.
+  double lookup(TableId t, VectorId v, std::span<std::byte> out);
+
+  /// Re-publish a table after retraining (§2.2); counts endurance writes.
+  void republish(TableId t, const EmbeddingTable& values,
+                 double day = 0.0);
+
+  const TableMetrics& table_metrics(TableId t) const;
+  TableMetrics total_metrics() const;
+  const LatencyRecorder& query_latency_us() const { return query_latency_; }
+  const EnduranceTracker& endurance() const { return endurance_; }
+  const StoreConfig& config() const { return config_; }
+  const BandanaTable& table(TableId t) const { return *tables_[t]; }
+
+  /// Advance the simulated clock (e.g. between request waves).
+  void advance_time_us(double delta) { now_us_ += delta; }
+  double now_us() const { return now_us_; }
+
+ private:
+  StoreConfig config_;
+  std::unique_ptr<MemoryBlockStorage> storage_;
+  std::vector<std::unique_ptr<BandanaTable>> tables_;
+  std::vector<std::vector<std::uint32_t>> block_epochs_;  // per-table dedup
+  std::vector<std::uint32_t> epochs_;
+  BlockId next_block_ = 0;
+
+  NvmLatencyModel latency_model_;
+  std::vector<double> channel_free_us_;
+  Rng rng_;
+  double now_us_ = 0.0;
+  LatencyRecorder query_latency_;
+  EnduranceTracker endurance_;
+};
+
+}  // namespace bandana

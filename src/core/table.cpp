@@ -1,0 +1,201 @@
+#include "core/table.h"
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace bandana {
+
+namespace {
+std::vector<double> insertion_points_for(const TablePolicy& policy) {
+  const bool uses_position = policy.policy == PrefetchPolicy::kPosition ||
+                             policy.policy == PrefetchPolicy::kShadowPosition;
+  if (uses_position && policy.insertion_position > 0.0) {
+    return {0.0, policy.insertion_position};
+  }
+  return {0.0};
+}
+}  // namespace
+
+BandanaTable::BandanaTable(const StoreConfig& store_cfg, TablePolicy policy,
+                           BlockLayout layout,
+                           std::vector<std::uint32_t> access_counts,
+                           BlockId first_block)
+    : policy_(policy),
+      layout_(std::move(layout)),
+      access_counts_(std::move(access_counts)),
+      first_block_(first_block),
+      vector_bytes_(store_cfg.vector_bytes),
+      block_bytes_(store_cfg.block_bytes),
+      vectors_per_block_(store_cfg.vectors_per_block()),
+      cache_(layout_.num_vectors(),
+             std::max<std::uint64_t>(1, policy.cache_vectors),
+             insertion_points_for(policy)),
+      slot_of_(layout_.num_vectors(), 0),
+      prefetched_(layout_.num_vectors(), 0),
+      block_buf_(block_bytes_) {
+  if (store_cfg.block_bytes % store_cfg.vector_bytes != 0) {
+    throw std::invalid_argument("vector_bytes must divide block_bytes");
+  }
+  if (layout_.vectors_per_block() != vectors_per_block_) {
+    throw std::invalid_argument("layout block size mismatch");
+  }
+  if (policy_.policy == PrefetchPolicy::kThreshold &&
+      access_counts_.size() != layout_.num_vectors()) {
+    throw std::invalid_argument("kThreshold requires per-vector access counts");
+  }
+  low_point_ = cache_.num_insertion_points() - 1;
+  const std::uint64_t cap = cache_.capacity();
+  slab_.resize(cap * vector_bytes_);
+  free_slots_.reserve(cap);
+  for (std::uint64_t s = cap; s > 0; --s) {
+    free_slots_.push_back(static_cast<std::uint32_t>(s - 1));
+  }
+  if (policy_.policy == PrefetchPolicy::kShadow ||
+      policy_.policy == PrefetchPolicy::kShadowPosition) {
+    const auto shadow_cap = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(static_cast<double>(cap) *
+                                      policy_.shadow_multiplier));
+    shadow_ = std::make_unique<InsertionLru>(layout_.num_vectors(), shadow_cap);
+  }
+}
+
+std::span<std::byte> BandanaTable::slot_bytes(std::uint32_t slot) {
+  return {slab_.data() + std::size_t{slot} * vector_bytes_, vector_bytes_};
+}
+
+void BandanaTable::publish(const EmbeddingTable& values,
+                           BlockStorage& storage) {
+  if (values.num_vectors() != layout_.num_vectors() ||
+      values.vector_bytes() != vector_bytes_) {
+    throw std::invalid_argument("publish: shape mismatch with layout");
+  }
+  std::vector<std::byte> block(block_bytes_);
+  for (BlockId b = 0; b < layout_.num_blocks(); ++b) {
+    std::memset(block.data(), 0, block.size());
+    const auto members = layout_.block_members(b);
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      const auto src = values.vector_bytes_view(members[i]);
+      std::memcpy(block.data() + i * vector_bytes_, src.data(), vector_bytes_);
+    }
+    storage.write_block(first_block_ + b, block);
+  }
+}
+
+void BandanaTable::republish(const EmbeddingTable& values,
+                             BlockStorage& storage) {
+  publish(values, storage);
+  // Cached bytes are stale: drop everything (the ids and the learned layout
+  // stay valid — that is SHP's advantage over K-means, §4.2.2).
+  for (VectorId v = 0; v < layout_.num_vectors(); ++v) {
+    if (cache_.contains(v)) {
+      cache_.erase(v);
+      free_slots_.push_back(slot_of_[v]);
+      prefetched_[v] = 0;
+    }
+  }
+  metrics_.republish_writes += layout_.num_vectors();
+}
+
+void BandanaTable::cache_vector(VectorId v, std::span<const std::byte> bytes,
+                                std::size_t point, bool is_prefetch) {
+  const VectorId evicted = cache_.insert(v, point);
+  std::uint32_t slot;
+  if (evicted != kInvalidVector) {
+    slot = slot_of_[evicted];
+  } else {
+    assert(!free_slots_.empty());
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  }
+  slot_of_[v] = slot;
+  std::memcpy(slot_bytes(slot).data(), bytes.data(), vector_bytes_);
+  prefetched_[v] = is_prefetch ? 1 : 0;
+  if (is_prefetch) ++metrics_.prefetch_inserted;
+}
+
+void BandanaTable::admit_prefetches(BlockId local_block,
+                                    std::span<const std::byte> block) {
+  const auto members = layout_.block_members(local_block);
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    const VectorId u = members[i];
+    if (cache_.contains(u)) continue;
+    const std::span<const std::byte> bytes{block.data() + i * vector_bytes_,
+                                           vector_bytes_};
+    switch (policy_.policy) {
+      case PrefetchPolicy::kNone:
+        return;
+      case PrefetchPolicy::kAll:
+        cache_vector(u, bytes, 0, /*is_prefetch=*/true);
+        break;
+      case PrefetchPolicy::kPosition:
+        cache_vector(u, bytes, low_point_, true);
+        break;
+      case PrefetchPolicy::kShadow:
+        if (shadow_->contains(u)) cache_vector(u, bytes, 0, true);
+        break;
+      case PrefetchPolicy::kShadowPosition:
+        cache_vector(u, bytes, shadow_->contains(u) ? 0 : low_point_, true);
+        break;
+      case PrefetchPolicy::kThreshold:
+        if (access_counts_[u] > policy_.access_threshold) {
+          cache_vector(u, bytes, 0, true);
+        }
+        break;
+    }
+  }
+}
+
+BandanaTable::LookupOutcome BandanaTable::lookup(
+    VectorId v, BlockStorage& storage, std::span<std::byte> out,
+    std::vector<std::uint32_t>* block_epoch, std::uint32_t epoch) {
+  assert(v < layout_.num_vectors());
+  assert(out.size() >= vector_bytes_);
+  LookupOutcome outcome;
+  ++metrics_.lookups;
+  metrics_.app_bytes_served += vector_bytes_;
+
+  if (shadow_) {
+    if (!shadow_->access(v)) shadow_->insert(v);
+  }
+
+  if (cache_.access(v)) {
+    ++metrics_.hits;
+    outcome.hit = true;
+    if (prefetched_[v]) {
+      ++metrics_.prefetch_hits;
+      prefetched_[v] = 0;
+    }
+    std::memcpy(out.data(), slot_bytes(slot_of_[v]).data(), vector_bytes_);
+    return outcome;
+  }
+
+  // Miss: fetch the block (dedup within a batched query via block_epoch).
+  const BlockId local_b = layout_.block_of(v);
+  metrics_.miss_bytes += vector_bytes_;
+  const bool already_read =
+      block_epoch != nullptr && (*block_epoch)[local_b] == epoch;
+  storage.read_block(first_block_ + local_b, block_buf_);
+  if (!already_read) {
+    if (block_epoch != nullptr) (*block_epoch)[local_b] = epoch;
+    ++metrics_.nvm_block_reads;
+    metrics_.nvm_bytes_read += block_bytes_;
+    outcome.nvm_read = true;
+    outcome.block_read = first_block_ + local_b;
+  }
+
+  const std::uint32_t pos_in_block =
+      layout_.position_of(v) % vectors_per_block_;
+  std::memcpy(out.data(),
+              block_buf_.data() + std::size_t{pos_in_block} * vector_bytes_,
+              vector_bytes_);
+  cache_vector(v, {block_buf_.data() + std::size_t{pos_in_block} * vector_bytes_,
+                   vector_bytes_},
+               0, /*is_prefetch=*/false);
+  if (!already_read && policy_.policy != PrefetchPolicy::kNone) {
+    admit_prefetches(local_b, block_buf_);
+  }
+  return outcome;
+}
+
+}  // namespace bandana

@@ -1,0 +1,84 @@
+// One embedding table inside a Bandana store: NVM-resident blocks plus a
+// DRAM vector cache with prefetch admission.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "cache/lru_cache.h"
+#include "core/config.h"
+#include "core/metrics.h"
+#include "nvm/block_storage.h"
+#include "partition/layout.h"
+#include "trace/embedding_table.h"
+
+namespace bandana {
+
+/// Internal to Store. Owns the cache state of one table; block data lives in
+/// the store-wide BlockStorage starting at `first_block`.
+class BandanaTable {
+ public:
+  BandanaTable(const StoreConfig& store_cfg, TablePolicy policy,
+               BlockLayout layout, std::vector<std::uint32_t> access_counts,
+               BlockId first_block);
+
+  /// Write all vectors of `values` into NVM blocks per the layout.
+  void publish(const EmbeddingTable& values, BlockStorage& storage);
+
+  /// Re-publish updated values (retraining, §2.2): rewrites every block and
+  /// keeps the cache contents (ids stay valid; bytes are refreshed lazily by
+  /// invalidating cached entries).
+  void republish(const EmbeddingTable& values, BlockStorage& storage);
+
+  struct LookupOutcome {
+    bool hit = false;
+    BlockId block_read = 0;   ///< Valid when nvm_read is true.
+    bool nvm_read = false;    ///< True if a block read was issued.
+  };
+
+  /// Serve one vector: on miss, reads the block from `storage` (the caller
+  /// accounts device timing), admits prefetches per policy, and caches the
+  /// vector. `same_query_blocks` dedups block reads within a batched query
+  /// (pass nullptr to disable batching).
+  LookupOutcome lookup(VectorId v, BlockStorage& storage,
+                       std::span<std::byte> out,
+                       std::vector<std::uint32_t>* block_epoch,
+                       std::uint32_t epoch);
+
+  std::uint32_t num_vectors() const { return layout_.num_vectors(); }
+  std::uint32_t num_blocks() const { return layout_.num_blocks(); }
+  BlockId first_block() const { return first_block_; }
+  const BlockLayout& layout() const { return layout_; }
+  const TablePolicy& policy() const { return policy_; }
+  const TableMetrics& metrics() const { return metrics_; }
+  std::size_t vector_bytes() const { return vector_bytes_; }
+
+ private:
+  std::span<std::byte> slot_bytes(std::uint32_t slot);
+  void cache_vector(VectorId v, std::span<const std::byte> bytes,
+                    std::size_t point, bool is_prefetch);
+  void admit_prefetches(BlockId local_block, std::span<const std::byte> block);
+
+  TablePolicy policy_;
+  BlockLayout layout_;
+  std::vector<std::uint32_t> access_counts_;
+  BlockId first_block_;
+  std::size_t vector_bytes_;
+  std::size_t block_bytes_;
+  std::uint32_t vectors_per_block_;
+
+  InsertionLru cache_;
+  std::size_t low_point_ = 0;  ///< Insertion point index for cold prefetches.
+  std::unique_ptr<InsertionLru> shadow_;
+  std::vector<std::uint32_t> slot_of_;  ///< vector -> DRAM slot
+  std::vector<std::byte> slab_;         ///< cache_vectors * vector_bytes
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<std::uint8_t> prefetched_;
+  std::vector<std::byte> block_buf_;    ///< scratch for block reads
+
+  TableMetrics metrics_;
+};
+
+}  // namespace bandana

@@ -1,0 +1,61 @@
+#include "core/trainer.h"
+
+#include <cassert>
+
+#include "cache/dram_allocator.h"
+
+namespace bandana {
+
+StorePlan Trainer::train(std::span<const Trace> train_traces,
+                         std::span<const std::uint32_t> table_sizes,
+                         ThreadPool* pool) const {
+  assert(train_traces.size() == table_sizes.size());
+  const std::size_t n = train_traces.size();
+
+  // 1. SHP per table.
+  std::vector<ShpResult> shp(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ShpConfig sc = cfg_.shp;
+    sc.seed = splitmix64(cfg_.shp.seed + i);
+    shp[i] = run_shp(train_traces[i], table_sizes[i], sc, pool);
+  }
+
+  // 2. Hit-rate curves from sampled stack distances.
+  std::vector<HitRateCurve> curves;
+  curves.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    curves.push_back(approximate_hit_rate_curve(
+        train_traces[i], table_sizes[i], cfg_.hrc_sampling_rate));
+  }
+
+  // 3. DRAM split.
+  const DramAllocation alloc =
+      cfg_.use_dram_allocator
+          ? allocate_dram(curves, cfg_.total_cache_vectors, cfg_.alloc_chunk)
+          : allocate_uniform(curves, cfg_.total_cache_vectors);
+
+  // 4. Threshold tuning per table at its allocated capacity.
+  StorePlan plan;
+  plan.tables.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    BlockLayout layout = BlockLayout::from_order(
+        shp[i].order, store_cfg_.vectors_per_block());
+    // A table squeezed to zero DRAM still gets a minimal cache so the
+    // store can operate; the allocator said it will not benefit anyway.
+    const std::uint64_t capacity =
+        std::max<std::uint64_t>(alloc.per_table[i], 1024);
+    const ThresholdChoice choice =
+        tune_threshold(train_traces[i], layout, shp[i].access_counts, capacity,
+                       cfg_.tuner);
+    TablePolicy policy;
+    policy.cache_vectors = capacity;
+    policy.policy = PrefetchPolicy::kThreshold;
+    policy.access_threshold = choice.threshold;
+    plan.tables.push_back(TablePlan{std::move(layout),
+                                    std::move(shp[i].access_counts), policy,
+                                    shp[i].final_avg_fanout});
+  }
+  return plan;
+}
+
+}  // namespace bandana

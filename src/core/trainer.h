@@ -1,0 +1,69 @@
+// Offline training pipeline (the paper's full §4 flow):
+//
+//   1. Run SHP on each table's training trace -> block layout + per-vector
+//      access counts.
+//   2. Estimate each table's hit-rate curve with sampled stack distances.
+//   3. Split the DRAM budget across tables by greedy marginal utility
+//      (§4.3.3, Dynacache-style).
+//   4. Tune each table's prefetch admission threshold with miniature-cache
+//      simulations at its allocated capacity.
+//
+// The output StorePlan is everything Store::add_table needs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cache/mini_cache.h"
+#include "common/thread_pool.h"
+#include "core/config.h"
+#include "partition/shp.h"
+#include "trace/trace.h"
+
+namespace bandana {
+
+struct TrainerConfig {
+  /// Total DRAM budget across all tables, in vectors.
+  std::uint64_t total_cache_vectors = 400'000;
+  /// SHP knobs; vectors_per_block is overridden from the StoreConfig.
+  ShpConfig shp;
+  /// Miniature-cache tuning knobs (sampling rate, candidate thresholds).
+  MiniCacheTunerConfig tuner;
+  /// Sampling rate for hit-rate-curve estimation (step 2).
+  double hrc_sampling_rate = 0.01;
+  /// Allocation granularity for the DRAM split.
+  std::uint64_t alloc_chunk = 1024;
+  /// false = uniform split (ablation).
+  bool use_dram_allocator = true;
+};
+
+struct TablePlan {
+  BlockLayout layout;
+  std::vector<std::uint32_t> access_counts;
+  TablePolicy policy;
+  double shp_train_fanout = 0.0;  ///< SHP's final train-set fanout.
+};
+
+struct StorePlan {
+  std::vector<TablePlan> tables;
+};
+
+class Trainer {
+ public:
+  Trainer(const StoreConfig& store_cfg, TrainerConfig cfg)
+      : store_cfg_(store_cfg), cfg_(std::move(cfg)) {
+    cfg_.shp.vectors_per_block = store_cfg.vectors_per_block();
+  }
+
+  /// `train_traces[i]` and `table_sizes[i]` describe table i.
+  StorePlan train(std::span<const Trace> train_traces,
+                  std::span<const std::uint32_t> table_sizes,
+                  ThreadPool* pool = nullptr) const;
+
+ private:
+  StoreConfig store_cfg_;
+  TrainerConfig cfg_;
+};
+
+}  // namespace bandana

@@ -1,0 +1,80 @@
+#include "nvm/block_storage.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace bandana {
+
+MemoryBlockStorage::MemoryBlockStorage(std::uint64_t num_blocks,
+                                       std::size_t block_bytes)
+    : num_blocks_(num_blocks),
+      block_bytes_(block_bytes),
+      data_(num_blocks * block_bytes) {}
+
+void MemoryBlockStorage::read_block(BlockId b, std::span<std::byte> out) const {
+  assert(b < num_blocks_);
+  assert(out.size() == block_bytes_);
+  std::memcpy(out.data(), data_.data() + static_cast<std::size_t>(b) * block_bytes_,
+              block_bytes_);
+}
+
+void MemoryBlockStorage::write_block(BlockId b,
+                                     std::span<const std::byte> in) {
+  assert(b < num_blocks_);
+  assert(in.size() == block_bytes_);
+  std::memcpy(data_.data() + static_cast<std::size_t>(b) * block_bytes_, in.data(),
+              block_bytes_);
+}
+
+std::span<const std::byte> MemoryBlockStorage::block_view(BlockId b) const {
+  assert(b < num_blocks_);
+  return {data_.data() + static_cast<std::size_t>(b) * block_bytes_, block_bytes_};
+}
+
+FileBlockStorage::FileBlockStorage(const std::string& path,
+                                   std::uint64_t num_blocks,
+                                   std::size_t block_bytes)
+    : num_blocks_(num_blocks), block_bytes_(block_bytes) {
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) throw std::runtime_error("FileBlockStorage: cannot open " + path);
+  if (::ftruncate(fd_, static_cast<off_t>(num_blocks * block_bytes)) != 0) {
+    ::close(fd_);
+    throw std::runtime_error("FileBlockStorage: cannot size " + path);
+  }
+}
+
+FileBlockStorage::~FileBlockStorage() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void FileBlockStorage::read_block(BlockId b, std::span<std::byte> out) const {
+  assert(b < num_blocks_);
+  assert(out.size() == block_bytes_);
+  const auto off = static_cast<off_t>(static_cast<std::uint64_t>(b) * block_bytes_);
+  std::size_t done = 0;
+  while (done < block_bytes_) {
+    const ssize_t r = ::pread(fd_, out.data() + done, block_bytes_ - done,
+                              off + static_cast<off_t>(done));
+    if (r <= 0) throw std::runtime_error("FileBlockStorage: pread failed");
+    done += static_cast<std::size_t>(r);
+  }
+}
+
+void FileBlockStorage::write_block(BlockId b, std::span<const std::byte> in) {
+  assert(b < num_blocks_);
+  assert(in.size() == block_bytes_);
+  const auto off = static_cast<off_t>(static_cast<std::uint64_t>(b) * block_bytes_);
+  std::size_t done = 0;
+  while (done < block_bytes_) {
+    const ssize_t r = ::pwrite(fd_, in.data() + done, block_bytes_ - done,
+                               off + static_cast<off_t>(done));
+    if (r <= 0) throw std::runtime_error("FileBlockStorage: pwrite failed");
+    done += static_cast<std::size_t>(r);
+  }
+}
+
+}  // namespace bandana

@@ -1,0 +1,76 @@
+// Byte storage for NVM blocks.
+//
+// The timing model (nvm_device.h) answers "when does this read complete";
+// BlockStorage answers "what bytes live in block b". bandana::Store composes
+// the two. Two backends:
+//  * MemoryBlockStorage — heap-backed, used by simulations and tests.
+//  * FileBlockStorage  — a real file accessed with pread/pwrite, so the
+//    whole system can run against an actual SSD (the repro substitution for
+//    NVM hardware).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace bandana {
+
+class BlockStorage {
+ public:
+  virtual ~BlockStorage() = default;
+
+  virtual std::size_t block_bytes() const = 0;
+  virtual std::uint64_t num_blocks() const = 0;
+
+  /// Copy block `b` into `out` (out.size() == block_bytes()).
+  virtual void read_block(BlockId b, std::span<std::byte> out) const = 0;
+
+  /// Overwrite block `b` from `in` (in.size() == block_bytes()).
+  virtual void write_block(BlockId b, std::span<const std::byte> in) = 0;
+};
+
+class MemoryBlockStorage final : public BlockStorage {
+ public:
+  MemoryBlockStorage(std::uint64_t num_blocks, std::size_t block_bytes);
+
+  std::size_t block_bytes() const override { return block_bytes_; }
+  std::uint64_t num_blocks() const override { return num_blocks_; }
+  void read_block(BlockId b, std::span<std::byte> out) const override;
+  void write_block(BlockId b, std::span<const std::byte> in) override;
+
+  /// Zero-copy view of a block, for internal fast paths.
+  std::span<const std::byte> block_view(BlockId b) const;
+
+ private:
+  std::uint64_t num_blocks_;
+  std::size_t block_bytes_;
+  std::vector<std::byte> data_;
+};
+
+class FileBlockStorage final : public BlockStorage {
+ public:
+  /// Creates (or truncates) `path` sized num_blocks * block_bytes.
+  FileBlockStorage(const std::string& path, std::uint64_t num_blocks,
+                   std::size_t block_bytes);
+  ~FileBlockStorage() override;
+
+  FileBlockStorage(const FileBlockStorage&) = delete;
+  FileBlockStorage& operator=(const FileBlockStorage&) = delete;
+
+  std::size_t block_bytes() const override { return block_bytes_; }
+  std::uint64_t num_blocks() const override { return num_blocks_; }
+  void read_block(BlockId b, std::span<std::byte> out) const override;
+  void write_block(BlockId b, std::span<const std::byte> in) override;
+
+ private:
+  std::uint64_t num_blocks_;
+  std::size_t block_bytes_;
+  int fd_ = -1;
+};
+
+}  // namespace bandana

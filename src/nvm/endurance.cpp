@@ -1,0 +1,42 @@
+#include "nvm/endurance.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace bandana {
+
+EnduranceTracker::EnduranceTracker(std::uint64_t device_bytes,
+                                   double dwpd_limit, double lifetime_days)
+    : device_bytes_(device_bytes),
+      dwpd_limit_(dwpd_limit),
+      lifetime_days_(lifetime_days) {}
+
+void EnduranceTracker::record_write(std::uint64_t bytes, double day) {
+  if (!any_) {
+    first_day_ = day;
+    any_ = true;
+  }
+  last_day_ = std::max(last_day_, day);
+  total_bytes_ += bytes;
+}
+
+double EnduranceTracker::observed_dwpd() const {
+  if (!any_) return 0.0;
+  const double window = std::max(last_day_ - first_day_, 1.0);
+  return static_cast<double>(total_bytes_) /
+         static_cast<double>(device_bytes_) / window;
+}
+
+bool EnduranceTracker::within_budget() const {
+  return observed_dwpd() <= dwpd_limit_;
+}
+
+double EnduranceTracker::projected_lifetime_years() const {
+  const double dwpd = observed_dwpd();
+  if (dwpd <= 0.0) return std::numeric_limits<double>::infinity();
+  // Rated budget: dwpd_limit_ * lifetime_days_ device-writes in total.
+  const double budget_writes = dwpd_limit_ * lifetime_days_;
+  return budget_writes / dwpd / 365.0;
+}
+
+}  // namespace bandana

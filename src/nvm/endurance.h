@@ -1,0 +1,46 @@
+// NVM endurance accounting.
+//
+// Unlike DRAM, NVM wears out with writes: the paper's devices sustain ~30
+// whole-device rewrites per day (DWPD), and Facebook's embedding tables are
+// retrained and republished 10-20 times a day — safely below the limit
+// (§2.2). EnduranceTracker lets the Store verify that a given republish
+// cadence stays within budget and estimates device lifetime.
+#pragma once
+
+#include <cstdint>
+
+namespace bandana {
+
+class EnduranceTracker {
+ public:
+  /// `device_bytes` — raw capacity; `dwpd_limit` — rated drive writes per
+  /// day; `lifetime_days` — rating period (typically 5 years).
+  EnduranceTracker(std::uint64_t device_bytes, double dwpd_limit,
+                   double lifetime_days = 5.0 * 365.0);
+
+  /// Record `bytes` written at day offset `day` (fractional days allowed).
+  void record_write(std::uint64_t bytes, double day);
+
+  std::uint64_t total_bytes_written() const { return total_bytes_; }
+
+  /// Average device writes per day over the observed window.
+  double observed_dwpd() const;
+
+  /// True if the observed write rate is within the rated DWPD.
+  bool within_budget() const;
+
+  /// Projected years until the rated total-bytes-written budget is
+  /// exhausted at the observed rate; +inf if nothing written yet.
+  double projected_lifetime_years() const;
+
+ private:
+  std::uint64_t device_bytes_;
+  double dwpd_limit_;
+  double lifetime_days_;
+  std::uint64_t total_bytes_ = 0;
+  double first_day_ = 0.0;
+  double last_day_ = 0.0;
+  bool any_ = false;
+};
+
+}  // namespace bandana

@@ -1,0 +1,51 @@
+// Configuration of the simulated NVM block device.
+//
+// The paper (§2.2, Fig. 2) characterizes a 375 GB first-generation Optane
+// block device: ~10 us read latency at queue depth 1, saturating at
+// ~2.3 GB/s with latency rising to the tens of microseconds as the queue
+// deepens, and endurance of ~30 drive-writes-per-day (DWPD). We model the
+// device as `channels` parallel service units with lognormally distributed
+// per-4KB-read service times plus a fixed software/submission overhead.
+// This reproduces the latency/bandwidth trade-off shape of Fig. 2: at low
+// queue depth latency is service-bound and bandwidth scales with queue
+// depth; past `channels` outstanding IOs bandwidth saturates and latency
+// grows with queueing delay.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace bandana {
+
+struct NvmDeviceConfig {
+  /// Transfer unit. NVM block devices only reach full bandwidth at >= 4 KB
+  /// reads (paper §1), which is the entire motivation for Bandana.
+  std::size_t block_bytes = kDefaultBlockBytes;
+
+  /// Internal parallelism: number of independent service units.
+  unsigned channels = 4;
+
+  /// Fixed submission/completion overhead per IO, microseconds.
+  double base_latency_us = 2.8;
+
+  /// Lognormal service time of one 4 KB read on a channel: exp(mu) is the
+  /// median in microseconds, sigma the shape (controls the P99 tail).
+  double service_median_us = 6.4;
+  double service_sigma = 0.32;
+
+  /// Device capacity in blocks (375 GB / 4 KB by default). Only enforced by
+  /// BlockStorage, not by the timing model.
+  std::uint64_t capacity_blocks = 375ULL * 1000 * 1000 * 1000 / 4096;
+
+  /// Endurance: sustainable whole-device rewrites per day (paper: ~30).
+  double endurance_dwpd = 30.0;
+
+  double mean_service_us() const;
+
+  /// Saturated read bandwidth in bytes/second (all channels busy).
+  double peak_bandwidth_bytes_per_s() const;
+};
+
+}  // namespace bandana

@@ -1,0 +1,77 @@
+// Discrete-event timing simulator for an NVM block device.
+//
+// Two drivers, matching the paper's two device experiments:
+//  * run_closed_loop — `queue_depth` logical clients, each re-issuing a read
+//    the moment its previous one completes (Fio with iodepth=q). Regenerates
+//    Fig. 2 (latency & bandwidth vs queue depth).
+//  * run_open_loop — Poisson arrivals at a configured rate. Regenerates
+//    Fig. 5 (latency vs application throughput; the hockey-stick as offered
+//    load approaches device bandwidth).
+//
+// The device itself is `channels` parallel service units fed from one FIFO
+// dispatch queue; per-IO service times are lognormal (nvm_config.h).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "nvm/nvm_config.h"
+
+namespace bandana {
+
+/// Draws per-IO service times. Separated from the device so tests can pin it.
+class NvmLatencyModel {
+ public:
+  explicit NvmLatencyModel(const NvmDeviceConfig& cfg) : cfg_(cfg) {}
+
+  /// One 4 KB read's channel-service time, microseconds.
+  double sample_service_us(Rng& rng) const {
+    return rng.next_lognormal(std::log(cfg_.service_median_us),
+                              cfg_.service_sigma);
+  }
+
+  double base_latency_us() const { return cfg_.base_latency_us; }
+
+ private:
+  NvmDeviceConfig cfg_;
+};
+
+struct DeviceRunResult {
+  LatencyRecorder latency_us;   ///< Per-IO end-to-end latency.
+  std::uint64_t ios = 0;        ///< Completed reads.
+  double elapsed_us = 0.0;      ///< Simulated wall time.
+
+  double bandwidth_bytes_per_s(std::size_t block_bytes) const {
+    if (elapsed_us <= 0.0) return 0.0;
+    return static_cast<double>(ios) * static_cast<double>(block_bytes) /
+           (elapsed_us * 1e-6);
+  }
+  double iops() const {
+    return elapsed_us > 0.0 ? static_cast<double>(ios) / (elapsed_us * 1e-6)
+                            : 0.0;
+  }
+};
+
+/// Fixed number of outstanding IOs; each completion immediately triggers the
+/// next submission from that client.
+DeviceRunResult run_closed_loop(const NvmDeviceConfig& cfg,
+                                unsigned queue_depth, std::uint64_t num_ios,
+                                std::uint64_t seed);
+
+/// Poisson arrivals of block reads at `arrivals_per_s`. If the offered load
+/// exceeds device bandwidth the dispatch queue grows and latency diverges,
+/// exactly the overload behaviour Fig. 5 shows.
+DeviceRunResult run_open_loop(const NvmDeviceConfig& cfg,
+                              double arrivals_per_s, std::uint64_t num_ios,
+                              std::uint64_t seed);
+
+/// Incremental single-IO timing used by bandana::Store: submits one read at
+/// `now_us` given per-channel free times, returns the completion time.
+/// `channel_free_us` must have cfg.channels entries.
+double submit_read(const NvmLatencyModel& model, double now_us,
+                   std::vector<double>& channel_free_us, Rng& rng);
+
+}  // namespace bandana

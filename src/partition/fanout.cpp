@@ -1,0 +1,38 @@
+#include "partition/fanout.h"
+
+#include <vector>
+
+namespace bandana {
+
+FanoutStats compute_fanout(const Trace& trace, const BlockLayout& layout) {
+  FanoutStats stats;
+  stats.queries = trace.num_queries();
+  // Epoch-stamped scratch avoids clearing per query.
+  std::vector<std::uint32_t> block_epoch(layout.num_blocks(), 0);
+  std::vector<std::uint32_t> vec_epoch(layout.num_vectors(), 0);
+  std::uint32_t epoch = 0;
+  std::uint64_t total_unique = 0;
+  for (std::size_t q = 0; q < trace.num_queries(); ++q) {
+    ++epoch;
+    for (VectorId v : trace.query(q)) {
+      if (vec_epoch[v] != epoch) {
+        vec_epoch[v] = epoch;
+        ++total_unique;
+      }
+      const BlockId b = layout.block_of(v);
+      if (block_epoch[b] != epoch) {
+        block_epoch[b] = epoch;
+        ++stats.total_block_touches;
+      }
+    }
+  }
+  if (stats.queries > 0) {
+    stats.avg_fanout = static_cast<double>(stats.total_block_touches) /
+                       static_cast<double>(stats.queries);
+    stats.avg_unique_lookups = static_cast<double>(total_unique) /
+                               static_cast<double>(stats.queries);
+  }
+  return stats;
+}
+
+}  // namespace bandana

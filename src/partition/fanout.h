@@ -1,0 +1,28 @@
+// Query fanout metrics (paper Eq. 3): how many distinct NVM blocks must be
+// read to satisfy each query under a given layout. This is both SHP's
+// objective and the quantity that determines effective bandwidth with an
+// unlimited cache.
+#pragma once
+
+#include <cstdint>
+
+#include "partition/layout.h"
+#include "trace/trace.h"
+
+namespace bandana {
+
+struct FanoutStats {
+  double avg_fanout = 0.0;          ///< Mean distinct blocks per query.
+  double avg_unique_lookups = 0.0;  ///< Mean distinct vectors per query.
+  std::uint64_t total_block_touches = 0;
+  std::size_t queries = 0;
+
+  /// Blocks read per distinct vector; 1/vectors_per_block is optimal.
+  double blocks_per_unique_lookup() const {
+    return avg_unique_lookups > 0.0 ? avg_fanout / avg_unique_lookups : 0.0;
+  }
+};
+
+FanoutStats compute_fanout(const Trace& trace, const BlockLayout& layout);
+
+}  // namespace bandana

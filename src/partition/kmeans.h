@@ -1,0 +1,65 @@
+// K-means clustering of embedding vectors (paper §4.2.1, Figs. 6-8).
+//
+// "Semantic partitioning": vectors close in Euclidean space are assumed to
+// be accessed together, so we cluster with Lloyd's algorithm (k-means++
+// seeding) and lay vectors out cluster-major. Flat K-means is the Fig. 6
+// configuration; the two-stage recursive variant (cluster into a coarse
+// level, then sub-cluster each cluster) is Fig. 7b/8's scalability fix.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "common/types.h"
+#include "trace/embedding_table.h"
+
+namespace bandana {
+
+struct KMeansConfig {
+  std::uint32_t k = 256;
+  std::uint32_t max_iters = 20;
+  std::uint64_t seed = 1;
+  /// Relative inertia improvement below which Lloyd stops early.
+  double tolerance = 1e-4;
+  /// Sample size for k-means++ seeding (full data is unnecessary).
+  std::uint32_t seeding_sample = 16'384;
+};
+
+struct KMeansResult {
+  std::vector<std::uint32_t> assignment;  ///< vector -> cluster
+  std::vector<float> centroids;           ///< k x dim row-major
+  std::uint32_t k = 0;
+  double inertia = 0.0;                   ///< Sum of squared distances.
+  std::uint32_t iters_run = 0;
+};
+
+/// Lloyd's algorithm; `pool` parallelizes the assignment step (nullptr =
+/// sequential). Deterministic given config.seed and pool size.
+KMeansResult kmeans(const EmbeddingTable& table, const KMeansConfig& config,
+                    ThreadPool* pool = nullptr);
+
+struct RecursiveKMeansConfig {
+  std::uint32_t top_clusters = 64;    ///< Paper uses 256 at full scale.
+  std::uint32_t total_leaves = 4096;  ///< Total sub-clusters (Fig. 8 x-axis).
+  std::uint32_t max_iters = 20;
+  std::uint64_t seed = 1;
+};
+
+struct RecursiveKMeansResult {
+  std::vector<VectorId> order;  ///< Leaf-major placement order.
+  std::uint32_t leaves = 0;
+  std::uint32_t iters_top = 0;
+};
+
+/// Two-stage K-means: cluster into top_clusters, then sub-cluster each
+/// proportionally so the leaf count totals ~total_leaves.
+RecursiveKMeansResult recursive_kmeans(const EmbeddingTable& table,
+                                       const RecursiveKMeansConfig& config,
+                                       ThreadPool* pool = nullptr);
+
+/// Cluster-major order: vectors sorted by (cluster, id).
+std::vector<VectorId> cluster_major_order(
+    const std::vector<std::uint32_t>& assignment, std::uint32_t k);
+
+}  // namespace bandana

@@ -1,0 +1,53 @@
+#include "partition/layout.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace bandana {
+
+BlockLayout::BlockLayout(std::vector<VectorId> order, std::uint32_t vpb)
+    : order_(std::move(order)), vectors_per_block_(vpb) {
+  assert(vpb > 0);
+  position_of_.assign(order_.size(), kInvalidVector);
+  for (std::uint32_t i = 0; i < order_.size(); ++i) {
+    const VectorId v = order_[i];
+    if (v >= order_.size() || position_of_[v] != kInvalidVector) {
+      throw std::invalid_argument("BlockLayout: order is not a permutation");
+    }
+    position_of_[v] = i;
+  }
+}
+
+BlockLayout BlockLayout::identity(std::uint32_t num_vectors,
+                                  std::uint32_t vectors_per_block) {
+  std::vector<VectorId> order(num_vectors);
+  for (std::uint32_t i = 0; i < num_vectors; ++i) order[i] = i;
+  return BlockLayout(std::move(order), vectors_per_block);
+}
+
+BlockLayout BlockLayout::random(std::uint32_t num_vectors,
+                                std::uint32_t vectors_per_block,
+                                std::uint64_t seed) {
+  std::vector<VectorId> order(num_vectors);
+  for (std::uint32_t i = 0; i < num_vectors; ++i) order[i] = i;
+  Rng rng(seed);
+  for (std::uint32_t i = num_vectors; i > 1; --i) {
+    std::swap(order[i - 1], order[rng.next_below(i)]);
+  }
+  return BlockLayout(std::move(order), vectors_per_block);
+}
+
+BlockLayout BlockLayout::from_order(std::vector<VectorId> order,
+                                    std::uint32_t vectors_per_block) {
+  return BlockLayout(std::move(order), vectors_per_block);
+}
+
+std::span<const VectorId> BlockLayout::block_members(BlockId b) const {
+  assert(b < num_blocks());
+  const std::size_t begin = static_cast<std::size_t>(b) * vectors_per_block_;
+  const std::size_t end =
+      std::min<std::size_t>(order_.size(), begin + vectors_per_block_);
+  return {order_.data() + begin, end - begin};
+}
+
+}  // namespace bandana

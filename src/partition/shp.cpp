@@ -1,0 +1,270 @@
+#include "partition/shp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace bandana {
+
+namespace {
+
+/// Deduplicated hypergraph in CSR form, both directions.
+struct Hypergraph {
+  std::vector<std::uint64_t> q_offsets;  // query -> verts
+  std::vector<VectorId> q_verts;
+  std::vector<std::uint64_t> v_offsets;  // vert -> queries
+  std::vector<std::uint32_t> v_queries;
+  std::uint32_t num_queries = 0;
+};
+
+Hypergraph build_hypergraph(const Trace& train, std::uint32_t num_vectors,
+                            std::uint32_t max_query_size) {
+  Hypergraph h;
+  h.q_offsets.push_back(0);
+  std::vector<VectorId> scratch;
+  for (std::size_t q = 0; q < train.num_queries(); ++q) {
+    auto ids = train.query(q);
+    scratch.assign(ids.begin(), ids.end());
+    std::sort(scratch.begin(), scratch.end());
+    scratch.erase(std::unique(scratch.begin(), scratch.end()), scratch.end());
+    if (scratch.size() < 2) continue;  // singleton edges carry no signal
+    if (max_query_size != 0 && scratch.size() > max_query_size) continue;
+    h.q_verts.insert(h.q_verts.end(), scratch.begin(), scratch.end());
+    h.q_offsets.push_back(h.q_verts.size());
+  }
+  h.num_queries = static_cast<std::uint32_t>(h.q_offsets.size() - 1);
+
+  // Invert to vertex -> queries.
+  h.v_offsets.assign(num_vectors + 1, 0);
+  for (VectorId v : h.q_verts) ++h.v_offsets[v + 1];
+  std::partial_sum(h.v_offsets.begin(), h.v_offsets.end(), h.v_offsets.begin());
+  h.v_queries.resize(h.q_verts.size());
+  std::vector<std::uint64_t> cursor(h.v_offsets.begin(), h.v_offsets.end() - 1);
+  for (std::uint32_t q = 0; q < h.num_queries; ++q) {
+    for (std::uint64_t i = h.q_offsets[q]; i < h.q_offsets[q + 1]; ++i) {
+      h.v_queries[cursor[h.q_verts[i]]++] = q;
+    }
+  }
+  return h;
+}
+
+/// Average fanout of the training hypergraph under a vector -> block map.
+double hypergraph_fanout(const Hypergraph& h,
+                         const std::vector<std::uint32_t>& block_of,
+                         std::uint32_t num_blocks) {
+  if (h.num_queries == 0) return 0.0;
+  std::vector<std::uint32_t> epoch(num_blocks, 0);
+  std::uint32_t e = 0;
+  std::uint64_t touches = 0;
+  for (std::uint32_t q = 0; q < h.num_queries; ++q) {
+    ++e;
+    for (std::uint64_t i = h.q_offsets[q]; i < h.q_offsets[q + 1]; ++i) {
+      const std::uint32_t b = block_of[h.q_verts[i]];
+      if (epoch[b] != e) {
+        epoch[b] = e;
+        ++touches;
+      }
+    }
+  }
+  return static_cast<double>(touches) / static_cast<double>(h.num_queries);
+}
+
+/// Per-bucket-pair scratch, reused across iterations within one range.
+struct Scratch {
+  explicit Scratch(std::uint32_t num_queries)
+      : cnt_a(num_queries, 0), cnt_b(num_queries, 0), q_epoch(num_queries, 0) {}
+  std::vector<std::uint32_t> cnt_a;
+  std::vector<std::uint32_t> cnt_b;
+  std::vector<std::uint32_t> q_epoch;
+  std::uint32_t epoch = 0;
+  std::vector<std::pair<std::int32_t, VectorId>> cand_a;
+  std::vector<std::pair<std::int32_t, VectorId>> cand_b;
+};
+
+struct RangeResult {
+  std::uint64_t swaps = 0;
+};
+
+/// Refine one bucket (verts[begin, end)) into two halves of sizes
+/// (half, n - half). `half` is block-aligned by the caller so that final
+/// buckets coincide with physical blocks.
+RangeResult process_range(std::span<VectorId> verts, std::size_t half,
+                          const Hypergraph& h, std::vector<std::uint8_t>& side,
+                          Scratch& scratch, std::uint32_t iters,
+                          double max_swap_fraction, std::uint64_t seed) {
+  RangeResult result;
+  const std::size_t n = verts.size();
+  // Deterministic shuffle, then first `half` -> side 0, rest -> side 1.
+  Rng rng(seed);
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(verts[i - 1], verts[rng.next_below(i)]);
+  }
+  for (std::size_t i = 0; i < n; ++i) side[verts[i]] = i >= half;
+
+  for (std::uint32_t iter = 0; iter < iters; ++iter) {
+    // Bucket-local per-query side counts.
+    ++scratch.epoch;
+    for (VectorId v : verts) {
+      const std::uint8_t s = side[v];
+      for (std::uint64_t i = h.v_offsets[v]; i < h.v_offsets[v + 1]; ++i) {
+        const std::uint32_t q = h.v_queries[i];
+        if (scratch.q_epoch[q] != scratch.epoch) {
+          scratch.q_epoch[q] = scratch.epoch;
+          scratch.cnt_a[q] = 0;
+          scratch.cnt_b[q] = 0;
+        }
+        if (s == 0) {
+          ++scratch.cnt_a[q];
+        } else {
+          ++scratch.cnt_b[q];
+        }
+      }
+    }
+    // Move gains.
+    scratch.cand_a.clear();
+    scratch.cand_b.clear();
+    for (VectorId v : verts) {
+      std::int32_t gain = 0;
+      const std::uint8_t s = side[v];
+      for (std::uint64_t i = h.v_offsets[v]; i < h.v_offsets[v + 1]; ++i) {
+        const std::uint32_t q = h.v_queries[i];
+        if (scratch.q_epoch[q] != scratch.epoch) continue;  // unreachable
+        const std::uint32_t here = s == 0 ? scratch.cnt_a[q] : scratch.cnt_b[q];
+        const std::uint32_t there = s == 0 ? scratch.cnt_b[q] : scratch.cnt_a[q];
+        if (here == 1) ++gain;   // this side stops touching q
+        if (there == 0) --gain;  // other side starts touching q
+      }
+      (s == 0 ? scratch.cand_a : scratch.cand_b).emplace_back(gain, v);
+    }
+    // Pairwise swap of the highest-gain vertices from each side.
+    auto desc = [](const auto& x, const auto& y) { return x > y; };
+    std::sort(scratch.cand_a.begin(), scratch.cand_a.end(), desc);
+    std::sort(scratch.cand_b.begin(), scratch.cand_b.end(), desc);
+    const std::size_t cap = std::max<std::size_t>(
+        1, static_cast<std::size_t>(max_swap_fraction *
+                                    static_cast<double>(verts.size() / 2)));
+    const std::size_t pairs =
+        std::min({scratch.cand_a.size(), scratch.cand_b.size(), cap});
+    std::uint64_t swapped = 0;
+    for (std::size_t i = 0; i < pairs; ++i) {
+      if (scratch.cand_a[i].first + scratch.cand_b[i].first <= 0) break;
+      side[scratch.cand_a[i].second] = 1;
+      side[scratch.cand_b[i].second] = 0;
+      ++swapped;
+    }
+    result.swaps += swapped;
+    if (swapped == 0) break;
+  }
+
+  // Physically partition the range by side (stable for determinism).
+  std::stable_partition(verts.begin(), verts.end(),
+                        [&](VectorId v) { return side[v] == 0; });
+  return result;
+}
+
+}  // namespace
+
+ShpResult run_shp(const Trace& train, std::uint32_t num_vectors,
+                  const ShpConfig& config, ThreadPool* pool) {
+  assert(config.vectors_per_block > 0);
+  const Hypergraph h =
+      build_hypergraph(train, num_vectors, config.max_query_size);
+
+  ShpResult result;
+  result.access_counts.resize(num_vectors);
+  for (VectorId v = 0; v < num_vectors; ++v) {
+    result.access_counts[v] =
+        static_cast<std::uint32_t>(h.v_offsets[v + 1] - h.v_offsets[v]);
+  }
+
+  // Vertex order array; ranges are [begin, end) slices of it.
+  result.order.resize(num_vectors);
+  std::iota(result.order.begin(), result.order.end(), 0);
+
+  auto block_of_order = [&](std::uint32_t vpb) {
+    std::vector<std::uint32_t> block_of(num_vectors);
+    for (std::uint32_t i = 0; i < num_vectors; ++i) {
+      block_of[result.order[i]] = i / vpb;
+    }
+    return block_of;
+  };
+  {
+    // Initial fanout: seeded random order (what "no partitioning" gives).
+    Rng rng(config.seed ^ 0xF00DULL);
+    std::vector<VectorId> shuffled = result.order;
+    for (std::uint32_t i = num_vectors; i > 1; --i) {
+      std::swap(shuffled[i - 1], shuffled[rng.next_below(i)]);
+    }
+    std::vector<std::uint32_t> block_of(num_vectors);
+    for (std::uint32_t i = 0; i < num_vectors; ++i) {
+      block_of[shuffled[i]] = i / config.vectors_per_block;
+    }
+    result.initial_avg_fanout = hypergraph_fanout(
+        h, block_of,
+        (num_vectors + config.vectors_per_block - 1) / config.vectors_per_block);
+  }
+
+  std::vector<std::uint8_t> side(num_vectors, 0);
+  struct Range {
+    std::uint32_t begin, end;
+  };
+  const std::uint32_t vpb = config.vectors_per_block;
+  // Split so the left child always holds a whole number of blocks: final
+  // buckets then coincide exactly with physical block boundaries.
+  auto aligned_half = [vpb](std::uint32_t n) -> std::uint32_t {
+    const std::uint32_t blocks = (n + vpb - 1) / vpb;
+    return std::min(n, ((blocks + 1) / 2) * vpb);
+  };
+  std::vector<Range> active{{0, num_vectors}};
+  std::vector<std::uint64_t> swap_counts;
+
+  while (!active.empty()) {
+    ++result.levels;
+    swap_counts.assign(active.size(), 0);
+    auto process_chunk = [&](std::size_t rb, std::size_t re) {
+      Scratch scratch(h.num_queries);
+      for (std::size_t r = rb; r < re; ++r) {
+        const Range range = active[r];
+        std::span<VectorId> verts(result.order.data() + range.begin,
+                                  range.end - range.begin);
+        const std::uint64_t seed =
+            splitmix64(config.seed ^ (std::uint64_t{result.levels} << 32) ^
+                       range.begin);
+        swap_counts[r] = process_range(verts, aligned_half(range.end - range.begin),
+                                       h, side, scratch,
+                                       config.iters_per_level,
+                                       config.max_swap_fraction, seed)
+                             .swaps;
+      }
+    };
+    if (pool && active.size() > 1) {
+      pool->parallel_for(active.size(), process_chunk);
+    } else {
+      process_chunk(0, active.size());
+    }
+    for (std::uint64_t s : swap_counts) result.total_swaps += s;
+
+    // Split ranges; keep those still larger than a block.
+    std::vector<Range> next;
+    next.reserve(active.size() * 2);
+    for (const Range& range : active) {
+      const std::uint32_t n = range.end - range.begin;
+      const std::uint32_t half = aligned_half(n);
+      const Range child_a{range.begin, range.begin + half};
+      const Range child_b{range.begin + half, range.end};
+      for (const Range& c : {child_a, child_b}) {
+        if (c.end - c.begin > config.vectors_per_block) next.push_back(c);
+      }
+    }
+    active = std::move(next);
+  }
+
+  result.final_avg_fanout = hypergraph_fanout(
+      h, block_of_order(config.vectors_per_block),
+      (num_vectors + config.vectors_per_block - 1) / config.vectors_per_block);
+  return result;
+}
+
+}  // namespace bandana

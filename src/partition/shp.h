@@ -1,0 +1,62 @@
+// Social Hash Partitioner (paper §4.2.2; Kabiljo et al., VLDB 2017).
+//
+// Supervised placement: a training trace is a hypergraph whose vertices are
+// embedding vectors and whose hyperedges are queries. SHP finds a balanced
+// partition of vectors into 4 KB blocks minimizing average query *fanout*
+// (Eq. 3: the number of distinct blocks a query touches), by recursive
+// bisection with swap-based local refinement:
+//
+//   * Each level splits every bucket into two balanced halves.
+//   * Refinement iterations compute, per vertex, the fanout gain of moving
+//     it to the other half — for query q with n_A(q)/n_B(q) bucket-local
+//     members on each side, moving v from A to B changes fanout by
+//     -[n_A(q)==1] + [n_B(q)==0] — and then swap equal numbers of
+//     highest-gain vertices pairwise while the combined gain is positive,
+//     preserving balance exactly.
+//   * Recursion stops when buckets reach vectors_per_block.
+//
+// Unlike K-means, SHP depends only on vector *identities*, so retraining
+// the embedding values does not invalidate the layout (paper §4.2.2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "common/types.h"
+#include "trace/trace.h"
+
+namespace bandana {
+
+struct ShpConfig {
+  std::uint32_t vectors_per_block = 32;
+  std::uint32_t iters_per_level = 16;  ///< Paper runs 16 refinement passes.
+  /// Fraction of each side swapped per refinement pass. Gains are computed
+  /// once per pass, so swapping every positive pair acts on stale counts
+  /// and thrashes; damping converges to better partitions on sparse
+  /// hypergraphs.
+  double max_swap_fraction = 0.15;
+  std::uint64_t seed = 1;
+  /// Queries with more distinct vectors than this are dropped from the
+  /// hypergraph (degenerate edges add cost but carry little signal). 0 = keep
+  /// all.
+  std::uint32_t max_query_size = 0;
+};
+
+struct ShpResult {
+  /// Placement order: position i holds order[i]; block = i / vectors_per_block.
+  std::vector<VectorId> order;
+  /// Per-vector hyperedge degree: in how many training queries the vector
+  /// appeared (deduplicated per query). This is the statistic the
+  /// frequency-based admission filter of §4.3.2 thresholds on.
+  std::vector<std::uint32_t> access_counts;
+  std::uint32_t levels = 0;
+  std::uint64_t total_swaps = 0;
+  double initial_avg_fanout = 0.0;  ///< Fanout of the random initial order.
+  double final_avg_fanout = 0.0;    ///< Fanout after refinement (train set).
+};
+
+ShpResult run_shp(const Trace& train, std::uint32_t num_vectors,
+                  const ShpConfig& config, ThreadPool* pool = nullptr);
+
+}  // namespace bandana

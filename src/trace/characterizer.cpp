@@ -1,0 +1,44 @@
+#include "trace/characterizer.h"
+
+#include <cassert>
+
+namespace bandana {
+
+TableCharacterization characterize(const Trace& trace,
+                                   std::uint32_t num_vectors) {
+  TableCharacterization c;
+  c.num_vectors = num_vectors;
+  c.num_queries = trace.num_queries();
+  c.total_lookups = trace.total_lookups();
+  std::vector<bool> seen(num_vectors, false);
+  for (VectorId v : trace.all_lookups()) {
+    assert(v < num_vectors);
+    if (!seen[v]) {
+      seen[v] = true;
+      ++c.unique_vectors;
+    }
+  }
+  return c;
+}
+
+std::vector<std::uint32_t> access_counts(const Trace& trace,
+                                         std::uint32_t num_vectors) {
+  std::vector<std::uint32_t> counts(num_vectors, 0);
+  for (VectorId v : trace.all_lookups()) {
+    assert(v < num_vectors);
+    ++counts[v];
+  }
+  return counts;
+}
+
+LinearHistogram access_histogram(const std::vector<std::uint32_t>& counts,
+                                 std::uint64_t max_accesses,
+                                 std::size_t buckets) {
+  LinearHistogram h(max_accesses, buckets);
+  for (std::uint32_t c : counts) {
+    if (c > 0) h.add(c);
+  }
+  return h;
+}
+
+}  // namespace bandana

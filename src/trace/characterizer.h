@@ -1,0 +1,47 @@
+// Workload characterization (paper §3, Table 1 & Fig. 4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/histogram.h"
+#include "trace/trace.h"
+
+namespace bandana {
+
+struct TableCharacterization {
+  std::uint32_t num_vectors = 0;
+  std::uint64_t total_lookups = 0;
+  std::size_t num_queries = 0;
+  std::uint64_t unique_vectors = 0;  ///< Distinct vectors touched.
+
+  double avg_lookups_per_query() const {
+    return num_queries ? static_cast<double>(total_lookups) /
+                             static_cast<double>(num_queries)
+                       : 0.0;
+  }
+  /// Paper's "compulsory misses": fraction of lookups that touch a vector
+  /// never read before in the trace.
+  double compulsory_miss_rate() const {
+    return total_lookups ? static_cast<double>(unique_vectors) /
+                               static_cast<double>(total_lookups)
+                         : 0.0;
+  }
+};
+
+/// Single pass over a trace.
+TableCharacterization characterize(const Trace& trace,
+                                   std::uint32_t num_vectors);
+
+/// Per-vector access counts (input to Fig. 4's histograms and to the
+/// SHP-frequency admission threshold of §4.3.2).
+std::vector<std::uint32_t> access_counts(const Trace& trace,
+                                         std::uint32_t num_vectors);
+
+/// Fig. 4: how many vectors were accessed a given number of times.
+/// Returns a linear histogram over [0, max_accesses) with `buckets` bars.
+LinearHistogram access_histogram(const std::vector<std::uint32_t>& counts,
+                                 std::uint64_t max_accesses,
+                                 std::size_t buckets);
+
+}  // namespace bandana

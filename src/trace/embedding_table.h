@@ -1,0 +1,46 @@
+// Dense embedding-table values (the actual bytes Bandana stores on NVM).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace bandana {
+
+/// num_vectors x dim row-major float matrix. The paper uses 64 x fp16
+/// (128 B); we use float32 with dim chosen to match the byte footprint.
+class EmbeddingTable {
+ public:
+  EmbeddingTable(std::uint32_t num_vectors, std::uint16_t dim)
+      : num_vectors_(num_vectors),
+        dim_(dim),
+        data_(static_cast<std::size_t>(num_vectors) * dim) {}
+
+  std::uint32_t num_vectors() const { return num_vectors_; }
+  std::uint16_t dim() const { return dim_; }
+  std::size_t vector_bytes() const { return std::size_t{dim_} * sizeof(float); }
+
+  std::span<float> vector(VectorId v) {
+    return {data_.data() + static_cast<std::size_t>(v) * dim_, dim_};
+  }
+  std::span<const float> vector(VectorId v) const {
+    return {data_.data() + static_cast<std::size_t>(v) * dim_, dim_};
+  }
+
+  std::span<const std::byte> vector_bytes_view(VectorId v) const {
+    return {reinterpret_cast<const std::byte*>(data_.data() +
+                                               static_cast<std::size_t>(v) * dim_),
+            vector_bytes()};
+  }
+
+  const std::vector<float>& raw() const { return data_; }
+
+ private:
+  std::uint32_t num_vectors_;
+  std::uint16_t dim_;
+  std::vector<float> data_;
+};
+
+}  // namespace bandana

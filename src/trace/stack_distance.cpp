@@ -1,0 +1,128 @@
+#include "trace/stack_distance.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace bandana {
+
+HitRateCurve::HitRateCurve(std::vector<std::uint64_t> hits_by_distance,
+                           std::uint64_t total_accesses,
+                           std::uint64_t compulsory)
+    : cumulative_(std::move(hits_by_distance)),
+      total_(total_accesses),
+      compulsory_(compulsory) {
+  // Trim trailing zeros, then prefix-sum in place.
+  while (!cumulative_.empty() && cumulative_.back() == 0) cumulative_.pop_back();
+  std::partial_sum(cumulative_.begin(), cumulative_.end(), cumulative_.begin());
+}
+
+std::uint64_t HitRateCurve::hits(std::uint64_t cache_vectors) const {
+  // A curve sampled at rate r lives in mini-cache coordinates: a full cache
+  // of C vectors corresponds to mini capacity C * r.
+  const auto scaled_cap = static_cast<std::uint64_t>(
+      static_cast<double>(cache_vectors) * capacity_scale_);
+  if (scaled_cap == 0 || cumulative_.empty()) return 0;
+  const std::uint64_t idx = std::min<std::uint64_t>(scaled_cap, cumulative_.size());
+  return static_cast<std::uint64_t>(
+      static_cast<double>(cumulative_[idx - 1]) * count_scale_);
+}
+
+double HitRateCurve::hit_rate(std::uint64_t cache_vectors) const {
+  const double scaled_total = static_cast<double>(total_) * count_scale_;
+  if (scaled_total <= 0.0) return 0.0;
+  return static_cast<double>(hits(cache_vectors)) / scaled_total;
+}
+
+std::uint64_t HitRateCurve::marginal_hits(std::uint64_t c,
+                                          std::uint64_t delta) const {
+  return hits(c + delta) - hits(c);
+}
+
+HitRateCurve HitRateCurve::scaled(double rate) const {
+  assert(rate > 0.0 && rate <= 1.0);
+  HitRateCurve out = *this;
+  out.capacity_scale_ = capacity_scale_ * rate;
+  out.count_scale_ = count_scale_ / rate;
+  return out;
+}
+
+StackDistanceAnalyzer::StackDistanceAnalyzer(std::uint32_t num_vectors,
+                                             std::uint64_t expected_accesses)
+    : num_vectors_(num_vectors),
+      last_pos_(num_vectors, 0),
+      hist_(num_vectors, 0) {
+  std::uint64_t cap = 2 * std::uint64_t{num_vectors} + 1024;
+  cap = std::max(cap, expected_accesses / 8 + 1024);
+  tree_.assign(cap + 1, 0);
+}
+
+namespace {
+inline void fenwick_add(std::vector<std::int64_t>& tree, std::uint64_t i,
+                        std::int64_t delta) {
+  for (std::uint64_t j = i + 1; j < tree.size(); j += j & (~j + 1)) {
+    tree[j] += delta;
+  }
+}
+inline std::int64_t fenwick_prefix(const std::vector<std::int64_t>& tree,
+                                   std::uint64_t i) {
+  std::int64_t s = 0;
+  for (std::uint64_t j = i; j > 0; j -= j & (~j + 1)) s += tree[j];
+  return s;
+}
+}  // namespace
+
+void StackDistanceAnalyzer::grow_time() {
+  // Compact timestamps: only each vector's most recent access matters.
+  // Collect live (vector, last_pos), re-number along the same order.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> live;
+  live.reserve(num_vectors_);
+  for (std::uint32_t v = 0; v < num_vectors_; ++v) {
+    if (last_pos_[v] > 0) live.emplace_back(last_pos_[v], v);
+  }
+  std::sort(live.begin(), live.end());
+  std::fill(tree_.begin(), tree_.end(), 0);
+  std::uint64_t t = 0;
+  for (auto& [pos, v] : live) {
+    fenwick_add(tree_, t, 1);
+    last_pos_[v] = t + 1;
+    ++t;
+  }
+  now_ = t;
+}
+
+std::uint64_t StackDistanceAnalyzer::access(VectorId v) {
+  assert(v < num_vectors_);
+  if (now_ + 1 >= tree_.size()) grow_time();
+  std::uint64_t sd = 0;
+  ++total_;
+  if (last_pos_[v] > 0) {
+    const std::uint64_t p = last_pos_[v] - 1;
+    const std::int64_t distinct_between =
+        fenwick_prefix(tree_, now_) - fenwick_prefix(tree_, p + 1);
+    sd = static_cast<std::uint64_t>(distinct_between) + 1;
+    assert(sd <= num_vectors_);
+    ++hist_[sd - 1];
+    fenwick_add(tree_, p, -1);
+  } else {
+    ++compulsory_;
+  }
+  fenwick_add(tree_, now_, 1);
+  last_pos_[v] = now_ + 1;
+  ++now_;
+  return sd;
+}
+
+HitRateCurve StackDistanceAnalyzer::curve() const {
+  return HitRateCurve(hist_, total_, compulsory_);
+}
+
+HitRateCurve compute_hit_rate_curve(const Trace& trace,
+                                    std::uint32_t num_vectors) {
+  StackDistanceAnalyzer a(num_vectors, trace.total_lookups());
+  a.access_all(trace.all_lookups());
+  return a.curve();
+}
+
+}  // namespace bandana

@@ -1,0 +1,90 @@
+// Exact Mattson stack-distance analysis and LRU hit-rate curves (Fig. 3).
+//
+// The stack distance of an access is the vector's rank in an infinite LRU
+// stack at access time (1 = top). An LRU cache of capacity C hits exactly
+// the accesses with stack distance <= C, so one pass yields the full
+// hit-rate curve. Computed exactly with a Fenwick tree over access
+// timestamps, O(M log M) for M lookups.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "trace/trace.h"
+
+namespace bandana {
+
+/// hit_rate(c) for every LRU capacity c, plus compulsory-miss accounting.
+class HitRateCurve {
+ public:
+  HitRateCurve() = default;
+  /// `hits_by_distance[d]` = number of accesses with stack distance d+1.
+  HitRateCurve(std::vector<std::uint64_t> hits_by_distance,
+               std::uint64_t total_accesses, std::uint64_t compulsory);
+
+  /// Fraction of accesses that hit in an LRU cache of `cache_vectors`.
+  double hit_rate(std::uint64_t cache_vectors) const;
+
+  /// Absolute number of hits at the given capacity.
+  std::uint64_t hits(std::uint64_t cache_vectors) const;
+
+  /// Additional hits from growing the cache from c to c+delta.
+  std::uint64_t marginal_hits(std::uint64_t c, std::uint64_t delta) const;
+
+  std::uint64_t total_accesses() const { return total_; }
+  std::uint64_t compulsory_misses() const { return compulsory_; }
+  /// Number of distinct vectors seen (largest useful cache size).
+  std::uint64_t max_useful_size() const { return cumulative_.size(); }
+
+  /// Down-scale a sampled curve back to full-cache coordinates: capacities
+  /// multiply by 1/rate and counts by 1/rate (SHARDS-style rescaling).
+  HitRateCurve scaled(double rate) const;
+
+ private:
+  std::vector<std::uint64_t> cumulative_;  // cumulative_[c-1] = hits(c)
+  std::uint64_t total_ = 0;
+  std::uint64_t compulsory_ = 0;
+  /// For sampled curves: full capacity C maps to index C * capacity_scale_
+  /// and sampled counts scale by count_scale_ (= 1/rate).
+  double capacity_scale_ = 1.0;
+  double count_scale_ = 1.0;
+};
+
+/// Streaming exact stack-distance computation over per-vector accesses.
+class StackDistanceAnalyzer {
+ public:
+  explicit StackDistanceAnalyzer(std::uint32_t num_vectors,
+                                 std::uint64_t expected_accesses = 0);
+
+  /// Feed one access; returns its stack distance (1-based) or 0 for a
+  /// compulsory miss (first touch).
+  std::uint64_t access(VectorId v);
+
+  void access_all(std::span<const VectorId> ids) {
+    for (VectorId v : ids) access(v);
+  }
+
+  HitRateCurve curve() const;
+
+  std::uint64_t total_accesses() const { return total_; }
+  std::uint64_t compulsory_misses() const { return compulsory_; }
+
+ private:
+  void grow_time();
+
+  std::uint32_t num_vectors_;
+  std::vector<std::int64_t> tree_;        // Fenwick over timestamps
+  std::vector<std::uint64_t> last_pos_;   // per vector: last timestamp + 1
+  std::vector<std::uint64_t> hist_;       // hits by stack distance - 1
+  std::uint64_t now_ = 0;
+  std::uint64_t total_ = 0;
+  std::uint64_t compulsory_ = 0;
+};
+
+/// Convenience: full curve of a trace in one call.
+HitRateCurve compute_hit_rate_curve(const Trace& trace,
+                                    std::uint32_t num_vectors);
+
+}  // namespace bandana

@@ -1,0 +1,71 @@
+// Per-table synthetic workload parameters.
+//
+// The paper's production trace is proprietary; this config parameterizes a
+// generator that reproduces the *properties* the paper's results depend on
+// (§3, Table 1):
+//   * per-table lookup volume and mean lookups per query,
+//   * compulsory-miss rate (fraction of lookups touching never-seen
+//     vectors), modeled by an explicit fresh-vector process,
+//   * skewed popularity (Fig. 4's heavy-tailed access histograms),
+//   * query-level co-access structure ("profiles": stable sets of vectors
+//     that recur together across queries — what SHP learns), and
+//   * semantic structure (embedding values clustered by community, with a
+//     configurable correlation between communities and co-access — what
+//     K-means can exploit, strongly for tables like 1 and 2 and weakly for
+//     others, matching Fig. 6 vs Fig. 9).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bandana {
+
+struct TableWorkloadConfig {
+  std::string name = "table";
+
+  /// Number of embedding vectors (columns) in the table.
+  std::uint32_t num_vectors = 100'000;
+
+  /// Embedding dimension in float32 elements (32 -> 128 B vectors, the
+  /// paper's default byte size; 16/64 give the 64 B / 256 B points of
+  /// Fig. 16).
+  std::uint16_t dim = 32;
+
+  /// Mean vector lookups per query (Poisson + 1).
+  double mean_lookups_per_query = 20.0;
+
+  /// Probability that a lookup targets a never-accessed vector (drawn from
+  /// a shuffled fresh stack). Directly controls the compulsory-miss rate.
+  double new_vector_prob = 0.1;
+
+  /// Zipf exponent of the global popularity distribution.
+  double popularity_skew = 0.8;
+
+  /// Co-access structure: queries draw most lookups from one "profile"
+  /// (a persistent set of vectors recurring together — a user's interest
+  /// set). Profiles are close to block-sized and sampled near-uniformly,
+  /// so a profile's first activation pulls in most of its members at once:
+  /// the bursty co-access that makes block packing pay off.
+  std::uint32_t num_profiles = 4000;
+  std::uint32_t profile_size = 32;
+  double profile_skew = 0.8;    ///< Zipf over which profile a query uses.
+  double profile_frac = 0.7;    ///< Fraction of lookups from the profile.
+  double within_profile_skew = 0.2;  ///< Zipf over members inside a profile.
+
+  /// Semantic structure: vectors belong to latent communities of this size;
+  /// embedding values are community centroid + noise.
+  std::uint32_t community_size = 64;
+  /// Probability that a profile member is drawn from the profile's own
+  /// communities (vs anywhere): 1.0 -> co-access aligns perfectly with
+  /// embedding-space clusters (K-means does well), 0.0 -> no alignment.
+  double semantic_strength = 0.6;
+  /// Gaussian noise added around the community centroid.
+  double embedding_noise = 0.15;
+
+  std::size_t vector_bytes() const { return std::size_t{dim} * sizeof(float); }
+  std::uint32_t num_communities() const {
+    return (num_vectors + community_size - 1) / community_size;
+  }
+};
+
+}  // namespace bandana

@@ -1,0 +1,77 @@
+#include "trace/trace.h"
+
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+
+namespace bandana {
+
+namespace {
+constexpr std::uint64_t kMagic = 0x42414E44414E4131ULL;  // "BANDANA1"
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+template <typename T>
+void write_vec(std::FILE* f, const std::vector<T>& v) {
+  const std::uint64_t n = v.size();
+  if (std::fwrite(&n, sizeof(n), 1, f) != 1 ||
+      (n > 0 && std::fwrite(v.data(), sizeof(T), n, f) != n)) {
+    throw std::runtime_error("Trace::save: write failed");
+  }
+}
+
+template <typename T>
+std::vector<T> read_vec(std::FILE* f) {
+  std::uint64_t n = 0;
+  if (std::fread(&n, sizeof(n), 1, f) != 1) {
+    throw std::runtime_error("Trace::load: truncated file");
+  }
+  std::vector<T> v(n);
+  if (n > 0 && std::fread(v.data(), sizeof(T), n, f) != n) {
+    throw std::runtime_error("Trace::load: truncated file");
+  }
+  return v;
+}
+}  // namespace
+
+Trace Trace::head(std::size_t n) const {
+  Trace t;
+  const std::size_t q = std::min(n, num_queries());
+  t.offsets_.assign(offsets_.begin(), offsets_.begin() + q + 1);
+  t.ids_.assign(ids_.begin(), ids_.begin() + offsets_[q]);
+  return t;
+}
+
+void Trace::save(const std::string& path) const {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) throw std::runtime_error("Trace::save: cannot open " + path);
+  if (std::fwrite(&kMagic, sizeof(kMagic), 1, f.get()) != 1) {
+    throw std::runtime_error("Trace::save: write failed");
+  }
+  write_vec(f.get(), offsets_);
+  write_vec(f.get(), ids_);
+}
+
+Trace Trace::load(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) throw std::runtime_error("Trace::load: cannot open " + path);
+  std::uint64_t magic = 0;
+  if (std::fread(&magic, sizeof(magic), 1, f.get()) != 1 || magic != kMagic) {
+    throw std::runtime_error("Trace::load: bad magic in " + path);
+  }
+  Trace t;
+  t.offsets_ = read_vec<std::uint64_t>(f.get());
+  t.ids_ = read_vec<VectorId>(f.get());
+  if (t.offsets_.empty() || t.offsets_.front() != 0 ||
+      t.offsets_.back() != t.ids_.size()) {
+    throw std::runtime_error("Trace::load: inconsistent offsets in " + path);
+  }
+  return t;
+}
+
+}  // namespace bandana

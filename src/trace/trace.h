@@ -1,0 +1,55 @@
+// Access traces: sequences of lookup queries against one embedding table.
+//
+// A query (the paper's "request", one per ranked user) contains many vector
+// lookups against the same table — 17..92 on average depending on the table
+// (Table 1). Stored CSR-style: one flat id array plus per-query offsets.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace bandana {
+
+class Trace {
+ public:
+  Trace() : offsets_{0} {}
+
+  void add_query(std::span<const VectorId> ids) {
+    ids_.insert(ids_.end(), ids.begin(), ids.end());
+    offsets_.push_back(static_cast<std::uint64_t>(ids_.size()));
+  }
+
+  std::size_t num_queries() const { return offsets_.size() - 1; }
+  std::uint64_t total_lookups() const { return ids_.size(); }
+
+  std::span<const VectorId> query(std::size_t q) const {
+    return {ids_.data() + offsets_[q],
+            static_cast<std::size_t>(offsets_[q + 1] - offsets_[q])};
+  }
+
+  std::span<const VectorId> all_lookups() const { return ids_; }
+
+  /// Prefix of the first `n` queries (cheap copy of the id slice).
+  Trace head(std::size_t n) const;
+
+  void reserve(std::size_t queries, std::uint64_t lookups) {
+    offsets_.reserve(queries + 1);
+    ids_.reserve(lookups);
+  }
+
+  /// Binary serialization (magic + offsets + ids).
+  void save(const std::string& path) const;
+  static Trace load(const std::string& path);
+
+  bool operator==(const Trace& other) const = default;
+
+ private:
+  std::vector<std::uint64_t> offsets_;
+  std::vector<VectorId> ids_;
+};
+
+}  // namespace bandana

@@ -1,0 +1,169 @@
+#include "trace/trace_generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace bandana {
+
+std::uint32_t poisson_sample(Rng& rng, double mean) {
+  assert(mean >= 0.0);
+  // Knuth for small means; normal approximation for large ones.
+  if (mean > 64.0) {
+    const double x = mean + std::sqrt(mean) * rng.next_normal();
+    return x < 0.0 ? 0u : static_cast<std::uint32_t>(x + 0.5);
+  }
+  const double limit = std::exp(-mean);
+  double p = 1.0;
+  std::uint32_t k = 0;
+  do {
+    ++k;
+    p *= rng.next_double_open();
+  } while (p > limit);
+  return k - 1;
+}
+
+TraceGenerator::TraceGenerator(TableWorkloadConfig config, std::uint64_t seed)
+    : config_(std::move(config)),
+      rng_(seed),
+      value_seed_(splitmix64(seed ^ 0xE5CA1ADEULL)),
+      popularity_(config_.num_vectors, config_.popularity_skew),
+      profile_pick_(std::max<std::uint32_t>(1, config_.num_profiles),
+                    config_.profile_skew),
+      within_profile_(std::max<std::uint32_t>(1, config_.profile_size),
+                      config_.within_profile_skew) {
+  const std::uint32_t n = config_.num_vectors;
+
+  // Latent order: a fixed random permutation. Rank in this order determines
+  // both global popularity and community membership, so popular vectors are
+  // spread across table ids (the "original" layout has no locality) while
+  // communities are coherent in embedding space.
+  latent_order_.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) latent_order_[i] = i;
+  for (std::uint32_t i = n; i > 1; --i) {
+    std::swap(latent_order_[i - 1], latent_order_[rng_.next_below(i)]);
+  }
+  rank_of_.resize(n);
+  for (std::uint32_t r = 0; r < n; ++r) rank_of_[latent_order_[r]] = r;
+
+  pop_order_ = latent_order_;
+  for (std::uint32_t i = n; i > 1; --i) {
+    std::swap(pop_order_[i - 1], pop_order_[rng_.next_below(i)]);
+  }
+
+  seen_.assign(n, false);
+
+  // Fresh stack: its own shuffle so compulsory misses are spread over ids.
+  fresh_.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) fresh_[i] = i;
+  for (std::uint32_t i = n; i > 1; --i) {
+    std::swap(fresh_[i - 1], fresh_[rng_.next_below(i)]);
+  }
+
+  // Profile pool. Each profile owns one home community and draws its
+  // members from it with probability semantic_strength (else by global
+  // popularity). One home community keeps profile overlap low, so the
+  // co-access structure is learnable.
+  const std::uint32_t num_comm = config_.num_communities();
+  ZipfSampler comm_pick(num_comm, 0.3);
+  profiles_.resize(config_.num_profiles);
+  for (auto& members : profiles_) {
+    const auto c = static_cast<std::uint32_t>(comm_pick(rng_));
+    const std::uint32_t lo = c * config_.community_size;
+    const std::uint32_t hi =
+        std::min<std::uint32_t>(n, lo + config_.community_size);
+    members.reserve(config_.profile_size);
+    for (std::uint32_t m = 0; m < config_.profile_size; ++m) {
+      VectorId v;
+      if (rng_.next_bernoulli(config_.semantic_strength)) {
+        v = latent_order_[lo + rng_.next_below(hi - lo)];
+      } else {
+        v = pop_order_[popularity_(rng_)];
+      }
+      members.push_back(v);
+    }
+  }
+}
+
+VectorId TraceGenerator::draw_fresh(Rng& rng) {
+  while (fresh_top_ < fresh_.size() && seen_[fresh_[fresh_top_]]) {
+    ++fresh_top_;
+  }
+  if (fresh_top_ < fresh_.size()) return fresh_[fresh_top_++];
+  // Table exhausted: fall back to a uniform draw (reuse is unavoidable).
+  return static_cast<VectorId>(rng.next_below(config_.num_vectors));
+}
+
+VectorId TraceGenerator::draw_popular(Rng& rng) {
+  return pop_order_[popularity_(rng)];
+}
+
+VectorId TraceGenerator::draw_from_profile(Rng& rng, std::uint32_t profile) {
+  const auto& members = profiles_[profile];
+  std::uint64_t r = within_profile_(rng);
+  if (r >= members.size()) r = members.size() - 1;
+  return members[r];
+}
+
+VectorId TraceGenerator::draw_lookup(Rng& rng, std::uint32_t profile) {
+  VectorId v;
+  if (rng.next_bernoulli(config_.new_vector_prob)) {
+    v = draw_fresh(rng);
+  } else if (!profiles_.empty() && rng.next_bernoulli(config_.profile_frac)) {
+    v = draw_from_profile(rng, profile);
+  } else {
+    v = draw_popular(rng);
+  }
+  seen_[v] = true;
+  return v;
+}
+
+Trace TraceGenerator::generate(std::size_t num_queries) {
+  Trace trace;
+  trace.reserve(num_queries,
+                static_cast<std::uint64_t>(
+                    num_queries * (config_.mean_lookups_per_query + 1)));
+  std::vector<VectorId> ids;
+  for (std::size_t q = 0; q < num_queries; ++q) {
+    const std::uint32_t k =
+        1 + poisson_sample(rng_, std::max(0.0, config_.mean_lookups_per_query - 1));
+    const std::uint32_t profile =
+        profiles_.empty() ? 0 : static_cast<std::uint32_t>(profile_pick_(rng_));
+    ids.clear();
+    ids.reserve(k);
+    for (std::uint32_t i = 0; i < k; ++i) {
+      ids.push_back(draw_lookup(rng_, profile));
+    }
+    trace.add_query(ids);
+  }
+  return trace;
+}
+
+EmbeddingTable TraceGenerator::make_embeddings() const {
+  EmbeddingTable table(config_.num_vectors, config_.dim);
+  Rng rng(value_seed_);
+  // Community centroids on the unit sphere (approximately).
+  const std::uint32_t num_comm = config_.num_communities();
+  std::vector<float> centroids(static_cast<std::size_t>(num_comm) * config_.dim);
+  for (auto& c : centroids) c = static_cast<float>(rng.next_normal());
+
+  for (VectorId v = 0; v < config_.num_vectors; ++v) {
+    const std::uint32_t c = community_of(v);
+    auto out = table.vector(v);
+    const float* centroid = centroids.data() + std::size_t{c} * config_.dim;
+    for (std::uint16_t d = 0; d < config_.dim; ++d) {
+      // Per-vector noise must be a deterministic function of (v, d), not of
+      // iteration order, so embeddings are stable regardless of call site.
+      Rng vr(splitmix64(value_seed_ ^ (std::uint64_t{v} << 20) ^ d));
+      out[d] = centroid[d] +
+               static_cast<float>(config_.embedding_noise * vr.next_normal());
+    }
+  }
+  return table;
+}
+
+std::uint32_t TraceGenerator::community_of(VectorId v) const {
+  return rank_of_[v] / config_.community_size;
+}
+
+}  // namespace bandana

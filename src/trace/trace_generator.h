@@ -1,0 +1,76 @@
+// Synthetic embedding-lookup trace generator (the substitute for the
+// paper's proprietary production trace; see table_config.h for the model).
+//
+// The generator is stateful: successive generate() calls continue the same
+// workload stream (same latent communities, same profile pool, same fresh-
+// vector stack), so a training trace and an evaluation trace drawn from one
+// generator share co-access structure — exactly the property that lets SHP
+// trained on history help future queries (paper §4.2.2).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "trace/embedding_table.h"
+#include "trace/table_config.h"
+#include "trace/trace.h"
+
+namespace bandana {
+
+class TraceGenerator {
+ public:
+  TraceGenerator(TableWorkloadConfig config, std::uint64_t seed);
+
+  const TableWorkloadConfig& config() const { return config_; }
+
+  /// Generate the next `num_queries` queries of the stream.
+  Trace generate(std::size_t num_queries);
+
+  /// Materialize embedding values consistent with the latent communities
+  /// (community centroid + Gaussian noise). Deterministic per seed.
+  EmbeddingTable make_embeddings() const;
+
+  /// Latent community of a vector (test/diagnostic hook).
+  std::uint32_t community_of(VectorId v) const;
+
+ private:
+  VectorId draw_lookup(Rng& rng, std::uint32_t profile);
+  VectorId draw_fresh(Rng& rng);
+  VectorId draw_popular(Rng& rng);
+  VectorId draw_from_profile(Rng& rng, std::uint32_t profile);
+
+  TableWorkloadConfig config_;
+  Rng rng_;
+  std::uint64_t value_seed_;
+
+  /// latent_order_[rank] = vector id; the rank determines the community.
+  std::vector<VectorId> latent_order_;
+  std::vector<std::uint32_t> rank_of_;  // inverse permutation
+  /// Independent permutation for global popularity: pop_order_[rank] is the
+  /// rank-th most popular vector. Kept separate from the community order so
+  /// the Zipf head is NOT community-clustered (K-means must earn its gains
+  /// from semantic structure, not from a popularity artifact).
+  std::vector<VectorId> pop_order_;
+
+  /// Fresh stack: vectors not yet touched, in pop order. Pops skip vectors
+  /// the stream already touched via profile/popularity draws, so a fresh
+  /// draw is a true compulsory miss until the table is exhausted.
+  std::vector<VectorId> fresh_;
+  std::size_t fresh_top_ = 0;
+  std::vector<bool> seen_;
+
+  /// Profile pool: profiles_[p] is a persistent member list.
+  std::vector<std::vector<VectorId>> profiles_;
+
+  ZipfSampler popularity_;
+  ZipfSampler profile_pick_;
+  ZipfSampler within_profile_;
+};
+
+/// Draw a Poisson variate (Knuth's method; means here are <= ~100).
+std::uint32_t poisson_sample(Rng& rng, double mean);
+
+}  // namespace bandana

@@ -1,0 +1,70 @@
+#include "nvm/block_storage.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+
+namespace bandana {
+namespace {
+
+void fill_pattern(std::vector<std::byte>& buf, std::uint8_t tag) {
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = static_cast<std::byte>((tag + i) & 0xFF);
+  }
+}
+
+template <typename Storage>
+void roundtrip_test(Storage& s) {
+  ASSERT_EQ(s.block_bytes(), 512u);
+  ASSERT_EQ(s.num_blocks(), 8u);
+  std::vector<std::byte> in(512), out(512);
+  for (BlockId b = 0; b < 8; ++b) {
+    fill_pattern(in, static_cast<std::uint8_t>(b * 3 + 1));
+    s.write_block(b, in);
+  }
+  for (BlockId b = 0; b < 8; ++b) {
+    fill_pattern(in, static_cast<std::uint8_t>(b * 3 + 1));
+    s.read_block(b, out);
+    EXPECT_EQ(std::memcmp(in.data(), out.data(), 512), 0) << "block " << b;
+  }
+}
+
+TEST(MemoryBlockStorage, Roundtrip) {
+  MemoryBlockStorage s(8, 512);
+  roundtrip_test(s);
+}
+
+TEST(MemoryBlockStorage, ZeroInitialized) {
+  MemoryBlockStorage s(2, 64);
+  std::vector<std::byte> out(64, std::byte{0xFF});
+  s.read_block(1, out);
+  for (auto b : out) EXPECT_EQ(b, std::byte{0});
+}
+
+TEST(MemoryBlockStorage, BlockView) {
+  MemoryBlockStorage s(4, 128);
+  std::vector<std::byte> in(128);
+  fill_pattern(in, 9);
+  s.write_block(2, in);
+  auto view = s.block_view(2);
+  EXPECT_EQ(view.size(), 128u);
+  EXPECT_EQ(std::memcmp(view.data(), in.data(), 128), 0);
+}
+
+TEST(FileBlockStorage, Roundtrip) {
+  const std::string path = ::testing::TempDir() + "/bandana_blocks.bin";
+  {
+    FileBlockStorage s(path, 8, 512);
+    roundtrip_test(s);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FileBlockStorage, BadPathThrows) {
+  EXPECT_THROW(FileBlockStorage("/nonexistent_dir/x/y.bin", 1, 512),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace bandana

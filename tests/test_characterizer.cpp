@@ -1,0 +1,51 @@
+#include "trace/characterizer.h"
+
+#include <gtest/gtest.h>
+
+namespace bandana {
+namespace {
+
+Trace make_trace() {
+  Trace t;
+  const VectorId q0[] = {0, 1, 2};
+  const VectorId q1[] = {1, 1, 3};
+  const VectorId q2[] = {2};
+  t.add_query(q0);
+  t.add_query(q1);
+  t.add_query(q2);
+  return t;
+}
+
+TEST(Characterizer, CountsAndRates) {
+  const auto c = characterize(make_trace(), 10);
+  EXPECT_EQ(c.num_queries, 3u);
+  EXPECT_EQ(c.total_lookups, 7u);
+  EXPECT_EQ(c.unique_vectors, 4u);
+  EXPECT_NEAR(c.avg_lookups_per_query(), 7.0 / 3.0, 1e-12);
+  EXPECT_NEAR(c.compulsory_miss_rate(), 4.0 / 7.0, 1e-12);
+}
+
+TEST(Characterizer, EmptyTrace) {
+  const auto c = characterize(Trace{}, 5);
+  EXPECT_EQ(c.total_lookups, 0u);
+  EXPECT_EQ(c.avg_lookups_per_query(), 0.0);
+  EXPECT_EQ(c.compulsory_miss_rate(), 0.0);
+}
+
+TEST(AccessCounts, PerVector) {
+  const auto counts = access_counts(make_trace(), 10);
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 3u);  // duplicates within a query count individually
+  EXPECT_EQ(counts[2], 2u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(counts[4], 0u);
+}
+
+TEST(AccessHistogram, SkipsZeroCountVectors) {
+  const auto counts = access_counts(make_trace(), 10);
+  const auto h = access_histogram(counts, 10, 5);
+  EXPECT_EQ(h.total(), 4u);  // only 4 vectors were ever accessed
+}
+
+}  // namespace
+}  // namespace bandana

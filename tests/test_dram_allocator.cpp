@@ -1,0 +1,69 @@
+#include "cache/dram_allocator.h"
+
+#include <gtest/gtest.h>
+
+namespace bandana {
+namespace {
+
+/// Curve where every access has stack distance 1..n uniformly: hits(c)
+/// grows linearly to a cap.
+HitRateCurve linear_curve(std::uint64_t n, std::uint64_t per_distance) {
+  std::vector<std::uint64_t> hist(n, per_distance);
+  return HitRateCurve(hist, n * per_distance, 0);
+}
+
+TEST(DramAllocator, PrefersSteeperCurve) {
+  // Table A gains 10 hits per vector, table B gains 1: all DRAM goes to A
+  // until A is saturated.
+  std::vector<HitRateCurve> curves;
+  curves.push_back(linear_curve(1000, 10));
+  curves.push_back(linear_curve(1000, 1));
+  const auto alloc = allocate_dram(curves, 1000, 100);
+  EXPECT_EQ(alloc.per_table[0], 1000u);
+  EXPECT_EQ(alloc.per_table[1], 0u);
+  EXPECT_EQ(alloc.expected_hits, 10'000u);
+}
+
+TEST(DramAllocator, SplitsAfterSaturation) {
+  std::vector<HitRateCurve> curves;
+  curves.push_back(linear_curve(500, 10));  // saturates at 500
+  curves.push_back(linear_curve(2000, 1));
+  const auto alloc = allocate_dram(curves, 1500, 100);
+  EXPECT_EQ(alloc.per_table[0], 500u);
+  EXPECT_EQ(alloc.per_table[1], 1000u);
+}
+
+TEST(DramAllocator, StopsWhenNoMarginalGain) {
+  std::vector<HitRateCurve> curves;
+  curves.push_back(linear_curve(100, 5));
+  const auto alloc = allocate_dram(curves, 100000, 100);
+  EXPECT_EQ(alloc.per_table[0], 100u);
+}
+
+TEST(DramAllocator, BudgetRespected) {
+  std::vector<HitRateCurve> curves;
+  for (int i = 0; i < 4; ++i) curves.push_back(linear_curve(10000, i + 1));
+  const auto alloc = allocate_dram(curves, 8000, 512);
+  std::uint64_t total = 0;
+  for (auto v : alloc.per_table) total += v;
+  EXPECT_LE(total, 8000u);
+}
+
+TEST(DramAllocator, BeatsUniformOnSkewedCurves) {
+  std::vector<HitRateCurve> curves;
+  curves.push_back(linear_curve(4000, 50));
+  curves.push_back(linear_curve(4000, 1));
+  curves.push_back(linear_curve(4000, 1));
+  curves.push_back(linear_curve(4000, 1));
+  const auto greedy = allocate_dram(curves, 4000, 100);
+  const auto uniform = allocate_uniform(curves, 4000);
+  EXPECT_GT(greedy.expected_hits, uniform.expected_hits);
+}
+
+TEST(DramAllocator, EmptyInputs) {
+  EXPECT_TRUE(allocate_dram({}, 1000).per_table.empty());
+  EXPECT_TRUE(allocate_uniform({}, 1000).per_table.empty());
+}
+
+}  // namespace
+}  // namespace bandana

@@ -1,0 +1,56 @@
+#include "nvm/endurance.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bandana {
+namespace {
+
+constexpr std::uint64_t kGB = 1000ULL * 1000 * 1000;
+
+TEST(Endurance, ObservedDwpd) {
+  EnduranceTracker t(100 * kGB, 30.0);
+  // 10 full device writes over 2 days -> 5 DWPD.
+  t.record_write(500 * kGB, 0.0);
+  t.record_write(500 * kGB, 2.0);
+  EXPECT_NEAR(t.observed_dwpd(), 5.0, 1e-9);
+  EXPECT_TRUE(t.within_budget());
+}
+
+TEST(Endurance, OverBudget) {
+  EnduranceTracker t(10 * kGB, 30.0);
+  t.record_write(400 * kGB, 0.0);
+  t.record_write(0, 1.0);
+  EXPECT_GT(t.observed_dwpd(), 30.0);
+  EXPECT_FALSE(t.within_budget());
+}
+
+TEST(Endurance, PaperRepublishRateIsSafe) {
+  // Paper §2.2: tables are updated 10-20x/day against a 30 DWPD budget.
+  EnduranceTracker t(375 * kGB, 30.0);
+  for (int day = 0; day < 10; ++day) {
+    for (int i = 0; i < 20; ++i) {
+      t.record_write(375 * kGB, day + i / 20.0);
+    }
+  }
+  EXPECT_TRUE(t.within_budget());
+  EXPECT_NEAR(t.observed_dwpd(), 20.0, 2.5);
+}
+
+TEST(Endurance, LifetimeProjection) {
+  EnduranceTracker t(100 * kGB, 30.0, 5 * 365.0);
+  // 6000 GB over a 2-day window = 30 DWPD -> lifetime = rated 5 years.
+  t.record_write(3000 * kGB, 0.0);
+  t.record_write(3000 * kGB, 2.0);
+  EXPECT_NEAR(t.projected_lifetime_years(), 5.0, 0.2);
+}
+
+TEST(Endurance, NoWritesInfiniteLifetime) {
+  EnduranceTracker t(kGB, 30.0);
+  EXPECT_TRUE(std::isinf(t.projected_lifetime_years()));
+  EXPECT_EQ(t.observed_dwpd(), 0.0);
+}
+
+}  // namespace
+}  // namespace bandana

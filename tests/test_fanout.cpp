@@ -1,0 +1,55 @@
+#include "partition/fanout.h"
+
+#include <gtest/gtest.h>
+
+namespace bandana {
+namespace {
+
+TEST(Fanout, HandExample) {
+  // 8 vectors, 4 per block: block0 = {0..3}, block1 = {4..7}.
+  const auto layout = BlockLayout::identity(8, 4);
+  Trace t;
+  const VectorId q0[] = {0, 1, 2};     // fanout 1
+  const VectorId q1[] = {0, 4};        // fanout 2
+  const VectorId q2[] = {5, 5, 5};     // fanout 1 (duplicates)
+  t.add_query(q0);
+  t.add_query(q1);
+  t.add_query(q2);
+  const auto s = compute_fanout(t, layout);
+  EXPECT_EQ(s.total_block_touches, 4u);
+  EXPECT_NEAR(s.avg_fanout, 4.0 / 3.0, 1e-12);
+  EXPECT_NEAR(s.avg_unique_lookups, (3 + 2 + 1) / 3.0, 1e-12);
+}
+
+TEST(Fanout, PerfectPackingReachesLowerBound) {
+  // Queries exactly aligned with blocks -> fanout == 1.
+  const auto layout = BlockLayout::identity(64, 8);
+  Trace t;
+  for (int q = 0; q < 8; ++q) {
+    std::vector<VectorId> ids;
+    for (int i = 0; i < 8; ++i) ids.push_back(q * 8 + i);
+    t.add_query(ids);
+  }
+  const auto s = compute_fanout(t, layout);
+  EXPECT_NEAR(s.avg_fanout, 1.0, 1e-12);
+  EXPECT_NEAR(s.blocks_per_unique_lookup(), 1.0 / 8.0, 1e-12);
+}
+
+TEST(Fanout, WorstCaseScattered) {
+  // Each lookup in a different block.
+  const auto layout = BlockLayout::identity(64, 8);
+  Trace t;
+  const VectorId q[] = {0, 8, 16, 24};
+  t.add_query(q);
+  EXPECT_NEAR(compute_fanout(t, layout).avg_fanout, 4.0, 1e-12);
+}
+
+TEST(Fanout, EmptyTrace) {
+  const auto layout = BlockLayout::identity(8, 4);
+  const auto s = compute_fanout(Trace{}, layout);
+  EXPECT_EQ(s.avg_fanout, 0.0);
+  EXPECT_EQ(s.total_block_touches, 0u);
+}
+
+}  // namespace
+}  // namespace bandana

@@ -1,0 +1,60 @@
+#include "common/fenwick.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace bandana {
+namespace {
+
+TEST(Fenwick, BasicPrefixSums) {
+  FenwickTree t(8);
+  t.add(0, 5);
+  t.add(3, 2);
+  t.add(7, 1);
+  EXPECT_EQ(t.prefix_sum(0), 0);
+  EXPECT_EQ(t.prefix_sum(1), 5);
+  EXPECT_EQ(t.prefix_sum(4), 7);
+  EXPECT_EQ(t.prefix_sum(8), 8);
+  EXPECT_EQ(t.range_sum(1, 4), 2);
+  EXPECT_EQ(t.range_sum(3, 8), 3);
+}
+
+TEST(Fenwick, NegativeDeltas) {
+  FenwickTree t(4);
+  t.add(2, 3);
+  t.add(2, -3);
+  EXPECT_EQ(t.prefix_sum(4), 0);
+}
+
+TEST(Fenwick, MatchesNaiveUnderRandomOps) {
+  const std::size_t n = 200;
+  FenwickTree t(n);
+  std::vector<std::int64_t> naive(n, 0);
+  Rng rng(99);
+  for (int op = 0; op < 5000; ++op) {
+    const std::size_t i = rng.next_below(n);
+    const std::int64_t delta =
+        static_cast<std::int64_t>(rng.next_below(21)) - 10;
+    t.add(i, delta);
+    naive[i] += delta;
+    const std::size_t q = rng.next_below(n + 1);
+    std::int64_t expect = 0;
+    for (std::size_t j = 0; j < q; ++j) expect += naive[j];
+    ASSERT_EQ(t.prefix_sum(q), expect) << "op " << op;
+  }
+}
+
+TEST(Fenwick, Resize) {
+  FenwickTree t(4);
+  t.add(1, 7);
+  t.resize(16);
+  EXPECT_EQ(t.prefix_sum(16), 0);  // resize clears
+  t.add(15, 2);
+  EXPECT_EQ(t.prefix_sum(16), 2);
+}
+
+}  // namespace
+}  // namespace bandana

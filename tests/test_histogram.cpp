@@ -1,0 +1,52 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace bandana {
+namespace {
+
+TEST(LinearHistogram, BucketsAndOverflow) {
+  LinearHistogram h(100, 10);  // width 10
+  h.add(0);
+  h.add(9);
+  h.add(10);
+  h.add(99);
+  h.add(100);   // overflow
+  h.add(5000);  // overflow
+  EXPECT_EQ(h.bucket_value(0), 2u);
+  EXPECT_EQ(h.bucket_value(1), 1u);
+  EXPECT_EQ(h.bucket_value(9), 1u);
+  EXPECT_EQ(h.bucket_value(10), 2u);  // overflow bucket
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.bucket_range(1).first, 10u);
+  EXPECT_EQ(h.bucket_range(1).second, 20u);
+}
+
+TEST(LinearHistogram, WeightedAdd) {
+  LinearHistogram h(10, 2);
+  h.add(3, 7);
+  EXPECT_EQ(h.bucket_value(0), 7u);
+  EXPECT_EQ(h.total(), 7u);
+}
+
+TEST(Log2Histogram, PowerOfTwoBuckets) {
+  Log2Histogram h;
+  h.add(0);
+  h.add(1);
+  h.add(2);
+  h.add(3);
+  h.add(4);
+  h.add(1023);
+  h.add(1024);
+  EXPECT_EQ(h.bucket_value(0), 2u);  // {0,1}
+  EXPECT_EQ(h.bucket_value(1), 2u);  // [2,4)
+  EXPECT_EQ(h.bucket_value(2), 1u);  // [4,8)
+  EXPECT_EQ(h.bucket_value(9), 1u);  // [512,1024)
+  EXPECT_EQ(h.bucket_value(10), 1u); // [1024,2048)
+  EXPECT_EQ(h.total(), 7u);
+  EXPECT_EQ(h.bucket_range(3).first, 8u);
+  EXPECT_EQ(h.bucket_range(3).second, 16u);
+}
+
+}  // namespace
+}  // namespace bandana

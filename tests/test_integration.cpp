@@ -1,0 +1,189 @@
+// Cross-module integration tests asserting the paper's headline behaviours
+// end-to-end on held-out traces.
+#include <gtest/gtest.h>
+
+#include "cache/cache_sim.h"
+#include "cache/mini_cache.h"
+#include "partition/fanout.h"
+#include "partition/kmeans.h"
+#include "partition/shp.h"
+#include "trace/trace_generator.h"
+
+namespace bandana {
+namespace {
+
+struct Workload {
+  TableWorkloadConfig cfg;
+  Trace train;
+  Trace eval;
+  std::unique_ptr<TraceGenerator> gen;
+};
+
+Workload make_workload(std::uint64_t seed, double semantic_strength = 0.55) {
+  Workload w;
+  w.cfg.num_vectors = 20'000;
+  w.cfg.mean_lookups_per_query = 20;
+  w.cfg.popularity_skew = 1.1;
+  w.cfg.new_vector_prob = 0.02;
+  w.cfg.num_profiles = 600;
+  w.cfg.profile_size = 32;
+  w.cfg.profile_frac = 0.9;
+  w.cfg.profile_skew = 0.7;
+  w.cfg.semantic_strength = semantic_strength;
+  w.gen = std::make_unique<TraceGenerator>(w.cfg, seed);
+  w.train = w.gen->generate(12000);
+  w.eval = w.gen->generate(4000);
+  return w;
+}
+
+std::uint64_t baseline_reads(const Workload& w, std::uint64_t capacity) {
+  CachePolicyConfig pc;
+  pc.capacity_vectors = capacity;
+  pc.policy = PrefetchPolicy::kNone;
+  const auto layout = BlockLayout::identity(w.cfg.num_vectors, 32);
+  return simulate_cache(w.eval, layout, pc).nvm_block_reads;
+}
+
+TEST(Integration, ShpBeatsKMeansBeatsOriginal_UnlimitedCache) {
+  // The paper's §4.2 ordering: SHP > K-means > original layout, measured as
+  // effective bandwidth increase over the single-vector-read baseline with
+  // an unlimited cache (Figs. 6 and 9). Partitioning pays off because a
+  // query's co-located misses share one 4 KB block read. Moderate semantic
+  // alignment: K-means sees part of the structure, SHP sees all of it.
+  Workload w = make_workload(11, /*semantic_strength=*/0.4);
+
+  const std::uint64_t base =
+      simulate_cache(w.eval, BlockLayout::identity(w.cfg.num_vectors, 32),
+                     baseline_policy(0, /*unlimited=*/true))
+          .nvm_block_reads;
+
+  CachePolicyConfig batched;
+  batched.unlimited = true;
+  batched.policy = PrefetchPolicy::kNone;
+
+  const auto identity = BlockLayout::identity(w.cfg.num_vectors, 32);
+  const std::uint64_t original =
+      simulate_cache(w.eval, identity, batched).nvm_block_reads;
+
+  const EmbeddingTable values = w.gen->make_embeddings();
+  KMeansConfig kc;
+  kc.k = 512;
+  kc.max_iters = 10;
+  const auto km = kmeans(values, kc);
+  const auto km_layout = BlockLayout::from_order(
+      cluster_major_order(km.assignment, km.k), 32);
+  const std::uint64_t kmeans_reads =
+      simulate_cache(w.eval, km_layout, batched).nvm_block_reads;
+
+  ShpConfig sc;
+  sc.vectors_per_block = 32;
+  const auto shp = run_shp(w.train, w.cfg.num_vectors, sc);
+  const auto shp_layout = BlockLayout::from_order(shp.order, 32);
+  const std::uint64_t shp_reads =
+      simulate_cache(w.eval, shp_layout, batched).nvm_block_reads;
+
+  const double ebw_original = effective_bw_increase(base, original);
+  const double ebw_kmeans = effective_bw_increase(base, kmeans_reads);
+  const double ebw_shp = effective_bw_increase(base, shp_reads);
+
+  EXPECT_GT(ebw_kmeans, ebw_original + 0.05);
+  EXPECT_GT(ebw_shp, ebw_kmeans + 0.03);
+  EXPECT_GT(ebw_shp, 0.2);  // a structured table gains substantially
+}
+
+TEST(Integration, PrefetchAllHurtsWithLimitedCache) {
+  // Fig. 10: with a small cache, caching all 32 co-located vectors evicts
+  // hot entries and *reduces* effective bandwidth vs no prefetching at all,
+  // especially for the unpartitioned table.
+  Workload w = make_workload(12);
+  const std::uint64_t capacity = w.cfg.num_vectors / 50;
+
+  const auto identity = BlockLayout::identity(w.cfg.num_vectors, 32);
+  CachePolicyConfig all;
+  all.capacity_vectors = capacity;
+  all.policy = PrefetchPolicy::kAll;
+
+  const auto base =
+      simulate_cache(w.eval, identity, baseline_policy(capacity))
+          .nvm_block_reads;
+  const auto original_all = simulate_cache(w.eval, identity, all).nvm_block_reads;
+  EXPECT_LT(effective_bw_increase(base, original_all), -0.2);
+}
+
+TEST(Integration, ThresholdAdmissionBeatsPrefetchAllAtLimitedCache) {
+  // §4.3.2: filtering prefetches by SHP-run access count recovers the
+  // locality benefit without the cache pollution.
+  Workload w = make_workload(13);
+  const std::uint64_t capacity = w.cfg.num_vectors / 20;
+
+  ShpConfig sc;
+  sc.vectors_per_block = 32;
+  const auto shp = run_shp(w.train, w.cfg.num_vectors, sc);
+  const auto layout = BlockLayout::from_order(shp.order, 32);
+
+  CachePolicyConfig none, all, thresh;
+  none.capacity_vectors = all.capacity_vectors = thresh.capacity_vectors =
+      capacity;
+  none.policy = PrefetchPolicy::kNone;
+  all.policy = PrefetchPolicy::kAll;
+  thresh.policy = PrefetchPolicy::kThreshold;
+  thresh.access_threshold = 5;
+
+  const auto base = simulate_cache(w.eval, layout, none).nvm_block_reads;
+  const auto all_reads = simulate_cache(w.eval, layout, all).nvm_block_reads;
+  const auto thresh_reads =
+      simulate_cache(w.eval, layout, thresh, shp.access_counts).nvm_block_reads;
+
+  EXPECT_LT(thresh_reads, all_reads);
+  EXPECT_LT(thresh_reads, base);  // positive effective bandwidth increase
+}
+
+TEST(Integration, ShpTrainedOnMoreDataIsBetter) {
+  // Fig. 9 / Fig. 15: more training requests -> higher effective bandwidth.
+  Workload w = make_workload(14);
+  ShpConfig sc;
+  sc.vectors_per_block = 32;
+  const auto small = run_shp(w.train.head(500), w.cfg.num_vectors, sc);
+  const auto large = run_shp(w.train, w.cfg.num_vectors, sc);
+  const auto small_layout = BlockLayout::from_order(small.order, 32);
+  const auto large_layout = BlockLayout::from_order(large.order, 32);
+  const double f_small = compute_fanout(w.eval, small_layout).avg_fanout;
+  const double f_large = compute_fanout(w.eval, large_layout).avg_fanout;
+  EXPECT_LT(f_large, f_small);
+}
+
+TEST(Integration, SemanticAlignmentControlsKMeansBenefit) {
+  // Tables whose co-access correlates with embedding space (paper tables
+  // 1-2) benefit from K-means; tables without that correlation do not
+  // (Fig. 6's spread across tables).
+  Workload aligned = make_workload(15, /*semantic_strength=*/0.95);
+  Workload misaligned = make_workload(16, /*semantic_strength=*/0.05);
+
+  auto kmeans_gain = [](Workload& w) {
+    CachePolicyConfig none, all;
+    none.unlimited = all.unlimited = true;
+    none.policy = PrefetchPolicy::kNone;
+    all.policy = PrefetchPolicy::kAll;
+    const auto identity = BlockLayout::identity(w.cfg.num_vectors, 32);
+    const auto base = simulate_cache(w.eval, identity, none).nvm_block_reads;
+    const EmbeddingTable values = w.gen->make_embeddings();
+    KMeansConfig kc;
+    kc.k = 256;
+    kc.max_iters = 8;
+    const auto km = kmeans(values, kc);
+    const auto layout =
+        BlockLayout::from_order(cluster_major_order(km.assignment, km.k), 32);
+    return effective_bw_increase(
+        base, simulate_cache(w.eval, layout, all).nvm_block_reads);
+  };
+  EXPECT_GT(kmeans_gain(aligned), kmeans_gain(misaligned) + 0.15);
+}
+
+TEST(Integration, BaselineReadsScaleWithCacheSize) {
+  Workload w = make_workload(17);
+  EXPECT_GT(baseline_reads(w, 200), baseline_reads(w, 2000));
+  EXPECT_GT(baseline_reads(w, 2000), baseline_reads(w, 10000));
+}
+
+}  // namespace
+}  // namespace bandana

@@ -1,0 +1,127 @@
+#include "partition/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+
+namespace bandana {
+namespace {
+
+/// Builds a table with `k` well-separated Gaussian blobs.
+EmbeddingTable blobs(std::uint32_t n, std::uint16_t dim, std::uint32_t k,
+                     std::uint64_t seed, std::vector<std::uint32_t>* truth) {
+  EmbeddingTable t(n, dim);
+  Rng rng(seed);
+  std::vector<float> centers(static_cast<std::size_t>(k) * dim);
+  for (auto& c : centers) c = static_cast<float>(rng.next_normal() * 20.0);
+  truth->resize(n);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    const std::uint32_t c = static_cast<std::uint32_t>(rng.next_below(k));
+    (*truth)[v] = c;
+    for (std::uint16_t d = 0; d < dim; ++d) {
+      t.vector(v)[d] = centers[std::size_t{c} * dim + d] +
+                       static_cast<float>(rng.next_normal() * 0.1);
+    }
+  }
+  return t;
+}
+
+TEST(KMeans, RecoversSeparatedBlobs) {
+  std::vector<std::uint32_t> truth;
+  const auto table = blobs(2000, 8, 5, 11, &truth);
+  KMeansConfig cfg;
+  cfg.k = 5;
+  cfg.seed = 2;
+  const auto r = kmeans(table, cfg);
+  ASSERT_EQ(r.k, 5u);
+  // All members of a true blob must land in the same k-means cluster.
+  std::vector<std::int64_t> blob_to_cluster(5, -1);
+  int violations = 0;
+  for (std::uint32_t v = 0; v < 2000; ++v) {
+    auto& mapped = blob_to_cluster[truth[v]];
+    if (mapped < 0) {
+      mapped = r.assignment[v];
+    } else if (mapped != r.assignment[v]) {
+      ++violations;
+    }
+  }
+  EXPECT_EQ(violations, 0);
+}
+
+TEST(KMeans, InertiaDecreasesWithMoreClusters) {
+  std::vector<std::uint32_t> truth;
+  const auto table = blobs(3000, 8, 16, 12, &truth);
+  KMeansConfig few, many;
+  few.k = 2;
+  many.k = 32;
+  few.seed = many.seed = 3;
+  EXPECT_GT(kmeans(table, few).inertia, kmeans(table, many).inertia);
+}
+
+TEST(KMeans, DeterministicAndParallelConsistent) {
+  std::vector<std::uint32_t> truth;
+  const auto table = blobs(1500, 8, 4, 13, &truth);
+  KMeansConfig cfg;
+  cfg.k = 8;
+  cfg.seed = 5;
+  const auto seq = kmeans(table, cfg, nullptr);
+  ThreadPool pool(4);
+  const auto par = kmeans(table, cfg, &pool);
+  EXPECT_EQ(seq.assignment, par.assignment);
+  EXPECT_EQ(seq.inertia, par.inertia);
+}
+
+TEST(KMeans, KLargerThanNClamps) {
+  std::vector<std::uint32_t> truth;
+  const auto table = blobs(10, 4, 2, 14, &truth);
+  KMeansConfig cfg;
+  cfg.k = 100;
+  const auto r = kmeans(table, cfg);
+  EXPECT_EQ(r.k, 10u);
+}
+
+TEST(ClusterMajorOrder, IsPermutationGroupedByCluster) {
+  const std::vector<std::uint32_t> assignment = {2, 0, 1, 0, 2, 1};
+  const auto order = cluster_major_order(assignment, 3);
+  ASSERT_EQ(order.size(), 6u);
+  EXPECT_EQ(order[0], 1u);  // cluster 0: ids 1, 3
+  EXPECT_EQ(order[1], 3u);
+  EXPECT_EQ(order[2], 2u);  // cluster 1: ids 2, 5
+  EXPECT_EQ(order[3], 5u);
+  EXPECT_EQ(order[4], 0u);  // cluster 2: ids 0, 4
+  EXPECT_EQ(order[5], 4u);
+}
+
+TEST(RecursiveKMeans, OrderIsPermutation) {
+  std::vector<std::uint32_t> truth;
+  const auto table = blobs(4000, 8, 10, 15, &truth);
+  RecursiveKMeansConfig cfg;
+  cfg.top_clusters = 8;
+  cfg.total_leaves = 64;
+  const auto r = recursive_kmeans(table, cfg);
+  std::set<VectorId> seen(r.order.begin(), r.order.end());
+  EXPECT_EQ(seen.size(), 4000u);
+  EXPECT_GT(r.leaves, 8u);
+  EXPECT_LE(r.leaves, 80u);
+}
+
+TEST(RecursiveKMeans, GroupsBlobsContiguously) {
+  std::vector<std::uint32_t> truth;
+  const auto table = blobs(2000, 8, 4, 16, &truth);
+  RecursiveKMeansConfig cfg;
+  cfg.top_clusters = 4;
+  cfg.total_leaves = 16;
+  const auto r = recursive_kmeans(table, cfg);
+  // Count truth-blob transitions along the order; contiguous grouping has
+  // ~#blobs transitions, a random order ~n * (1 - 1/k).
+  int transitions = 0;
+  for (std::size_t i = 1; i < r.order.size(); ++i) {
+    transitions += truth[r.order[i]] != truth[r.order[i - 1]];
+  }
+  EXPECT_LT(transitions, 50);
+}
+
+}  // namespace
+}  // namespace bandana

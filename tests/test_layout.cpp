@@ -1,0 +1,69 @@
+#include "partition/layout.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+namespace bandana {
+namespace {
+
+TEST(BlockLayout, Identity) {
+  const auto l = BlockLayout::identity(100, 32);
+  EXPECT_EQ(l.num_vectors(), 100u);
+  EXPECT_EQ(l.num_blocks(), 4u);  // ceil(100/32)
+  EXPECT_EQ(l.block_of(0), 0u);
+  EXPECT_EQ(l.block_of(31), 0u);
+  EXPECT_EQ(l.block_of(32), 1u);
+  EXPECT_EQ(l.block_of(99), 3u);
+  EXPECT_EQ(l.position_of(77), 77u);
+}
+
+TEST(BlockLayout, BlockMembers) {
+  const auto l = BlockLayout::identity(100, 32);
+  auto b0 = l.block_members(0);
+  ASSERT_EQ(b0.size(), 32u);
+  EXPECT_EQ(b0[0], 0u);
+  EXPECT_EQ(b0[31], 31u);
+  auto last = l.block_members(3);
+  ASSERT_EQ(last.size(), 4u);  // partial tail block
+  EXPECT_EQ(last[0], 96u);
+}
+
+TEST(BlockLayout, FromOrder) {
+  std::vector<VectorId> order = {3, 1, 0, 2};
+  const auto l = BlockLayout::from_order(order, 2);
+  EXPECT_EQ(l.num_blocks(), 2u);
+  EXPECT_EQ(l.block_of(3), 0u);
+  EXPECT_EQ(l.block_of(1), 0u);
+  EXPECT_EQ(l.block_of(0), 1u);
+  EXPECT_EQ(l.block_of(2), 1u);
+  EXPECT_EQ(l.position_of(0), 2u);
+}
+
+TEST(BlockLayout, RejectsNonPermutation) {
+  EXPECT_THROW(BlockLayout::from_order({0, 0, 1}, 2), std::invalid_argument);
+  EXPECT_THROW(BlockLayout::from_order({0, 5, 1}, 2), std::invalid_argument);
+}
+
+TEST(BlockLayout, RandomIsPermutationAndDeterministic) {
+  const auto a = BlockLayout::random(1000, 32, 7);
+  const auto b = BlockLayout::random(1000, 32, 7);
+  EXPECT_EQ(a.order(), b.order());
+  const auto c = BlockLayout::random(1000, 32, 8);
+  EXPECT_NE(a.order(), c.order());
+  std::set<VectorId> seen(a.order().begin(), a.order().end());
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(BlockLayout, MembersRoundtrip) {
+  const auto l = BlockLayout::random(500, 16, 3);
+  for (BlockId b = 0; b < l.num_blocks(); ++b) {
+    for (VectorId v : l.block_members(b)) {
+      EXPECT_EQ(l.block_of(v), b);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bandana

@@ -1,0 +1,145 @@
+// Parameterized property tests: invariants that must hold for every policy,
+// capacity, block size, and workload mix.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "cache/cache_sim.h"
+#include "partition/fanout.h"
+#include "partition/shp.h"
+#include "trace/trace_generator.h"
+
+namespace bandana {
+namespace {
+
+struct PropertyCase {
+  PrefetchPolicy policy;
+  std::uint64_t capacity;
+  std::uint32_t vectors_per_block;
+};
+
+class CacheSimProperties
+    : public ::testing::TestWithParam<
+          std::tuple<PrefetchPolicy, std::uint64_t, std::uint32_t>> {
+ protected:
+  static constexpr std::uint32_t kVectors = 8000;
+
+  static const Trace& trace() {
+    static const Trace t = [] {
+      TableWorkloadConfig cfg;
+      cfg.num_vectors = kVectors;
+      cfg.mean_lookups_per_query = 14;
+      cfg.new_vector_prob = 0.08;
+      cfg.num_profiles = 160;
+      TraceGenerator g(cfg, 71);
+      return g.generate(3000);
+    }();
+    return t;
+  }
+
+  static const std::vector<std::uint32_t>& counts() {
+    static const std::vector<std::uint32_t> c = [] {
+      ShpConfig sc;
+      sc.vectors_per_block = 32;
+      return run_shp(trace(), kVectors, sc).access_counts;
+    }();
+    return c;
+  }
+};
+
+TEST_P(CacheSimProperties, Invariants) {
+  const auto [policy, capacity, vpb] = GetParam();
+  const auto layout = BlockLayout::random(kVectors, vpb, 5);
+  CachePolicyConfig pc;
+  pc.policy = policy;
+  pc.capacity_vectors = capacity;
+  pc.access_threshold = 5;
+  pc.insertion_position = 0.5;
+  const auto r = simulate_cache(trace(), layout, pc, counts());
+
+  // Conservation invariants.
+  EXPECT_EQ(r.lookups, trace().total_lookups());
+  EXPECT_LE(r.unique_lookups, r.lookups);
+  EXPECT_LE(r.hits, r.unique_lookups);
+  // Every miss costs at most one block read; batching can only reduce.
+  EXPECT_LE(r.nvm_block_reads, r.unique_lookups - r.hits);
+  EXPECT_GT(r.nvm_block_reads, 0u);
+  EXPECT_LE(r.prefetch_hits, r.prefetch_inserted);
+  if (policy == PrefetchPolicy::kNone) {
+    EXPECT_EQ(r.prefetch_inserted, 0u);
+  }
+  // Effective bandwidth fraction cannot exceed 1 nor vpb * baseline.
+  const double ebw = r.effective_bandwidth(128, 128 * vpb);
+  EXPECT_GE(ebw, 0.0);
+  EXPECT_LE(ebw, 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CacheSimProperties,
+    ::testing::Combine(
+        ::testing::Values(PrefetchPolicy::kNone, PrefetchPolicy::kAll,
+                          PrefetchPolicy::kPosition, PrefetchPolicy::kShadow,
+                          PrefetchPolicy::kShadowPosition,
+                          PrefetchPolicy::kThreshold),
+        ::testing::Values(64, 400, 4000),
+        ::testing::Values(8, 32)));
+
+class UnlimitedDominates
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UnlimitedDominates, LargerCacheNeverReadsMore) {
+  // For the no-prefetch policy, LRU has no Belady anomaly: more capacity
+  // means fewer block reads.
+  TableWorkloadConfig cfg;
+  cfg.num_vectors = 5000;
+  TraceGenerator g(cfg, GetParam());
+  const Trace t = g.generate(2500);
+  const auto layout = BlockLayout::identity(cfg.num_vectors, 32);
+  std::uint64_t prev = UINT64_MAX;
+  for (std::uint64_t cap : {100ULL, 500ULL, 2500ULL, 5000ULL}) {
+    CachePolicyConfig pc;
+    pc.capacity_vectors = cap;
+    pc.policy = PrefetchPolicy::kNone;
+    const auto reads = simulate_cache(t, layout, pc).nvm_block_reads;
+    EXPECT_LE(reads, prev) << "capacity " << cap;
+    prev = reads;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnlimitedDominates,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+class ShpProperties : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ShpProperties, PermutationAndFanoutBoundsAtAnyBlockSize) {
+  const std::uint32_t vpb = GetParam();
+  TableWorkloadConfig cfg;
+  cfg.num_vectors = 3000;
+  cfg.mean_lookups_per_query = 12;
+  TraceGenerator g(cfg, 101);
+  const Trace t = g.generate(1500);
+  ShpConfig sc;
+  sc.vectors_per_block = vpb;
+  const auto r = run_shp(t, cfg.num_vectors, sc);
+
+  std::vector<bool> seen(cfg.num_vectors, false);
+  for (VectorId v : r.order) {
+    ASSERT_LT(v, cfg.num_vectors);
+    ASSERT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+  const auto layout = BlockLayout::from_order(r.order, vpb);
+  const auto f = compute_fanout(t, layout);
+  // Fanout is at least ceil(unique/vpb) per query on average and at most
+  // the unique lookup count.
+  EXPECT_GE(f.avg_fanout, f.avg_unique_lookups / vpb - 1e-9);
+  EXPECT_LE(f.avg_fanout, f.avg_unique_lookups + 1e-9);
+  // Refinement never loses to the random initial order.
+  EXPECT_LE(r.final_avg_fanout, r.initial_avg_fanout * 1.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockSizes, ShpProperties,
+                         ::testing::Values(4, 8, 16, 32, 64));
+
+}  // namespace
+}  // namespace bandana

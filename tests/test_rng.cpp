@@ -1,0 +1,102 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace bandana {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.next_u64() == b.next_u64();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (std::uint64_t n : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(n), n);
+  }
+}
+
+TEST(Rng, NextBelowCoversSmallRange) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    const double o = rng.next_double_open();
+    EXPECT_GT(o, 0.0);
+    EXPECT_LE(o, 1.0);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  double sum = 0, sum2 = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.next_normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(17);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.next_exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(19);
+  int below = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) below += rng.next_lognormal(std::log(6.4), 0.3) < 6.4;
+  EXPECT_NEAR(static_cast<double>(below) / n, 0.5, 0.01);
+}
+
+TEST(Rng, ForkIndependent) {
+  Rng a(23);
+  Rng b = a.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.next_u64() == b.next_u64();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(29);
+  int yes = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) yes += rng.next_bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(yes) / n, 0.3, 0.01);
+}
+
+TEST(Splitmix, DistinctAndDeterministic) {
+  EXPECT_EQ(splitmix64(42), splitmix64(42));
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 10000; ++i) seen.insert(splitmix64(i));
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+}  // namespace
+}  // namespace bandana

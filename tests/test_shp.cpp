@@ -1,0 +1,160 @@
+#include "partition/shp.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "partition/fanout.h"
+#include "partition/layout.h"
+#include "trace/trace_generator.h"
+
+namespace bandana {
+namespace {
+
+/// Workload with strong co-access structure for SHP to find.
+Trace structured_trace(std::uint32_t num_vectors, std::size_t queries,
+                       std::uint64_t seed) {
+  TableWorkloadConfig cfg;
+  cfg.num_vectors = num_vectors;
+  cfg.mean_lookups_per_query = 16;
+  cfg.new_vector_prob = 0.02;
+  cfg.num_profiles = num_vectors / 50;
+  cfg.profile_size = 64;
+  cfg.profile_frac = 0.85;
+  TraceGenerator g(cfg, seed);
+  return g.generate(queries);
+}
+
+TEST(Shp, OrderIsPermutation) {
+  const Trace t = structured_trace(5000, 2000, 1);
+  ShpConfig cfg;
+  cfg.vectors_per_block = 32;
+  const auto r = run_shp(t, 5000, cfg);
+  std::set<VectorId> seen(r.order.begin(), r.order.end());
+  EXPECT_EQ(seen.size(), 5000u);
+  EXPECT_EQ(r.access_counts.size(), 5000u);
+}
+
+TEST(Shp, ReducesFanoutSubstantially) {
+  const Trace t = structured_trace(5000, 4000, 2);
+  ShpConfig cfg;
+  cfg.vectors_per_block = 32;
+  const auto r = run_shp(t, 5000, cfg);
+  EXPECT_LT(r.final_avg_fanout, 0.6 * r.initial_avg_fanout);
+  // And the reported fanout matches an independent measurement.
+  const auto layout = BlockLayout::from_order(r.order, 32);
+  const auto measured = compute_fanout(t, layout);
+  EXPECT_NEAR(measured.avg_fanout, r.final_avg_fanout,
+              0.35 * r.final_avg_fanout);  // run_shp drops tiny/singleton edges
+}
+
+TEST(Shp, GeneralizesToHeldOutTrace) {
+  // Train and eval traces share profile structure; SHP must help unseen
+  // queries, not just the training set.
+  TableWorkloadConfig cfg;
+  cfg.num_vectors = 5000;
+  cfg.mean_lookups_per_query = 16;
+  cfg.new_vector_prob = 0.02;
+  cfg.num_profiles = 100;
+  cfg.profile_size = 64;
+  cfg.profile_frac = 0.85;
+  TraceGenerator g(cfg, 3);
+  const Trace train = g.generate(4000);
+  const Trace eval = g.generate(1000);
+
+  ShpConfig sc;
+  sc.vectors_per_block = 32;
+  const auto r = run_shp(train, 5000, sc);
+  const auto shp_layout = BlockLayout::from_order(r.order, 32);
+  const auto random_layout = BlockLayout::random(5000, 32, 99);
+  const double shp_fanout = compute_fanout(eval, shp_layout).avg_fanout;
+  const double rnd_fanout = compute_fanout(eval, random_layout).avg_fanout;
+  EXPECT_LT(shp_fanout, 0.75 * rnd_fanout);
+}
+
+TEST(Shp, Deterministic) {
+  const Trace t = structured_trace(2000, 1000, 4);
+  ShpConfig cfg;
+  cfg.vectors_per_block = 16;
+  const auto a = run_shp(t, 2000, cfg);
+  const auto b = run_shp(t, 2000, cfg);
+  EXPECT_EQ(a.order, b.order);
+  EXPECT_EQ(a.total_swaps, b.total_swaps);
+}
+
+TEST(Shp, ParallelMatchesSequential) {
+  const Trace t = structured_trace(2000, 1000, 5);
+  ShpConfig cfg;
+  cfg.vectors_per_block = 16;
+  const auto seq = run_shp(t, 2000, cfg, nullptr);
+  ThreadPool pool(4);
+  const auto par = run_shp(t, 2000, cfg, &pool);
+  EXPECT_EQ(seq.order, par.order);
+}
+
+TEST(Shp, AccessCountsAreQueryDegrees) {
+  Trace t;
+  const VectorId q0[] = {1, 2, 2, 3};  // dedup: {1,2,3}
+  const VectorId q1[] = {2, 3};
+  const VectorId q2[] = {5};  // singleton, dropped from hypergraph
+  t.add_query(q0);
+  t.add_query(q1);
+  t.add_query(q2);
+  ShpConfig cfg;
+  cfg.vectors_per_block = 2;
+  const auto r = run_shp(t, 8, cfg);
+  EXPECT_EQ(r.access_counts[1], 1u);
+  EXPECT_EQ(r.access_counts[2], 2u);
+  EXPECT_EQ(r.access_counts[3], 2u);
+  EXPECT_EQ(r.access_counts[5], 0u);  // singleton query dropped
+  EXPECT_EQ(r.access_counts[0], 0u);
+}
+
+TEST(Shp, MoreIterationsDoNotHurt) {
+  const Trace t = structured_trace(3000, 2000, 6);
+  ShpConfig weak, strong;
+  weak.vectors_per_block = strong.vectors_per_block = 32;
+  weak.iters_per_level = 1;
+  strong.iters_per_level = 16;
+  const auto rw = run_shp(t, 3000, weak);
+  const auto rs = run_shp(t, 3000, strong);
+  EXPECT_LE(rs.final_avg_fanout, rw.final_avg_fanout * 1.02);
+}
+
+TEST(Shp, TinyTableSingleBlock) {
+  Trace t;
+  const VectorId q[] = {0, 1, 2};
+  t.add_query(q);
+  ShpConfig cfg;
+  cfg.vectors_per_block = 8;
+  const auto r = run_shp(t, 4, cfg);  // fits in one block: nothing to split
+  EXPECT_EQ(r.order.size(), 4u);
+  EXPECT_NEAR(r.final_avg_fanout, 1.0, 1e-9);
+}
+
+TEST(Shp, PerfectlySeparableWorkload) {
+  // Queries touch disjoint groups of exactly block size; SHP should reach
+  // fanout ~1.
+  Trace t;
+  Rng rng(7);
+  const std::uint32_t groups = 64, vpb = 8;
+  for (int rep = 0; rep < 2000; ++rep) {
+    const std::uint32_t g = static_cast<std::uint32_t>(rng.next_below(groups));
+    std::vector<VectorId> ids;
+    for (std::uint32_t i = 0; i < vpb; ++i) {
+      if (rng.next_bernoulli(0.7)) ids.push_back(g * vpb + i);
+    }
+    if (ids.size() >= 2) t.add_query(ids);
+  }
+  ShpConfig cfg;
+  cfg.vectors_per_block = vpb;
+  // Tiny ranges converge best with undamped swaps; damping is for large
+  // sparse hypergraphs.
+  cfg.max_swap_fraction = 1.0;
+  cfg.iters_per_level = 32;
+  const auto r = run_shp(t, groups * vpb, cfg);
+  EXPECT_LT(r.final_avg_fanout, 1.35);
+}
+
+}  // namespace
+}  // namespace bandana

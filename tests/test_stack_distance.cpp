@@ -1,0 +1,128 @@
+#include "trace/stack_distance.h"
+
+#include <gtest/gtest.h>
+
+#include <list>
+
+#include "common/rng.h"
+#include "trace/trace_generator.h"
+
+namespace bandana {
+namespace {
+
+TEST(StackDistance, HandComputedSequence) {
+  StackDistanceAnalyzer a(10);
+  EXPECT_EQ(a.access(1), 0u);  // compulsory
+  EXPECT_EQ(a.access(2), 0u);
+  EXPECT_EQ(a.access(1), 2u);  // one distinct vector (2) in between + itself
+  EXPECT_EQ(a.access(1), 1u);  // immediate re-access: top of stack
+  EXPECT_EQ(a.access(3), 0u);
+  EXPECT_EQ(a.access(2), 3u);  // stack: 3,1,2
+  EXPECT_EQ(a.compulsory_misses(), 3u);
+  EXPECT_EQ(a.total_accesses(), 6u);
+}
+
+/// Reference: simulate an actual infinite LRU stack.
+std::uint64_t reference_distance(std::list<VectorId>& stack, VectorId v) {
+  std::uint64_t pos = 0;
+  for (auto it = stack.begin(); it != stack.end(); ++it) {
+    ++pos;
+    if (*it == v) {
+      stack.erase(it);
+      stack.push_front(v);
+      return pos;
+    }
+  }
+  stack.push_front(v);
+  return 0;
+}
+
+TEST(StackDistance, MatchesReferenceLruStack) {
+  const std::uint32_t n = 100;
+  StackDistanceAnalyzer a(n, 0 /* force timestamp compaction paths */);
+  std::list<VectorId> stack;
+  Rng rng(33);
+  for (int i = 0; i < 20000; ++i) {
+    // Skewed accesses so re-references are common.
+    const VectorId v = static_cast<VectorId>(rng.next_below(rng.next_below(n) + 1));
+    ASSERT_EQ(a.access(v), reference_distance(stack, v)) << "step " << i;
+  }
+}
+
+TEST(HitRateCurve, MatchesLruCacheHits) {
+  // hits(C) from the curve == hits of an LRU cache of capacity C.
+  const std::uint32_t n = 50;
+  Rng rng(44);
+  std::vector<VectorId> accesses;
+  for (int i = 0; i < 5000; ++i) {
+    accesses.push_back(static_cast<VectorId>(rng.next_below(n)));
+  }
+  StackDistanceAnalyzer a(n);
+  for (VectorId v : accesses) a.access(v);
+  const HitRateCurve curve = a.curve();
+
+  for (std::uint64_t cap : {1ULL, 5ULL, 20ULL, 50ULL}) {
+    std::list<VectorId> stack;  // LRU of capacity cap
+    std::uint64_t hits = 0;
+    for (VectorId v : accesses) {
+      const std::uint64_t d = reference_distance(stack, v);
+      if (d != 0 && d <= cap) ++hits;
+      if (stack.size() > cap) stack.pop_back();
+    }
+    EXPECT_EQ(curve.hits(cap), hits) << "capacity " << cap;
+  }
+}
+
+TEST(HitRateCurve, MonotoneAndBounded) {
+  TableWorkloadConfig cfg;
+  cfg.num_vectors = 5000;
+  cfg.num_profiles = 100;
+  TraceGenerator g(cfg, 5);
+  const Trace t = g.generate(2000);
+  const HitRateCurve curve = compute_hit_rate_curve(t, cfg.num_vectors);
+  double prev = -1.0;
+  for (std::uint64_t c = 0; c <= cfg.num_vectors; c += 250) {
+    const double hr = curve.hit_rate(c);
+    EXPECT_GE(hr, prev);
+    EXPECT_LE(hr, 1.0);
+    prev = hr;
+  }
+  // At full capacity, only compulsory misses remain.
+  EXPECT_NEAR(curve.hit_rate(cfg.num_vectors),
+              1.0 - static_cast<double>(curve.compulsory_misses()) /
+                        curve.total_accesses(),
+              1e-9);
+}
+
+TEST(HitRateCurve, ZeroCapacityZeroHits) {
+  StackDistanceAnalyzer a(4);
+  a.access(1);
+  a.access(1);
+  EXPECT_EQ(a.curve().hits(0), 0u);
+}
+
+TEST(HitRateCurve, MarginalHits) {
+  StackDistanceAnalyzer a(8);
+  for (int round = 0; round < 10; ++round) {
+    for (VectorId v = 0; v < 4; ++v) a.access(v);
+  }
+  const HitRateCurve c = a.curve();
+  EXPECT_EQ(c.marginal_hits(0, 8), c.hits(8));
+  EXPECT_EQ(c.hits(4), c.hits(3) + c.marginal_hits(3, 1));
+}
+
+TEST(HitRateCurve, ScaledCurveApproximatesFull) {
+  TableWorkloadConfig cfg;
+  cfg.num_vectors = 20'000;
+  cfg.popularity_skew = 0.9;
+  TraceGenerator g(cfg, 6);
+  const Trace t = g.generate(20'000);
+  const HitRateCurve exact = compute_hit_rate_curve(t, cfg.num_vectors);
+  // Scaled query at matching coordinates: a curve scaled by r reports
+  // approximately the full curve's hit rate at capacity C.
+  const HitRateCurve approx = exact.scaled(1.0);  // identity scaling
+  EXPECT_NEAR(approx.hit_rate(4000), exact.hit_rate(4000), 1e-12);
+}
+
+}  // namespace
+}  // namespace bandana

@@ -1,0 +1,61 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace bandana {
+namespace {
+
+TEST(RunningStats, KnownValues) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(LatencyRecorder, Percentiles) {
+  LatencyRecorder r;
+  for (int i = 1; i <= 100; ++i) r.add(i);
+  EXPECT_DOUBLE_EQ(r.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(r.percentile(1.0), 100.0);
+  EXPECT_NEAR(r.percentile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(r.percentile(0.99), 99.0, 1.0);
+  EXPECT_DOUBLE_EQ(r.mean(), 50.5);
+}
+
+TEST(LatencyRecorder, PercentileAfterMoreAdds) {
+  LatencyRecorder r;
+  r.add(10.0);
+  EXPECT_DOUBLE_EQ(r.percentile(0.5), 10.0);
+  r.add(20.0);
+  r.add(30.0);
+  EXPECT_DOUBLE_EQ(r.percentile(1.0), 30.0);  // cache must refresh
+}
+
+TEST(LatencyRecorder, EmptyIsZero) {
+  LatencyRecorder r;
+  EXPECT_DOUBLE_EQ(r.percentile(0.5), 0.0);
+  EXPECT_EQ(r.count(), 0u);
+}
+
+TEST(LatencyRecorder, Clear) {
+  LatencyRecorder r;
+  r.add(5.0);
+  r.clear();
+  EXPECT_EQ(r.count(), 0u);
+  EXPECT_DOUBLE_EQ(r.percentile(0.9), 0.0);
+}
+
+}  // namespace
+}  // namespace bandana

@@ -1,0 +1,187 @@
+#include "core/store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "trace/trace_generator.h"
+
+namespace bandana {
+namespace {
+
+TableWorkloadConfig table_config() {
+  TableWorkloadConfig cfg;
+  cfg.num_vectors = 4096;
+  cfg.dim = 32;  // 128 B vectors
+  cfg.mean_lookups_per_query = 10;
+  cfg.num_profiles = 100;
+  return cfg;
+}
+
+StoreConfig store_config(bool timing = false) {
+  StoreConfig cfg;
+  cfg.simulate_timing = timing;
+  return cfg;
+}
+
+/// Returns true if the served bytes equal the embedding values for `v`.
+bool bytes_match(const EmbeddingTable& values, VectorId v,
+                 std::span<const std::byte> got) {
+  const auto want = values.vector_bytes_view(v);
+  return std::memcmp(got.data(), want.data(), want.size()) == 0;
+}
+
+class StoreTest : public ::testing::TestWithParam<PrefetchPolicy> {};
+
+TEST_P(StoreTest, ServesCorrectBytesUnderAnyPolicy) {
+  TraceGenerator gen(table_config(), 1);
+  const EmbeddingTable values = gen.make_embeddings();
+  Store store(store_config());
+  TablePolicy policy;
+  policy.cache_vectors = 256;
+  policy.policy = GetParam();
+  std::vector<std::uint32_t> counts(4096);
+  for (VectorId v = 0; v < 4096; ++v) counts[v] = v % 40;  // synthetic stats
+  const TableId t = store.add_table(
+      values, BlockLayout::random(4096, 32, 9), policy, counts);
+
+  const Trace trace = gen.generate(500);
+  std::vector<std::byte> out(128 * 256);
+  for (std::size_t q = 0; q < trace.num_queries(); ++q) {
+    const auto ids = trace.query(q);
+    ASSERT_LE(ids.size() * 128, out.size());
+    store.lookup_batch(t, ids, out);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      ASSERT_TRUE(bytes_match(values, ids[i],
+                              {out.data() + i * 128, 128}))
+          << "policy " << to_string(GetParam()) << " vector " << ids[i];
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, StoreTest,
+    ::testing::Values(PrefetchPolicy::kNone, PrefetchPolicy::kAll,
+                      PrefetchPolicy::kPosition, PrefetchPolicy::kShadow,
+                      PrefetchPolicy::kShadowPosition,
+                      PrefetchPolicy::kThreshold),
+    [](const auto& info) {
+      std::string s = to_string(info.param);
+      for (char& c : s) {
+        if (c == '+') c = '_';
+      }
+      return s;
+    });
+
+TEST(Store, MetricsAreConsistent) {
+  TraceGenerator gen(table_config(), 2);
+  const EmbeddingTable values = gen.make_embeddings();
+  Store store(store_config());
+  TablePolicy policy;
+  policy.cache_vectors = 512;
+  policy.policy = PrefetchPolicy::kNone;
+  const TableId t =
+      store.add_table(values, BlockLayout::identity(4096, 32), policy);
+  const Trace trace = gen.generate(300);
+  std::vector<std::byte> out(128 * 256);
+  for (std::size_t q = 0; q < trace.num_queries(); ++q) {
+    store.lookup_batch(t, trace.query(q), out);
+  }
+  const auto& m = store.table_metrics(t);
+  EXPECT_EQ(m.lookups, trace.total_lookups());
+  EXPECT_LE(m.hits, m.lookups);
+  EXPECT_EQ(m.app_bytes_served, m.lookups * 128);
+  EXPECT_EQ(m.nvm_bytes_read, m.nvm_block_reads * 4096);
+  EXPECT_GT(m.nvm_block_reads, 0u);
+  // Batching lets same-query misses share a block read, so the fraction can
+  // exceed the naive 128/4096 but never 1.
+  EXPECT_GE(m.effective_bandwidth_fraction(), 128.0 / 4096.0 - 1e-9);
+  EXPECT_LE(m.effective_bandwidth_fraction(), 1.0);
+}
+
+TEST(Store, RepeatLookupHitsCache) {
+  TraceGenerator gen(table_config(), 3);
+  const EmbeddingTable values = gen.make_embeddings();
+  Store store(store_config());
+  TablePolicy policy;
+  policy.cache_vectors = 64;
+  const TableId t = store.add_table(values, BlockLayout::identity(4096, 32),
+                                    policy, std::vector<std::uint32_t>(4096, 0));
+  std::vector<std::byte> out(128);
+  store.lookup(t, 7, out);
+  const auto before = store.table_metrics(t).nvm_block_reads;
+  store.lookup(t, 7, out);
+  EXPECT_EQ(store.table_metrics(t).nvm_block_reads, before);
+  EXPECT_EQ(store.table_metrics(t).hits, 1u);
+}
+
+TEST(Store, MultipleTablesIsolated) {
+  TraceGenerator gen(table_config(), 4);
+  const EmbeddingTable values = gen.make_embeddings();
+  Store store(store_config());
+  TablePolicy policy;
+  policy.cache_vectors = 64;
+  policy.policy = PrefetchPolicy::kNone;
+  const TableId a = store.add_table(values, BlockLayout::identity(4096, 32), policy);
+  const TableId b = store.add_table(values, BlockLayout::random(4096, 32, 5), policy);
+  std::vector<std::byte> oa(128), ob(128);
+  store.lookup(a, 100, oa);
+  store.lookup(b, 100, ob);
+  EXPECT_TRUE(bytes_match(values, 100, oa));
+  EXPECT_TRUE(bytes_match(values, 100, ob));
+  EXPECT_EQ(store.table_metrics(a).lookups, 1u);
+  EXPECT_EQ(store.table_metrics(b).lookups, 1u);
+  EXPECT_EQ(store.total_metrics().lookups, 2u);
+}
+
+TEST(Store, TimingRecordsQueryLatency) {
+  TraceGenerator gen(table_config(), 5);
+  const EmbeddingTable values = gen.make_embeddings();
+  Store store(store_config(/*timing=*/true));
+  TablePolicy policy;
+  policy.cache_vectors = 64;
+  policy.policy = PrefetchPolicy::kNone;
+  const TableId t = store.add_table(values, BlockLayout::identity(4096, 32), policy);
+  std::vector<std::byte> out(128 * 8);
+  const VectorId miss_ids[] = {0, 500, 1000, 1500};
+  const double lat = store.lookup_batch(t, miss_ids, out);
+  EXPECT_GT(lat, 0.0);  // misses hit NVM
+  const double before = store.now_us();
+  const VectorId hit_ids[] = {0};
+  const double hit_lat = store.lookup_batch(t, hit_ids, out);
+  EXPECT_EQ(hit_lat, 0.0);  // pure DRAM hit
+  EXPECT_EQ(store.now_us(), before);
+  EXPECT_EQ(store.query_latency_us().count(), 2u);
+}
+
+TEST(Store, RepublishRefreshesValuesAndCountsEndurance) {
+  TraceGenerator gen(table_config(), 6);
+  const EmbeddingTable values = gen.make_embeddings();
+  Store store(store_config());
+  TablePolicy policy;
+  policy.cache_vectors = 64;
+  const TableId t = store.add_table(values, BlockLayout::identity(4096, 32),
+                                    policy, std::vector<std::uint32_t>(4096, 0));
+  std::vector<std::byte> out(128);
+  store.lookup(t, 42, out);  // warm the cache with the old value
+
+  EmbeddingTable updated(4096, 32);
+  for (VectorId v = 0; v < 4096; ++v) {
+    for (int d = 0; d < 32; ++d) updated.vector(v)[d] = static_cast<float>(v + d);
+  }
+  const auto writes_before = store.endurance().total_bytes_written();
+  store.republish(t, updated, 0.5);
+  EXPECT_GT(store.endurance().total_bytes_written(), writes_before);
+
+  store.lookup(t, 42, out);
+  EXPECT_TRUE(bytes_match(updated, 42, out));  // stale cache was dropped
+}
+
+TEST(Store, RejectsBadGeometry) {
+  StoreConfig cfg;
+  cfg.vector_bytes = 100;  // does not divide 4096
+  EXPECT_THROW(Store{cfg}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bandana

@@ -1,0 +1,34 @@
+#include "common/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace bandana {
+namespace {
+
+TEST(TablePrinter, Formatting) {
+  EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::fmt(2.0, 0), "2");
+  EXPECT_EQ(TablePrinter::pct(0.256, 1), "25.6%");
+  EXPECT_EQ(TablePrinter::pct(1.5, 0), "150%");
+}
+
+TEST(TablePrinter, PrintsAlignedColumns) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "2.5"});
+  const std::string path = ::testing::TempDir() + "/table.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w+");
+  ASSERT_NE(f, nullptr);
+  t.print(f);
+  std::rewind(f);
+  char buf[256];
+  ASSERT_NE(std::fgets(buf, sizeof(buf), f), nullptr);
+  EXPECT_TRUE(std::string(buf).find("name") != std::string::npos);
+  ASSERT_NE(std::fgets(buf, sizeof(buf), f), nullptr);  // separator
+  EXPECT_EQ(buf[0], '-');
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace bandana

@@ -1,0 +1,77 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace bandana {
+namespace {
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> touched(1000);
+  pool.parallel_for(1000, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) touched[i].fetch_add(1);
+  });
+  for (auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmpty) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ParallelForFewerItemsThanThreads) {
+  ThreadPool pool(8);
+  std::atomic<int> sum{0};
+  pool.parallel_for(3, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) sum.fetch_add(static_cast<int>(i));
+  });
+  EXPECT_EQ(sum.load(), 0 + 1 + 2);
+}
+
+TEST(ThreadPool, SubmitAndWait) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<std::size_t> sum{0};
+    pool.parallel_for(100, [&](std::size_t b, std::size_t e) {
+      std::size_t local = 0;
+      for (std::size_t i = b; i < e; ++i) local += i;
+      sum.fetch_add(local);
+    });
+    EXPECT_EQ(sum.load(), 4950u);
+  }
+}
+
+TEST(ThreadPool, ChunkBoundariesDeterministic) {
+  // Static chunking: recording chunk boundaries twice gives the same set.
+  auto boundaries = [](ThreadPool& pool) {
+    std::mutex mu;
+    std::vector<std::pair<std::size_t, std::size_t>> out;
+    pool.parallel_for(101, [&](std::size_t b, std::size_t e) {
+      std::lock_guard<std::mutex> lock(mu);
+      out.emplace_back(b, e);
+    });
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  ThreadPool pool(4);
+  EXPECT_EQ(boundaries(pool), boundaries(pool));
+}
+
+}  // namespace
+}  // namespace bandana

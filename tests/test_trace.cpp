@@ -1,0 +1,74 @@
+#include "trace/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace bandana {
+namespace {
+
+TEST(Trace, AddAndQuery) {
+  Trace t;
+  const VectorId q0[] = {1, 2, 3};
+  const VectorId q1[] = {7};
+  t.add_query(q0);
+  t.add_query(q1);
+  EXPECT_EQ(t.num_queries(), 2u);
+  EXPECT_EQ(t.total_lookups(), 4u);
+  ASSERT_EQ(t.query(0).size(), 3u);
+  EXPECT_EQ(t.query(0)[2], 3u);
+  ASSERT_EQ(t.query(1).size(), 1u);
+  EXPECT_EQ(t.query(1)[0], 7u);
+}
+
+TEST(Trace, EmptyQueryAllowed) {
+  Trace t;
+  t.add_query({});
+  EXPECT_EQ(t.num_queries(), 1u);
+  EXPECT_EQ(t.query(0).size(), 0u);
+}
+
+TEST(Trace, Head) {
+  Trace t;
+  const VectorId a[] = {1, 2};
+  const VectorId b[] = {3};
+  const VectorId c[] = {4, 5, 6};
+  t.add_query(a);
+  t.add_query(b);
+  t.add_query(c);
+  const Trace h = t.head(2);
+  EXPECT_EQ(h.num_queries(), 2u);
+  EXPECT_EQ(h.total_lookups(), 3u);
+  EXPECT_EQ(h.query(1)[0], 3u);
+  // head beyond size returns everything
+  EXPECT_EQ(t.head(10), t);
+}
+
+TEST(Trace, SaveLoadRoundtrip) {
+  Trace t;
+  const VectorId a[] = {10, 20, 30};
+  const VectorId b[] = {40};
+  t.add_query(a);
+  t.add_query(b);
+  const std::string path = ::testing::TempDir() + "/trace_roundtrip.bin";
+  t.save(path);
+  const Trace loaded = Trace::load(path);
+  EXPECT_EQ(loaded, t);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, LoadRejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/trace_garbage.bin";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("not a trace", f);
+  std::fclose(f);
+  EXPECT_THROW(Trace::load(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, LoadMissingFileThrows) {
+  EXPECT_THROW(Trace::load("/nonexistent/trace.bin"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace bandana

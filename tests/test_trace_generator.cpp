@@ -1,0 +1,170 @@
+#include "trace/trace_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "trace/characterizer.h"
+#include "trace/paper_workload.h"
+
+namespace bandana {
+namespace {
+
+TableWorkloadConfig small_config() {
+  TableWorkloadConfig cfg;
+  cfg.num_vectors = 10'000;
+  cfg.mean_lookups_per_query = 12.0;
+  cfg.new_vector_prob = 0.1;
+  cfg.num_profiles = 200;
+  cfg.profile_size = 64;
+  return cfg;
+}
+
+TEST(Poisson, MeanApproximatelyCorrect) {
+  Rng rng(1);
+  for (double mean : {0.5, 3.0, 20.0, 90.0}) {
+    double sum = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) sum += poisson_sample(rng, mean);
+    EXPECT_NEAR(sum / n, mean, mean * 0.05 + 0.05) << "mean " << mean;
+  }
+}
+
+TEST(TraceGenerator, DeterministicPerSeed) {
+  TraceGenerator a(small_config(), 42), b(small_config(), 42);
+  EXPECT_EQ(a.generate(500), b.generate(500));
+}
+
+TEST(TraceGenerator, DifferentSeedsDiffer) {
+  TraceGenerator a(small_config(), 1), b(small_config(), 2);
+  EXPECT_NE(a.generate(100), b.generate(100));
+}
+
+TEST(TraceGenerator, IdsInRange) {
+  TraceGenerator g(small_config(), 3);
+  const Trace t = g.generate(2000);
+  for (VectorId v : t.all_lookups()) EXPECT_LT(v, 10'000u);
+}
+
+TEST(TraceGenerator, MeanLookupsMatchesConfig) {
+  TraceGenerator g(small_config(), 4);
+  const Trace t = g.generate(5000);
+  const double avg =
+      static_cast<double>(t.total_lookups()) / t.num_queries();
+  EXPECT_NEAR(avg, 12.0, 0.5);
+}
+
+TEST(TraceGenerator, CompulsoryRateTracksNewVectorProb) {
+  auto cfg = small_config();
+  cfg.new_vector_prob = 0.3;
+  TraceGenerator g(cfg, 5);
+  const Trace t = g.generate(3000);
+  const auto c = characterize(t, cfg.num_vectors);
+  // Fresh draws dominate uniqueness; profile/popular draws add a little.
+  EXPECT_GT(c.compulsory_miss_rate(), 0.2);
+  EXPECT_LT(c.compulsory_miss_rate(), 0.5);
+}
+
+TEST(TraceGenerator, LowNewVectorProbIsCacheable) {
+  auto cfg = small_config();
+  cfg.new_vector_prob = 0.02;
+  TraceGenerator g(cfg, 6);
+  const Trace t = g.generate(5000);
+  const auto c = characterize(t, cfg.num_vectors);
+  EXPECT_LT(c.compulsory_miss_rate(), 0.16);
+}
+
+TEST(TraceGenerator, StreamContinuesAcrossCalls) {
+  // Two successive generate() calls must not repeat the fresh stack:
+  // uniqueness over the concatenation should not double-count.
+  TraceGenerator g(small_config(), 7);
+  const Trace t1 = g.generate(1000);
+  const Trace t2 = g.generate(1000);
+  std::vector<bool> seen(10'000, false);
+  std::uint64_t unique = 0;
+  for (const Trace* t : {&t1, &t2}) {
+    for (VectorId v : t->all_lookups()) {
+      if (!seen[v]) {
+        seen[v] = true;
+        ++unique;
+      }
+    }
+  }
+  const auto c1 = characterize(t1, 10'000);
+  // Unique vectors grow sub-linearly (shared profiles), not 2x.
+  EXPECT_LT(unique, 2 * c1.unique_vectors);
+}
+
+TEST(TraceGenerator, EmbeddingsClusterByCommunity) {
+  auto cfg = small_config();
+  cfg.embedding_noise = 0.05;
+  TraceGenerator g(cfg, 8);
+  const EmbeddingTable e = g.make_embeddings();
+  ASSERT_EQ(e.num_vectors(), cfg.num_vectors);
+  // Vectors in the same community must be far closer than across
+  // communities on average.
+  Rng rng(9);
+  double same = 0, cross = 0;
+  int ns = 0, nc = 0;
+  for (int i = 0; i < 3000; ++i) {
+    const VectorId a = static_cast<VectorId>(rng.next_below(cfg.num_vectors));
+    const VectorId b = static_cast<VectorId>(rng.next_below(cfg.num_vectors));
+    if (a == b) continue;
+    double d = 0;
+    for (std::uint16_t k = 0; k < cfg.dim; ++k) {
+      const double diff = e.vector(a)[k] - e.vector(b)[k];
+      d += diff * diff;
+    }
+    if (g.community_of(a) == g.community_of(b)) {
+      same += d;
+      ++ns;
+    } else {
+      cross += d;
+      ++nc;
+    }
+  }
+  ASSERT_GT(ns, 0);
+  ASSERT_GT(nc, 0);
+  EXPECT_LT(same / ns, 0.2 * (cross / nc));
+}
+
+TEST(TraceGenerator, EmbeddingsDeterministic) {
+  TraceGenerator g1(small_config(), 10), g2(small_config(), 10);
+  g2.generate(100);  // consuming trace RNG must not perturb values
+  const EmbeddingTable a = g1.make_embeddings();
+  const EmbeddingTable b = g2.make_embeddings();
+  EXPECT_EQ(a.raw(), b.raw());
+}
+
+TEST(PaperWorkload, EightTablesWithPaperShape) {
+  const auto tables = paper_tables();
+  ASSERT_EQ(tables.size(), 8u);
+  // Table 2 has the highest lookup volume, table 8 the worst reuse.
+  EXPECT_GT(tables[1].mean_lookups_per_query, tables[0].mean_lookups_per_query);
+  EXPECT_GT(tables[7].new_vector_prob, 0.5);
+  EXPECT_LT(tables[1].new_vector_prob, 0.05);
+  for (const auto& t : tables) {
+    EXPECT_GT(t.num_vectors, 0u);
+    EXPECT_EQ(t.vector_bytes(), 128u);
+  }
+}
+
+TEST(PaperWorkload, ScaleOption) {
+  PaperWorkloadOptions opts;
+  opts.scale = 0.1;
+  const auto tables = paper_tables(opts);
+  EXPECT_EQ(tables[0].num_vectors, 10'000u);
+  opts.dim = 16;
+  EXPECT_EQ(paper_tables(opts)[0].vector_bytes(), 64u);
+}
+
+TEST(PaperWorkload, QueriesForLookups) {
+  const auto tables = paper_tables();
+  double per_query = 0;
+  for (const auto& t : tables) per_query += t.mean_lookups_per_query;
+  const std::size_t q = queries_for_lookups(tables, 1'000'000);
+  EXPECT_NEAR(static_cast<double>(q) * per_query, 1'000'000.0, per_query + 1);
+}
+
+}  // namespace
+}  // namespace bandana

@@ -1,0 +1,73 @@
+#include "common/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bandana {
+namespace {
+
+TEST(Zipf, InRange) {
+  Rng rng(1);
+  for (double s : {0.0, 0.5, 1.0, 1.3}) {
+    ZipfSampler z(100, s);
+    for (int i = 0; i < 5000; ++i) EXPECT_LT(z(rng), 100u);
+  }
+}
+
+TEST(Zipf, SingleElement) {
+  Rng rng(2);
+  ZipfSampler z(1, 0.9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z(rng), 0u);
+}
+
+TEST(Zipf, ZeroSkewIsUniform) {
+  Rng rng(3);
+  ZipfSampler z(10, 0.0);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[z(rng)];
+  for (int c : counts) EXPECT_NEAR(c, n / 10, n / 10 * 0.15);
+}
+
+TEST(Zipf, RankZeroMostPopular) {
+  Rng rng(4);
+  ZipfSampler z(1000, 1.0);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 200000; ++i) ++counts[z(rng)];
+  EXPECT_GT(counts[0], counts[9]);
+  EXPECT_GT(counts[9], counts[99]);
+  EXPECT_GT(counts[99], counts[999]);
+}
+
+TEST(Zipf, MatchesAnalyticProbabilities) {
+  // P(rank r) = (r+1)^-s / H_n(s); check the head of the distribution.
+  const std::uint64_t n = 50;
+  const double s = 0.8;
+  double hn = 0;
+  for (std::uint64_t r = 1; r <= n; ++r) hn += std::pow(r, -s);
+  Rng rng(5);
+  ZipfSampler z(n, s);
+  std::vector<double> counts(n, 0);
+  const int samples = 500000;
+  for (int i = 0; i < samples; ++i) counts[z(rng)] += 1.0;
+  for (std::uint64_t r = 0; r < 5; ++r) {
+    const double expected = std::pow(r + 1.0, -s) / hn;
+    EXPECT_NEAR(counts[r] / samples, expected, expected * 0.05)
+        << "rank " << r;
+  }
+}
+
+TEST(Zipf, HigherSkewConcentratesMass) {
+  Rng rng(6);
+  ZipfSampler weak(10000, 0.5), strong(10000, 1.2);
+  auto top100_mass = [&](ZipfSampler& z) {
+    int top = 0;
+    for (int i = 0; i < 100000; ++i) top += z(rng) < 100;
+    return top;
+  };
+  EXPECT_LT(top100_mass(weak), top100_mass(strong));
+}
+
+}  // namespace
+}  // namespace bandana
