@@ -131,6 +131,39 @@ void BM_StoreLookupBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_StoreLookupBatch);
 
+void BM_StoreMultiGet(benchmark::State& state) {
+  TableWorkloadConfig cfg;
+  cfg.num_vectors = 32'768;
+  cfg.mean_lookups_per_query = 16;
+  TraceGenerator gen_a(cfg, 5), gen_b(cfg, 6);
+  const EmbeddingTable values_a = gen_a.make_embeddings();
+  const EmbeddingTable values_b = gen_b.make_embeddings();
+  StoreConfig store_cfg;
+  store_cfg.simulate_timing = true;
+  TablePolicy policy;
+  policy.cache_vectors = 4096;
+  policy.policy = PrefetchPolicy::kAll;
+  StoreBuilder builder(store_cfg);
+  builder.add_table(values_a,
+                    TablePlan{BlockLayout::random(cfg.num_vectors, 32, 3),
+                              {}, policy, 0.0});
+  builder.add_table(values_b,
+                    TablePlan{BlockLayout::random(cfg.num_vectors, 32, 4),
+                              {}, policy, 0.0});
+  Store store = builder.build();
+  const Trace trace_a = gen_a.generate(4000);
+  const Trace trace_b = gen_b.generate(4000);
+  std::size_t q = 0;
+  for (auto _ : state) {
+    MultiGetRequest req;
+    req.add(0, trace_a.query(q)).add(1, trace_b.query(q));
+    benchmark::DoNotOptimize(store.multi_get(req));
+    q = (q + 1) % trace_a.num_queries();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StoreMultiGet);
+
 }  // namespace
 }  // namespace bandana
 

@@ -1,9 +1,11 @@
-// Quickstart: build a Bandana store for one embedding table and serve
-// lookups from it.
+// Quickstart: train a plan for one embedding table, build a store from it
+// in one shot, and serve request-level traffic.
 //
 //   1. Generate a synthetic table + access stream (stand-in for production).
 //   2. Train: SHP layout from history + threshold tuning via mini caches.
-//   3. Serve queries; print hit rate, NVM reads, and effective bandwidth.
+//   3. StoreBuilder(cfg).add_plan(plan, tables).build() — no per-table
+//      ceremony; swap .file_storage(path) in to run against a real file.
+//   4. Serve MultiGetRequests; print hit rate, NVM reads, request latency.
 #include <cstdio>
 #include <vector>
 
@@ -22,7 +24,7 @@ int main() {
   workload.profile_skew = 0.7;
   TraceGenerator gen(workload, /*seed=*/42);
   const Trace history = gen.generate(20'000);  // what we train on
-  const EmbeddingTable values = gen.make_embeddings();
+  const std::vector<EmbeddingTable> tables = {gen.make_embeddings()};
 
   // 2. Offline training: placement + cache policy.
   StoreConfig store_cfg;  // defaults: 4 KB blocks, 128 B vectors, timing on
@@ -38,15 +40,20 @@ int main() {
               static_cast<unsigned long long>(
                   plan.tables[0].policy.cache_vectors));
 
-  // 3. Boot the store and serve fresh traffic from the same stream.
-  Store store(store_cfg);
-  const TableId table = store.add_table(values, plan.tables[0].layout,
-                                        plan.tables[0].policy,
-                                        plan.tables[0].access_counts);
+  // 3. Boot the store in one shot from the plan.
+  Store store = StoreBuilder(store_cfg).add_plan(plan, tables).build();
+
+  // 4. Serve fresh traffic from the same stream, one request per query.
+  //    multi_get timing is open-loop: advance_time_us paces the arrivals
+  //    (50 us apart = 20k requests/s offered load).
   const Trace live = gen.generate(5'000);
-  std::vector<std::byte> out(store_cfg.vector_bytes * 512);
+  const TableId table = 0;
   for (std::size_t q = 0; q < live.num_queries(); ++q) {
-    store.lookup_batch(table, live.query(q), out);
+    MultiGetRequest req;
+    req.add(table, live.query(q));
+    store.advance_time_us(50.0);
+    const MultiGetResult res = store.multi_get(req);
+    (void)res;  // res.vectors[0] holds the embedding bytes, in id order
   }
 
   const TableMetrics& m = store.table_metrics(table);
@@ -56,8 +63,8 @@ int main() {
   std::printf("effective bandwidth: %.1f%% of NVM reads were useful bytes "
               "(naive baseline: 3.1%%)\n",
               100 * m.effective_bandwidth_fraction());
-  std::printf("query latency: mean %.1f us, p99 %.1f us (simulated NVM)\n",
-              store.query_latency_us().mean(),
-              store.query_latency_us().percentile(0.99));
+  std::printf("request latency: mean %.1f us, p99 %.1f us (simulated NVM)\n",
+              store.request_latency_us().mean(),
+              store.request_latency_us().percentile(0.99));
   return 0;
 }

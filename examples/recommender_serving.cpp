@@ -1,8 +1,14 @@
 // End-to-end recommender serving: the full 8-table production-like model
-// (paper Table 1) behind one Bandana store, trained offline and serving
-// batched user requests with simulated NVM timing. Compares against the
-// naive single-vector baseline and reports the DRAM savings story (§1).
+// (paper Table 1) behind one Bandana store, trained offline, built in one
+// shot from the plan, and serving whole DLRM requests (one MultiGetRequest
+// fanning out across every table) with simulated NVM timing. A second wave
+// is served asynchronously on a ThreadPool. Compares against the naive
+// single-vector baseline and reports the DRAM savings story (§1).
+//
+// Run with a path argument to back the store with a real file instead of
+// heap memory:   ./recommender_serving /tmp/bandana_blocks.bin
 #include <cstdio>
+#include <future>
 #include <vector>
 
 #include "common/table_printer.h"
@@ -11,7 +17,7 @@
 
 using namespace bandana;
 
-int main() {
+int main(int argc, char** argv) {
   PaperWorkloadOptions opts;
   opts.scale = 0.1;  // 8 tables of 10k-20k vectors
   const auto configs = paper_tables(opts);
@@ -34,27 +40,53 @@ int main() {
   ThreadPool pool;
   const StorePlan plan = trainer.train(train, sizes, &pool);
 
-  Store store(store_cfg);
-  for (std::size_t i = 0; i < plan.tables.size(); ++i) {
-    store.add_table(gens[i].make_embeddings(), plan.tables[i].layout,
-                    plan.tables[i].policy, plan.tables[i].access_counts);
+  // One-shot boot from the trained plan; storage is allocated at its final
+  // size, which is what makes the file backend practical.
+  std::vector<EmbeddingTable> tables;
+  for (auto& g : gens) tables.push_back(g.make_embeddings());
+  StoreBuilder builder(store_cfg);
+  builder.add_plan(plan, tables);
+  if (argc > 1) {
+    builder.file_storage(argv[1]);
+    std::printf("backing storage: file %s\n", argv[1]);
   }
+  Store store = builder.build();
 
-  std::printf("model: %llu vectors on NVM, %llu cached in DRAM (%.1f%%)\n\n",
+  std::printf("model: %llu vectors on NVM (%llu blocks), %llu cached in DRAM "
+              "(%.1f%%)\n\n",
               static_cast<unsigned long long>(total_vectors),
+              static_cast<unsigned long long>(store.storage().num_blocks()),
               static_cast<unsigned long long>(trainer_cfg.total_cache_vectors),
               100.0 * trainer_cfg.total_cache_vectors / total_vectors);
 
-  // Serve 5k user requests; each request looks up every user table.
+  // Serve 5k user requests synchronously; each request fans out across all
+  // tables and its block reads are deduplicated and scheduled as one unit.
   std::vector<Trace> live;
   for (auto& g : gens) live.push_back(g.generate(5'000));
-  std::vector<std::byte> out(store_cfg.vector_bytes * 1024);
   for (std::size_t q = 0; q < 5'000; ++q) {
+    MultiGetRequest req;
     for (std::size_t i = 0; i < live.size(); ++i) {
-      store.lookup_batch(static_cast<TableId>(i), live[i].query(q), out);
+      req.add(static_cast<TableId>(i), live[i].query(q));
     }
-    store.advance_time_us(50.0);  // request inter-arrival
+    store.multi_get(req);
+    store.advance_time_us(150.0);  // request inter-arrival
   }
+
+  // A second wave served asynchronously: requests pipeline across tables
+  // via per-table locking.
+  std::vector<Trace> wave2;
+  for (auto& g : gens) wave2.push_back(g.generate(1'000));
+  ThreadPool serving_pool(4);
+  std::vector<std::future<MultiGetResult>> inflight;
+  for (std::size_t q = 0; q < 1'000; ++q) {
+    MultiGetRequest req;
+    for (std::size_t i = 0; i < wave2.size(); ++i) {
+      req.add(static_cast<TableId>(i), wave2[i].query(q));
+    }
+    store.advance_time_us(150.0);
+    inflight.push_back(store.multi_get_async(std::move(req), serving_pool));
+  }
+  for (auto& f : inflight) f.get();
 
   TablePrinter t({"table", "cache_vec", "t", "hit_rate", "nvm_reads",
                   "effective_bw"});
@@ -70,12 +102,12 @@ int main() {
   t.print();
 
   const auto total = store.total_metrics();
-  std::printf("\ntotals: %llu lookups, %llu NVM reads, query latency mean "
+  std::printf("\ntotals: %llu lookups, %llu NVM reads, request latency mean "
               "%.1f us / p99 %.1f us\n",
               static_cast<unsigned long long>(total.lookups),
               static_cast<unsigned long long>(total.nvm_block_reads),
-              store.query_latency_us().mean(),
-              store.query_latency_us().percentile(0.99));
+              store.request_latency_us().mean(),
+              store.request_latency_us().percentile(0.99));
   std::printf("DRAM saved vs all-DRAM serving: %.1f%% (only the cache stays "
               "in DRAM)\n",
               100.0 * (1.0 - static_cast<double>(trainer_cfg.total_cache_vectors) /

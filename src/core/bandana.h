@@ -13,7 +13,9 @@
 #include "cache/mini_cache.h"       // IWYU pragma: export
 #include "core/config.h"            // IWYU pragma: export
 #include "core/metrics.h"           // IWYU pragma: export
+#include "core/request.h"           // IWYU pragma: export
 #include "core/store.h"             // IWYU pragma: export
+#include "core/store_builder.h"     // IWYU pragma: export
 #include "core/trainer.h"           // IWYU pragma: export
 #include "nvm/block_storage.h"      // IWYU pragma: export
 #include "nvm/endurance.h"          // IWYU pragma: export

@@ -1,0 +1,84 @@
+// Request-level serving types.
+//
+// A DLRM ranking request fans out across *many* embedding tables (one id
+// list per sparse feature). MultiGetRequest carries the whole request;
+// Store::multi_get serves it as a unit, deduplicating block reads across
+// all id lists and scheduling the resulting NVM reads together.
+//
+// Id lists are owned (not spans) so a request can be moved onto a
+// ThreadPool for async serving without dangling references.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace bandana {
+
+struct MultiGetRequest {
+  struct TableGet {
+    TableId table = 0;
+    std::vector<VectorId> ids;
+  };
+
+  std::vector<TableGet> gets;
+
+  /// Append one table's id list. Returns *this for chaining:
+  ///   req.add(users, user_ids).add(ads, ad_ids);
+  MultiGetRequest& add(TableId table, std::span<const VectorId> ids) {
+    gets.push_back({table, {ids.begin(), ids.end()}});
+    return *this;
+  }
+
+  MultiGetRequest& add(TableId table, std::vector<VectorId> ids) {
+    gets.push_back({table, std::move(ids)});
+    return *this;
+  }
+
+  std::size_t total_ids() const {
+    std::size_t n = 0;
+    for (const auto& g : gets) n += g.ids.size();
+    return n;
+  }
+};
+
+struct MultiGetResult {
+  struct TableStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t block_reads = 0;  ///< After request-wide dedup.
+  };
+
+  /// vectors[i] holds gets[i].ids.size() * vector_bytes bytes, in id order.
+  std::vector<std::vector<std::byte>> vectors;
+
+  /// per_table[i] describes how gets[i] was served.
+  std::vector<TableStats> per_table;
+
+  /// NVM block reads issued for the whole request (deduplicated across all
+  /// id lists, including repeats of the same table).
+  std::uint64_t block_reads = 0;
+
+  /// Simulated service latency in microseconds (0 when timing is off):
+  /// all block reads are submitted at request arrival and scheduled across
+  /// the device channels; the request completes with its slowest read.
+  /// Includes queueing behind earlier requests' channel backlog (arrivals
+  /// are open-loop — see Store::multi_get).
+  double service_latency_us = 0.0;
+
+  std::uint64_t hits() const {
+    std::uint64_t h = 0;
+    for (const auto& s : per_table) h += s.hits;
+    return h;
+  }
+  std::uint64_t lookups() const {
+    std::uint64_t n = 0;
+    for (const auto& s : per_table) n += s.hits + s.misses;
+    return n;
+  }
+};
+
+}  // namespace bandana

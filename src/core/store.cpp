@@ -1,14 +1,24 @@
 #include "core/store.h"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
+#include <utility>
+
+#include "core/store_builder.h"
+#include "core/trainer.h"
 
 namespace bandana {
 
 Store::Store(StoreConfig config, std::uint64_t seed)
+    : Store(config, memory_storage_factory(), seed) {}
+
+Store::Store(StoreConfig config, BlockStorageFactory storage_factory,
+             std::uint64_t seed)
     : config_(config),
+      storage_factory_(std::move(storage_factory)),
+      storage_mu_(std::make_unique<std::shared_mutex>()),
       latency_model_(config.device),
+      timing_mu_(std::make_unique<std::mutex>()),
       channel_free_us_(config.device.channels, 0.0),
       rng_(seed),
       endurance_(config.device.capacity_blocks * config.device.block_bytes,
@@ -16,64 +26,136 @@ Store::Store(StoreConfig config, std::uint64_t seed)
   if (config_.block_bytes % config_.vector_bytes != 0) {
     throw std::invalid_argument("vector_bytes must divide block_bytes");
   }
+  if (!storage_factory_) {
+    throw std::invalid_argument("Store: null storage factory");
+  }
+}
+
+Store Store::from_plan(const StoreConfig& config, const StorePlan& plan,
+                       std::span<const EmbeddingTable> tables,
+                       BlockStorageFactory storage_factory,
+                       std::uint64_t seed) {
+  StoreBuilder builder(config);
+  builder.seed(seed);
+  if (storage_factory) builder.storage(std::move(storage_factory));
+  return builder.add_plan(plan, tables).build();
+}
+
+void Store::ensure_capacity(std::uint64_t total_blocks) {
+  if (storage_ && storage_->num_blocks() >= total_blocks) return;
+  // Buffer published blocks through memory: a file factory re-creates (and
+  // truncates) its backing path, so the old storage must be drained first.
+  const std::uint64_t used = next_block_;
+  std::vector<std::byte> old(used * config_.block_bytes);
+  const auto block_of = [&](std::uint64_t b) {
+    return std::span<std::byte>(old).subspan(b * config_.block_bytes,
+                                             config_.block_bytes);
+  };
+  for (BlockId b = 0; b < used; ++b) storage_->read_block(b, block_of(b));
+
+  std::unique_ptr<BlockStorage> grown;
+  try {
+    grown = storage_factory_(total_blocks, config_.block_bytes);
+    if (!grown || grown->num_blocks() < total_blocks ||
+        grown->block_bytes() != config_.block_bytes) {
+      throw std::runtime_error("Store: storage factory produced bad geometry");
+    }
+  } catch (...) {
+    // Keep the store serving from its previous storage. A same-path file
+    // factory may have truncated the backing file before failing, so
+    // restore the drained blocks into the old storage.
+    for (BlockId b = 0; b < used; ++b) storage_->write_block(b, block_of(b));
+    throw;
+  }
+  storage_ = std::move(grown);
+  for (BlockId b = 0; b < used; ++b) storage_->write_block(b, block_of(b));
+}
+
+void Store::reserve_blocks(std::uint64_t total_blocks) {
+  std::unique_lock lock(*storage_mu_);
+  ensure_capacity(total_blocks);
 }
 
 TableId Store::add_table(const EmbeddingTable& values, BlockLayout layout,
                          TablePolicy policy,
                          std::vector<std::uint32_t> access_counts) {
+  std::unique_lock lock(*storage_mu_);
   const std::uint32_t blocks = layout.num_blocks();
   auto table = std::make_unique<BandanaTable>(
       config_, policy, std::move(layout), std::move(access_counts),
       /*first_block=*/next_block_);
-  // The store-wide storage is grown table by table: allocate a fresh
-  // arena covering all blocks so far plus this table.
-  auto grown = std::make_unique<MemoryBlockStorage>(next_block_ + blocks,
-                                                    config_.block_bytes);
-  if (storage_) {
-    std::vector<std::byte> buf(config_.block_bytes);
-    for (BlockId b = 0; b < next_block_; ++b) {
-      storage_->read_block(b, buf);
-      grown->write_block(b, buf);
-    }
-  }
-  storage_ = std::move(grown);
+  ensure_capacity(std::uint64_t{next_block_} + blocks);
   table->publish(values, *storage_);
   endurance_.record_write(std::uint64_t{blocks} * config_.block_bytes, 0.0);
 
-  block_epochs_.emplace_back(table->num_blocks(), 0);
-  epochs_.push_back(0);
-  tables_.push_back(std::move(table));
+  TableSlot slot;
+  slot.block_epochs.assign(table->num_blocks(), 0);
+  slot.table = std::move(table);
+  slot.mu = std::make_unique<std::mutex>();
+  tables_.push_back(std::move(slot));
   next_block_ += blocks;
   return static_cast<TableId>(tables_.size() - 1);
 }
 
+const Store::TableSlot& Store::checked_slot(TableId t) const {
+  if (t >= tables_.size()) {
+    throw std::out_of_range("Store: bad table id " + std::to_string(t));
+  }
+  return tables_[t];
+}
+
+double Store::schedule_reads(std::uint64_t reads, LatencyRecorder& recorder,
+                             bool advance_clock, double arrival_us) {
+  if (!config_.simulate_timing) return 0.0;
+  std::lock_guard lock(*timing_mu_);
+  // All of the request's block reads are submitted at arrival time; the
+  // dispatch queue spreads them over the device channels, so latency grows
+  // with the request's own queue depth (paper Fig. 2) and with channel
+  // backlog left by earlier requests.
+  const double start = arrival_us < 0.0 ? now_us_ : arrival_us;
+  double max_done = start;
+  for (std::uint64_t i = 0; i < reads; ++i) {
+    max_done = std::max(
+        max_done, submit_read(latency_model_, start, channel_free_us_, rng_));
+  }
+  const double latency = max_done - start;
+  recorder.add(latency);
+  // Closed loop (lookup_batch): the caller waits for the query, so the
+  // clock moves to its completion. Open loop (multi_get): arrivals are
+  // paced by the caller via advance_time_us, so the clock stays at the
+  // arrival time and overload shows up as channel backlog (paper Fig. 5).
+  if (advance_clock) now_us_ = max_done;
+  return latency;
+}
+
 double Store::lookup_batch(TableId t, std::span<const VectorId> ids,
                            std::span<std::byte> out) {
-  assert(t < tables_.size());
-  BandanaTable& table = *tables_[t];
+  std::shared_lock storage_lock(*storage_mu_);
+  const TableSlot& slot = checked_slot(t);
   const std::size_t vb = config_.vector_bytes;
-  assert(out.size() >= ids.size() * vb);
-
-  const std::uint32_t epoch = ++epochs_[t];
-  double max_done = now_us_;
-  for (std::size_t i = 0; i < ids.size(); ++i) {
-    const auto outcome =
-        table.lookup(ids[i], *storage_, out.subspan(i * vb, vb),
-                     &block_epochs_[t], epoch);
-    if (outcome.nvm_read && config_.simulate_timing) {
-      // Batched queries issue their block reads asynchronously at query
-      // start; service latency is bounded by the slowest read.
-      const double done =
-          submit_read(latency_model_, now_us_, channel_free_us_, rng_);
-      max_done = std::max(max_done, done);
+  if (out.size() < ids.size() * vb) {
+    throw std::invalid_argument("lookup_batch: output span too small");
+  }
+  const std::uint32_t num_vectors = slot.table->num_vectors();
+  for (const VectorId v : ids) {
+    if (v >= num_vectors) {
+      throw std::out_of_range("lookup_batch: bad vector id " +
+                              std::to_string(v));
     }
   }
-  const double latency = max_done - now_us_;
-  if (config_.simulate_timing) {
-    query_latency_.add(latency);
-    now_us_ = max_done;
+  std::uint64_t reads = 0;
+  {
+    TableSlot& mut = checked_slot(t);
+    std::lock_guard table_lock(*mut.mu);
+    const std::uint32_t epoch = ++mut.epoch;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      const auto outcome =
+          mut.table->lookup(ids[i], *storage_, out.subspan(i * vb, vb),
+                            &mut.block_epochs, epoch);
+      if (outcome.nvm_read) ++reads;
+    }
   }
-  return latency;
+  return schedule_reads(reads, query_latency_, /*advance_clock=*/true);
 }
 
 double Store::lookup(TableId t, VectorId v, std::span<std::byte> out) {
@@ -81,22 +163,134 @@ double Store::lookup(TableId t, VectorId v, std::span<std::byte> out) {
   return lookup_batch(t, ids, out);
 }
 
-void Store::republish(TableId t, const EmbeddingTable& values, double day) {
-  assert(t < tables_.size());
-  tables_[t]->republish(values, *storage_);
-  endurance_.record_write(
-      std::uint64_t{tables_[t]->num_blocks()} * config_.block_bytes, day);
+MultiGetResult Store::multi_get(const MultiGetRequest& request) {
+  std::shared_lock storage_lock(*storage_mu_);
+  return multi_get_impl(request, /*arrival_us=*/-1.0);
 }
 
-const TableMetrics& Store::table_metrics(TableId t) const {
-  assert(t < tables_.size());
-  return tables_[t]->metrics();
+MultiGetResult Store::multi_get_impl(const MultiGetRequest& request,
+                                     double arrival_us) {
+  const std::size_t vb = config_.vector_bytes;
+  // Validate the whole request up front so a bad entry cannot leave it
+  // half-served (and half-counted in the metrics).
+  for (const auto& get : request.gets) {
+    const TableSlot& slot = checked_slot(get.table);
+    const std::uint32_t num_vectors = slot.table->num_vectors();
+    for (const VectorId v : get.ids) {
+      if (v >= num_vectors) {
+        throw std::out_of_range("multi_get: bad vector id " +
+                                std::to_string(v) + " for table " +
+                                std::to_string(get.table));
+      }
+    }
+  }
+
+  MultiGetResult result;
+  result.vectors.resize(request.gets.size());
+  result.per_table.resize(request.gets.size());
+  // One dedup epoch per distinct table per request: a block read by an
+  // earlier id list (even of the same table appearing twice) is not
+  // re-counted.
+  std::vector<std::pair<TableId, std::uint32_t>> request_epochs;
+  for (std::size_t g = 0; g < request.gets.size(); ++g) {
+    const auto& get = request.gets[g];
+    TableSlot& slot = tables_[get.table];
+    auto& bytes = result.vectors[g];
+    auto& stats = result.per_table[g];
+    bytes.resize(get.ids.size() * vb);
+
+    std::lock_guard table_lock(*slot.mu);
+    std::uint32_t epoch = 0;
+    const auto known =
+        std::find_if(request_epochs.begin(), request_epochs.end(),
+                     [&](const auto& e) { return e.first == get.table; });
+    if (known != request_epochs.end()) {
+      epoch = known->second;
+    } else {
+      epoch = ++slot.epoch;
+      request_epochs.emplace_back(get.table, epoch);
+    }
+    for (std::size_t i = 0; i < get.ids.size(); ++i) {
+      const auto outcome = slot.table->lookup(
+          get.ids[i], *storage_,
+          std::span<std::byte>(bytes).subspan(i * vb, vb),
+          &slot.block_epochs, epoch);
+      if (outcome.hit) ++stats.hits;
+      if (outcome.nvm_read) ++stats.block_reads;
+    }
+    stats.misses = get.ids.size() - stats.hits;
+    result.block_reads += stats.block_reads;
+  }
+  result.service_latency_us =
+      schedule_reads(result.block_reads, request_latency_,
+                     /*advance_clock=*/false, arrival_us);
+  return result;
+}
+
+std::future<MultiGetResult> Store::multi_get_async(MultiGetRequest request,
+                                                   ThreadPool& pool) {
+  auto promise = std::make_shared<std::promise<MultiGetResult>>();
+  auto future = promise->get_future();
+  auto owned = std::make_shared<MultiGetRequest>(std::move(request));
+  // The request arrives NOW, even if the pool serves it later: capture the
+  // timestamp so queued requests keep their true simulated arrival order.
+  const double arrival_us = now_us();
+  pool.submit([this, promise, owned, arrival_us] {
+    try {
+      std::shared_lock storage_lock(*storage_mu_);
+      promise->set_value(multi_get_impl(*owned, arrival_us));
+    } catch (...) {
+      promise->set_exception(std::current_exception());
+    }
+  });
+  return future;
+}
+
+void Store::republish(TableId t, const EmbeddingTable& values, double day) {
+  std::unique_lock lock(*storage_mu_);
+  const TableSlot& slot = checked_slot(t);
+  slot.table->republish(values, *storage_);
+  endurance_.record_write(
+      std::uint64_t{slot.table->num_blocks()} * config_.block_bytes, day);
+}
+
+TableMetrics Store::table_metrics(TableId t) const {
+  const TableSlot& slot = checked_slot(t);
+  std::lock_guard table_lock(*slot.mu);
+  return slot.table->metrics();
+}
+
+const BandanaTable& Store::table(TableId t) const {
+  return *checked_slot(t).table;
 }
 
 TableMetrics Store::total_metrics() const {
   TableMetrics total;
-  for (const auto& table : tables_) total += table->metrics();
+  for (const auto& slot : tables_) {
+    std::lock_guard table_lock(*slot.mu);
+    total += slot.table->metrics();
+  }
   return total;
+}
+
+LatencyRecorder Store::query_latency_us() const {
+  std::lock_guard lock(*timing_mu_);
+  return query_latency_;
+}
+
+LatencyRecorder Store::request_latency_us() const {
+  std::lock_guard lock(*timing_mu_);
+  return request_latency_;
+}
+
+void Store::advance_time_us(double delta) {
+  std::lock_guard lock(*timing_mu_);
+  now_us_ += delta;
+}
+
+double Store::now_us() const {
+  std::lock_guard lock(*timing_mu_);
+  return now_us_;
 }
 
 }  // namespace bandana

@@ -1,27 +1,44 @@
 // bandana::Store — the public entry point: an NVM-backed embedding store
 // with locality-aware placement and a simulation-tuned DRAM cache.
 //
-// Typical use (see examples/quickstart.cpp):
+// Construction is one-shot from a trained plan (see examples/quickstart.cpp):
 //
-//   StoreConfig cfg;                       // 4 KB blocks, 128 B vectors
-//   Store store(cfg);
-//   TableId t = store.add_table(values, layout, policy, access_counts);
-//   std::vector<float> out(dim);
-//   store.lookup_batch(t, query_ids, out_buffer);   // one user request
+//   StorePlan plan = trainer.train(traces, sizes, &pool);
+//   Store store = StoreBuilder(cfg).add_plan(plan, tables).build();
+//   // or, against a real file instead of heap-backed simulation storage:
+//   Store ssd = StoreBuilder(cfg).file_storage("/mnt/nvm/blocks.bin")
+//                   .add_plan(plan, tables).build();
 //
-// Misses read whole 4 KB blocks; co-located vectors are admitted to the
-// cache per the table's policy. When `simulate_timing` is on, block reads
-// flow through the NVM device model and per-query latency is recorded.
+// Serving is request-level: one MultiGetRequest fans out across many
+// embedding tables (a DLRM ranking request). Block reads are deduplicated
+// across the whole request and submitted together at request arrival, so
+// they spread queue-depth-aware over the NVM channels (paper Fig. 2) and
+// the request completes with its slowest read:
+//
+//   MultiGetRequest req;
+//   req.add(user_table, user_ids).add(ads_table, ad_ids);
+//   MultiGetResult res = store.multi_get(req);
+//   // res.vectors[i], res.per_table[i], res.service_latency_us
+//
+// `multi_get_async` serves concurrent request streams on a ThreadPool;
+// tables are locked individually, so requests pipeline across tables.
+// The per-table `lookup_batch` path remains for single-table callers.
 #pragma once
 
 #include <cstdint>
+#include <future>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/stats.h"
+#include "common/thread_pool.h"
 #include "core/config.h"
 #include "core/metrics.h"
+#include "core/request.h"
 #include "core/table.h"
 #include "nvm/block_storage.h"
 #include "nvm/endurance.h"
@@ -30,23 +47,64 @@
 
 namespace bandana {
 
+struct StorePlan;  // trainer.h
+
 class Store {
  public:
+  /// Default backend: heap-backed MemoryBlockStorage (pure simulation).
   explicit Store(StoreConfig config, std::uint64_t seed = 42);
+
+  /// Pluggable backend: `storage_factory` is invoked once the block count
+  /// is known (use file_storage_factory(path) to run against a real file).
+  Store(StoreConfig config, BlockStorageFactory storage_factory,
+        std::uint64_t seed = 42);
+
+  Store(Store&&) = default;
+  Store& operator=(Store&&) = default;
+
+  /// One-shot construction from a Trainer plan: `tables[i]` holds the
+  /// values for `plan.tables[i]`. Storage is allocated exactly once.
+  static Store from_plan(const StoreConfig& config, const StorePlan& plan,
+                         std::span<const EmbeddingTable> tables,
+                         BlockStorageFactory storage_factory = nullptr,
+                         std::uint64_t seed = 42);
+
+  /// Pre-size the backing storage to `total_blocks` so subsequent
+  /// add_table calls need no copy-grow. StoreBuilder calls this with the
+  /// exact plan-wide total.
+  void reserve_blocks(std::uint64_t total_blocks);
 
   /// Register a table: writes `values` to NVM per `layout` and sets up its
   /// DRAM cache. `access_counts` (SHP-run query counts) are required for
-  /// the kThreshold policy. Returns the table handle.
+  /// the kThreshold policy. Returns the table handle. Prefer StoreBuilder /
+  /// from_plan, which size storage once for the whole model.
   TableId add_table(const EmbeddingTable& values, BlockLayout layout,
                     TablePolicy policy,
                     std::vector<std::uint32_t> access_counts = {});
 
   std::size_t num_tables() const { return tables_.size(); }
 
-  /// Serve one query (batched lookups) against table `t`. Writes the
-  /// vectors contiguously into `out` (ids.size() * vector_bytes).
-  /// Returns the simulated service latency in microseconds (0 when timing
-  /// is disabled). Block reads within the query are deduplicated.
+  /// Serve one whole request. Block reads are deduplicated across every id
+  /// list in the request (including repeats of a table) and scheduled
+  /// together across the NVM channels. Timing is open-loop: reads are
+  /// submitted at the current clock and the clock is NOT advanced to the
+  /// request's completion — pace arrivals with advance_time_us, and
+  /// overload shows up as channel backlog growing request over request
+  /// (paper Fig. 5). Throws std::out_of_range on a bad table or vector id,
+  /// before any part of the request is served.
+  MultiGetResult multi_get(const MultiGetRequest& request);
+
+  /// Asynchronous multi_get on `pool`. The request is moved onto the task;
+  /// per-table locks let concurrent requests pipeline across tables.
+  std::future<MultiGetResult> multi_get_async(MultiGetRequest request,
+                                              ThreadPool& pool);
+
+  /// Serve one single-table query (batched lookups) against table `t`.
+  /// Writes the vectors contiguously into `out` (ids.size() *
+  /// vector_bytes). Returns the simulated service latency in microseconds
+  /// (0 when timing is disabled). Block reads within the query are
+  /// deduplicated. Throws std::out_of_range on a bad table or vector id
+  /// and std::invalid_argument if `out` is too small.
   double lookup_batch(TableId t, std::span<const VectorId> ids,
                       std::span<std::byte> out);
 
@@ -54,33 +112,71 @@ class Store {
   double lookup(TableId t, VectorId v, std::span<std::byte> out);
 
   /// Re-publish a table after retraining (§2.2); counts endurance writes.
-  void republish(TableId t, const EmbeddingTable& values,
-                 double day = 0.0);
+  void republish(TableId t, const EmbeddingTable& values, double day = 0.0);
 
-  const TableMetrics& table_metrics(TableId t) const;
+  /// Metrics and latency accessors return consistent snapshots taken under
+  /// the relevant locks, so they are safe to poll while multi_get_async
+  /// requests are in flight.
+  TableMetrics table_metrics(TableId t) const;
   TableMetrics total_metrics() const;
-  const LatencyRecorder& query_latency_us() const { return query_latency_; }
+  LatencyRecorder query_latency_us() const;
+  /// Per-request service latency of multi_get / multi_get_async calls.
+  LatencyRecorder request_latency_us() const;
   const EnduranceTracker& endurance() const { return endurance_; }
   const StoreConfig& config() const { return config_; }
-  const BandanaTable& table(TableId t) const { return *tables_[t]; }
+  const BandanaTable& table(TableId t) const;
+  /// The backing storage (memory or file). Valid once a table exists or
+  /// reserve_blocks ran.
+  const BlockStorage& storage() const { return *storage_; }
 
-  /// Advance the simulated clock (e.g. between request waves).
-  void advance_time_us(double delta) { now_us_ += delta; }
-  double now_us() const { return now_us_; }
+  /// Advance the simulated clock (e.g. between request arrivals).
+  void advance_time_us(double delta);
+  double now_us() const;
 
  private:
+  /// One table plus its serving state; `mu` guards the cache, metrics and
+  /// the read-dedup epochs so async requests can pipeline across tables.
+  struct TableSlot {
+    std::unique_ptr<BandanaTable> table;
+    std::unique_ptr<std::mutex> mu;
+    std::vector<std::uint32_t> block_epochs;
+    std::uint32_t epoch = 0;
+  };
+
+  /// Grow storage to `total_blocks` via the factory, preserving published
+  /// blocks (buffered through memory: file factories reuse their path).
+  void ensure_capacity(std::uint64_t total_blocks);
+  const TableSlot& checked_slot(TableId t) const;
+  TableSlot& checked_slot(TableId t) {
+    return const_cast<TableSlot&>(std::as_const(*this).checked_slot(t));
+  }
+  /// Submit `reads` block reads at `arrival_us` (or the current clock when
+  /// negative) and record the latency to the slowest completion.
+  /// `advance_clock` selects closed-loop (clock moves to completion) vs
+  /// open-loop (clock stays at arrival) semantics. Returns the latency.
+  double schedule_reads(std::uint64_t reads, LatencyRecorder& recorder,
+                        bool advance_clock, double arrival_us = -1.0);
+  /// `arrival_us`: simulated arrival timestamp (negative = current clock).
+  /// multi_get_async captures it at submission so that queued requests keep
+  /// their true arrival order even when serving lags.
+  MultiGetResult multi_get_impl(const MultiGetRequest& request,
+                                double arrival_us);
+
   StoreConfig config_;
-  std::unique_ptr<MemoryBlockStorage> storage_;
-  std::vector<std::unique_ptr<BandanaTable>> tables_;
-  std::vector<std::vector<std::uint32_t>> block_epochs_;  // per-table dedup
-  std::vector<std::uint32_t> epochs_;
+  BlockStorageFactory storage_factory_;
+  std::unique_ptr<BlockStorage> storage_;
+  /// Unique: add_table / republish (storage mutation). Shared: serving.
+  std::unique_ptr<std::shared_mutex> storage_mu_;
+  std::vector<TableSlot> tables_;
   BlockId next_block_ = 0;
 
   NvmLatencyModel latency_model_;
+  std::unique_ptr<std::mutex> timing_mu_;  ///< Clock, channels, recorders.
   std::vector<double> channel_free_us_;
   Rng rng_;
   double now_us_ = 0.0;
   LatencyRecorder query_latency_;
+  LatencyRecorder request_latency_;
   EnduranceTracker endurance_;
 };
 

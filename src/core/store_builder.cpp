@@ -1,0 +1,44 @@
+#include "core/store_builder.h"
+
+#include <stdexcept>
+
+namespace bandana {
+
+StoreBuilder& StoreBuilder::add_table(const EmbeddingTable& values,
+                                      TablePlan plan) {
+  pending_.push_back({&values, std::move(plan)});
+  return *this;
+}
+
+StoreBuilder& StoreBuilder::add_plan(const StorePlan& plan,
+                                     std::span<const EmbeddingTable> tables) {
+  if (tables.size() != plan.tables.size()) {
+    throw std::invalid_argument(
+        "add_plan: one EmbeddingTable per TablePlan required");
+  }
+  for (std::size_t i = 0; i < plan.tables.size(); ++i) {
+    add_table(tables[i], plan.tables[i]);
+  }
+  return *this;
+}
+
+std::uint64_t StoreBuilder::total_blocks() const {
+  std::uint64_t total = 0;
+  for (const auto& p : pending_) total += p.plan.layout.num_blocks();
+  return total;
+}
+
+Store StoreBuilder::build() {
+  Store store(config_, factory_ ? std::move(factory_)
+                                : memory_storage_factory(),
+              seed_);
+  store.reserve_blocks(total_blocks());
+  for (auto& p : pending_) {
+    store.add_table(*p.values, std::move(p.plan.layout),
+                    std::move(p.plan.policy), std::move(p.plan.access_counts));
+  }
+  pending_.clear();
+  return store;
+}
+
+}  // namespace bandana

@@ -1,0 +1,83 @@
+// One-shot Store construction from trained TablePlans.
+//
+// The incremental Store::add_table path discovers the model's total block
+// count one table at a time, forcing a copy-grow of the backing storage on
+// every call. StoreBuilder consumes the Trainer's output directly, sums the
+// block counts up front, allocates storage exactly once (which is what
+// makes file backends practical — the file is created at final size), and
+// publishes every table:
+//
+//   StorePlan plan = trainer.train(traces, sizes, &pool);
+//   Store store = StoreBuilder(cfg)
+//                     .seed(7)
+//                     .file_storage("/mnt/nvm/blocks.bin")  // optional
+//                     .add_plan(plan, tables)
+//                     .build();
+//
+// Embedding values are held by reference: they must stay alive until
+// build() returns. build() consumes the builder (call it once).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/store.h"
+#include "core/trainer.h"
+#include "nvm/block_storage.h"
+#include "trace/embedding_table.h"
+
+namespace bandana {
+
+class StoreBuilder {
+ public:
+  explicit StoreBuilder(StoreConfig config = {}) : config_(config) {}
+
+  StoreBuilder& seed(std::uint64_t s) {
+    seed_ = s;
+    return *this;
+  }
+
+  /// Back the store with an arbitrary BlockStorage implementation.
+  StoreBuilder& storage(BlockStorageFactory factory) {
+    factory_ = std::move(factory);
+    return *this;
+  }
+
+  /// Back the store with heap memory (the default).
+  StoreBuilder& memory_storage() { return storage(memory_storage_factory()); }
+
+  /// Back the store with a real file at `path` (created at build()).
+  StoreBuilder& file_storage(std::string path) {
+    return storage(file_storage_factory(std::move(path)));
+  }
+
+  /// Queue one table: its values plus the Trainer's plan entry for it.
+  StoreBuilder& add_table(const EmbeddingTable& values, TablePlan plan);
+
+  /// Queue every table of a StorePlan; `tables[i]` holds the values for
+  /// `plan.tables[i]`.
+  StoreBuilder& add_plan(const StorePlan& plan,
+                         std::span<const EmbeddingTable> tables);
+
+  /// Number of NVM blocks the built store will occupy.
+  std::uint64_t total_blocks() const;
+
+  /// Allocate storage once and publish all queued tables, in add order.
+  Store build();
+
+ private:
+  struct Pending {
+    const EmbeddingTable* values;
+    TablePlan plan;
+  };
+
+  StoreConfig config_;
+  std::uint64_t seed_ = 42;
+  BlockStorageFactory factory_;
+  std::vector<Pending> pending_;
+};
+
+}  // namespace bandana

@@ -77,4 +77,17 @@ void FileBlockStorage::write_block(BlockId b, std::span<const std::byte> in) {
   }
 }
 
+BlockStorageFactory memory_storage_factory() {
+  return [](std::uint64_t num_blocks, std::size_t block_bytes) {
+    return std::make_unique<MemoryBlockStorage>(num_blocks, block_bytes);
+  };
+}
+
+BlockStorageFactory file_storage_factory(std::string path) {
+  return [path = std::move(path)](std::uint64_t num_blocks,
+                                  std::size_t block_bytes) {
+    return std::make_unique<FileBlockStorage>(path, num_blocks, block_bytes);
+  };
+}
+
 }  // namespace bandana

@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -72,5 +73,18 @@ class FileBlockStorage final : public BlockStorage {
   std::size_t block_bytes_;
   int fd_ = -1;
 };
+
+/// How a Store obtains its backing storage. Called with the exact geometry
+/// once it is known (StoreBuilder knows it up front; the incremental
+/// add_table path may call it again with a larger block count).
+using BlockStorageFactory = std::function<std::unique_ptr<BlockStorage>(
+    std::uint64_t num_blocks, std::size_t block_bytes)>;
+
+/// Heap-backed simulation storage (the default).
+BlockStorageFactory memory_storage_factory();
+
+/// Real-file storage at `path` (pread/pwrite), the repro substitution for
+/// NVM hardware. The file is created or truncated when the factory runs.
+BlockStorageFactory file_storage_factory(std::string path);
 
 }  // namespace bandana

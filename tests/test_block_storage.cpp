@@ -66,5 +66,30 @@ TEST(FileBlockStorage, BadPathThrows) {
                std::runtime_error);
 }
 
+TEST(StorageFactory, MemoryFactoryProducesWorkingBackend) {
+  const BlockStorageFactory factory = memory_storage_factory();
+  const auto storage = factory(8, 512);
+  ASSERT_NE(storage, nullptr);
+  roundtrip_test(*storage);
+}
+
+TEST(StorageFactory, FileFactoryProducesWorkingBackend) {
+  const std::string path = ::testing::TempDir() + "/bandana_factory.bin";
+  const BlockStorageFactory factory = file_storage_factory(path);
+  {
+    const auto storage = factory(8, 512);
+    ASSERT_NE(storage, nullptr);
+    roundtrip_test(*storage);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(StorageFactory, FactoryIsReusableWithNewGeometry) {
+  const BlockStorageFactory factory = memory_storage_factory();
+  EXPECT_EQ(factory(4, 256)->num_blocks(), 4u);
+  EXPECT_EQ(factory(16, 1024)->num_blocks(), 16u);
+  EXPECT_EQ(factory(16, 1024)->block_bytes(), 1024u);
+}
+
 }  // namespace
 }  // namespace bandana

@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <future>
+
+#include "core/store.h"
+#include "core/store_builder.h"
+#include "trace/trace_generator.h"
+
+namespace bandana {
+namespace {
+
+TableWorkloadConfig table_config(std::uint32_t vectors = 2048) {
+  TableWorkloadConfig cfg;
+  cfg.num_vectors = vectors;
+  cfg.dim = 32;  // 128 B vectors
+  cfg.mean_lookups_per_query = 10;
+  cfg.num_profiles = 64;
+  return cfg;
+}
+
+StoreConfig store_config(bool timing = false) {
+  StoreConfig cfg;
+  cfg.simulate_timing = timing;
+  return cfg;
+}
+
+TablePlan simple_plan(std::uint32_t vectors, std::uint64_t cache_vectors,
+                      std::uint64_t layout_seed) {
+  TablePolicy policy;
+  policy.cache_vectors = cache_vectors;
+  policy.policy = PrefetchPolicy::kNone;
+  return TablePlan{layout_seed == 0
+                       ? BlockLayout::identity(vectors, 32)
+                       : BlockLayout::random(vectors, 32, layout_seed),
+                   /*access_counts=*/{}, policy, /*shp_train_fanout=*/0.0};
+}
+
+bool bytes_match(const EmbeddingTable& values, VectorId v,
+                 std::span<const std::byte> got) {
+  const auto want = values.vector_bytes_view(v);
+  return std::memcmp(got.data(), want.data(), want.size()) == 0;
+}
+
+/// Two tables over distinct value sets, memory-backed by default.
+Store two_table_store(const std::vector<EmbeddingTable>& values,
+                      BlockStorageFactory factory = nullptr,
+                      bool timing = false) {
+  StoreBuilder builder(store_config(timing));
+  if (factory) builder.storage(std::move(factory));
+  builder.add_table(values[0], simple_plan(2048, 256, 0));
+  builder.add_table(values[1], simple_plan(2048, 256, 7));
+  return builder.build();
+}
+
+std::vector<EmbeddingTable> two_value_sets() {
+  std::vector<EmbeddingTable> values;
+  values.push_back(TraceGenerator(table_config(), 1).make_embeddings());
+  values.push_back(TraceGenerator(table_config(), 2).make_embeddings());
+  return values;
+}
+
+TEST(MultiGet, ServesCorrectBytesAcrossTables) {
+  const auto values = two_value_sets();
+  Store store = two_table_store(values);
+  TraceGenerator gen(table_config(), 3);
+  const Trace trace = gen.generate(200);
+  for (std::size_t q = 0; q < trace.num_queries(); ++q) {
+    MultiGetRequest req;
+    req.add(0, trace.query(q)).add(1, trace.query(q));
+    const MultiGetResult res = store.multi_get(req);
+    ASSERT_EQ(res.vectors.size(), 2u);
+    ASSERT_EQ(res.per_table.size(), 2u);
+    const auto ids = trace.query(q);
+    for (int t = 0; t < 2; ++t) {
+      ASSERT_EQ(res.vectors[t].size(), ids.size() * 128);
+      EXPECT_EQ(res.per_table[t].hits + res.per_table[t].misses, ids.size());
+      for (std::size_t i = 0; i < ids.size(); ++i) {
+        ASSERT_TRUE(bytes_match(values[t], ids[i],
+                                {res.vectors[t].data() + i * 128, 128}))
+            << "table " << t << " vector " << ids[i];
+      }
+    }
+    EXPECT_EQ(res.block_reads,
+              res.per_table[0].block_reads + res.per_table[1].block_reads);
+  }
+}
+
+TEST(MultiGet, MemoryAndFileBackendsAreByteIdentical) {
+  const auto values = two_value_sets();
+  const std::string path = ::testing::TempDir() + "/bandana_multiget.bin";
+  Store mem = two_table_store(values);
+  Store file = two_table_store(values, file_storage_factory(path));
+
+  TraceGenerator gen(table_config(), 4);
+  const Trace trace = gen.generate(100);
+  std::uint64_t mem_reads = 0, file_reads = 0;
+  for (std::size_t q = 0; q < trace.num_queries(); ++q) {
+    MultiGetRequest req;
+    req.add(0, trace.query(q)).add(1, trace.query(q));
+    const MultiGetResult a = mem.multi_get(req);
+    const MultiGetResult b = file.multi_get(req);
+    ASSERT_EQ(a.vectors, b.vectors) << "request " << q;
+    mem_reads += a.block_reads;
+    file_reads += b.block_reads;
+  }
+  // Same plan + same request stream: the backends must behave identically,
+  // not just return the same bytes.
+  EXPECT_EQ(mem_reads, file_reads);
+  std::remove(path.c_str());
+}
+
+TEST(MultiGet, DedupsBlockReadsAcrossRequestVsLookupBatchSequence) {
+  const auto values = two_value_sets();
+  // cache_vectors=1 so the second id list cannot be served from DRAM: only
+  // the request-wide read dedup can avoid the second block read.
+  auto tiny = [&] {
+    StoreBuilder builder(store_config());
+    builder.add_table(values[0], simple_plan(2048, 1, 0));
+    builder.add_table(values[1], simple_plan(2048, 1, 0));
+    return builder.build();
+  };
+  Store via_multi_get = tiny();
+  Store via_batches = tiny();
+
+  // Both id lists of table 0 live in block 0 (identity layout, 32 per
+  // block); the same table appears twice in one request.
+  const std::vector<VectorId> first = {0, 1};
+  const std::vector<VectorId> second = {2, 3};
+  MultiGetRequest req;
+  req.add(0, first).add(0, second);
+  const MultiGetResult res = via_multi_get.multi_get(req);
+
+  std::vector<std::byte> out(128 * 2);
+  via_batches.lookup_batch(0, first, out);
+  via_batches.lookup_batch(0, second, out);
+
+  const auto reads_multi = via_multi_get.table_metrics(0).nvm_block_reads;
+  const auto reads_batch = via_batches.table_metrics(0).nvm_block_reads;
+  EXPECT_EQ(res.block_reads, reads_multi);
+  EXPECT_LE(reads_multi, reads_batch);
+  EXPECT_EQ(reads_multi, 1u);   // one block serves all four ids
+  EXPECT_EQ(reads_batch, 2u);   // per-batch epochs cannot see each other
+}
+
+TEST(MultiGet, NeverReadsMoreBlocksThanLookupBatchSequence) {
+  const auto values = two_value_sets();
+  Store via_multi_get = two_table_store(values);
+  Store via_batches = two_table_store(values);
+
+  TraceGenerator gen(table_config(), 5);
+  const Trace trace = gen.generate(300);
+  std::vector<std::byte> out(128 * 512);
+  for (std::size_t q = 0; q < trace.num_queries(); ++q) {
+    const auto ids = trace.query(q);
+    MultiGetRequest req;
+    req.add(0, ids).add(1, ids);
+    via_multi_get.multi_get(req);
+    via_batches.lookup_batch(0, ids, out);
+    via_batches.lookup_batch(1, ids, out);
+  }
+  EXPECT_LE(via_multi_get.total_metrics().nvm_block_reads,
+            via_batches.total_metrics().nvm_block_reads);
+  EXPECT_EQ(via_multi_get.total_metrics().lookups,
+            via_batches.total_metrics().lookups);
+}
+
+TEST(MultiGet, RecordsServiceLatencyWhenTimingIsOn) {
+  const auto values = two_value_sets();
+  Store store = two_table_store(values, nullptr, /*timing=*/true);
+  MultiGetRequest req;
+  req.add(0, std::vector<VectorId>{0, 100, 500});
+  req.add(1, std::vector<VectorId>{0, 100, 500});
+  const MultiGetResult res = store.multi_get(req);
+  EXPECT_GT(res.service_latency_us, 0.0);  // cold store: all misses
+  EXPECT_EQ(store.request_latency_us().count(), 1u);
+  EXPECT_DOUBLE_EQ(store.request_latency_us().max(), res.service_latency_us);
+}
+
+TEST(MultiGet, AsyncStreamMatchesSyncBytes) {
+  const auto values = two_value_sets();
+  Store sync_store = two_table_store(values);
+  Store async_store = two_table_store(values);
+  ThreadPool pool(2);
+
+  TraceGenerator gen(table_config(), 6);
+  const Trace trace = gen.generate(100);
+  std::vector<std::future<MultiGetResult>> futures;
+  std::vector<MultiGetResult> sync_results;
+  for (std::size_t q = 0; q < trace.num_queries(); ++q) {
+    MultiGetRequest req;
+    req.add(0, trace.query(q)).add(1, trace.query(q));
+    sync_results.push_back(sync_store.multi_get(req));
+    futures.push_back(async_store.multi_get_async(std::move(req), pool));
+  }
+  std::uint64_t async_lookups = 0;
+  for (std::size_t q = 0; q < futures.size(); ++q) {
+    const MultiGetResult res = futures[q].get();
+    // Scheduling order may change hit/miss counts, never the bytes.
+    EXPECT_EQ(res.vectors, sync_results[q].vectors) << "request " << q;
+    async_lookups += res.lookups();
+  }
+  EXPECT_EQ(async_lookups, async_store.total_metrics().lookups);
+  EXPECT_EQ(async_lookups, sync_store.total_metrics().lookups);
+}
+
+TEST(MultiGet, ValidatesBeforeServing) {
+  const auto values = two_value_sets();
+  Store store = two_table_store(values);
+  MultiGetRequest bad_table;
+  bad_table.add(0, std::vector<VectorId>{0, 1}).add(9, std::vector<VectorId>{0});
+  EXPECT_THROW(store.multi_get(bad_table), std::out_of_range);
+  MultiGetRequest bad_vector;
+  bad_vector.add(0, std::vector<VectorId>{0}).add(1, std::vector<VectorId>{99'999});
+  EXPECT_THROW(store.multi_get(bad_vector), std::out_of_range);
+  // The bad entries were rejected up front: nothing was served or counted.
+  EXPECT_EQ(store.total_metrics().lookups, 0u);
+}
+
+TEST(MultiGet, AsyncPropagatesValidationErrors) {
+  const auto values = two_value_sets();
+  Store store = two_table_store(values);
+  ThreadPool pool(1);
+  MultiGetRequest bad;
+  bad.add(42, std::vector<VectorId>{0});
+  auto future = store.multi_get_async(std::move(bad), pool);
+  EXPECT_THROW(future.get(), std::out_of_range);
+}
+
+TEST(MultiGet, EmptyRequestIsANoop) {
+  const auto values = two_value_sets();
+  Store store = two_table_store(values);
+  const MultiGetResult res = store.multi_get(MultiGetRequest{});
+  EXPECT_TRUE(res.vectors.empty());
+  EXPECT_EQ(res.block_reads, 0u);
+  EXPECT_EQ(store.total_metrics().lookups, 0u);
+}
+
+}  // namespace
+}  // namespace bandana

@@ -183,5 +183,37 @@ TEST(Store, RejectsBadGeometry) {
   EXPECT_THROW(Store{cfg}, std::invalid_argument);
 }
 
+TEST(Store, BoundsChecksTableAndSpanInsteadOfUB) {
+  TraceGenerator gen(table_config(), 7);
+  const EmbeddingTable values = gen.make_embeddings();
+  Store store(store_config());
+  TablePolicy policy;
+  policy.cache_vectors = 64;
+  policy.policy = PrefetchPolicy::kNone;
+  const TableId t =
+      store.add_table(values, BlockLayout::identity(4096, 32), policy);
+
+  std::vector<std::byte> out(128 * 2);
+  const VectorId ids[2] = {1, 2};
+  // Bad table handle.
+  EXPECT_THROW(store.lookup_batch(static_cast<TableId>(5), ids, out),
+               std::out_of_range);
+  EXPECT_THROW(store.lookup(static_cast<TableId>(5), 0, out),
+               std::out_of_range);
+  EXPECT_THROW(store.table_metrics(static_cast<TableId>(5)),
+               std::out_of_range);
+  EXPECT_THROW(store.table(static_cast<TableId>(5)), std::out_of_range);
+  EXPECT_THROW(store.republish(static_cast<TableId>(5), values),
+               std::out_of_range);
+  // Output span too small for the id list.
+  std::vector<std::byte> small(128);
+  EXPECT_THROW(store.lookup_batch(t, ids, small), std::invalid_argument);
+  // Vector id beyond the table.
+  const VectorId bad_ids[1] = {4096};
+  EXPECT_THROW(store.lookup_batch(t, bad_ids, out), std::out_of_range);
+  // Nothing was served by any of the rejected calls.
+  EXPECT_EQ(store.table_metrics(t).lookups, 0u);
+}
+
 }  // namespace
 }  // namespace bandana
