@@ -34,6 +34,25 @@ void BM_LruWithInsertionPoints(benchmark::State& state) {
 }
 BENCHMARK(BM_LruWithInsertionPoints);
 
+void BM_ShardedLruAccessInsert(benchmark::State& state) {
+  // Single-threaded op overhead of the sharded cache vs the flat LRU
+  // (shard routing + local-id indirection); the concurrency win itself is
+  // measured end-to-end by bench_fig05's shard sweep.
+  const std::uint32_t universe = 100'000;
+  const auto shards = static_cast<std::uint32_t>(state.range(0));
+  std::vector<std::uint32_t> shard_of(universe);
+  for (VectorId v = 0; v < universe; ++v) shard_of[v] = (v / 32) % shards;
+  ShardedInsertionLru cache(universe, 16384, {0.0, 0.5}, shard_of, shards);
+  Rng rng(1);
+  ZipfSampler zipf(universe, 0.9);
+  for (auto _ : state) {
+    const auto v = static_cast<VectorId>(zipf(rng));
+    if (!cache.access(v)) cache.insert(v, rng.next_bernoulli(0.5) ? 1 : 0);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShardedLruAccessInsert)->Arg(1)->Arg(8)->Arg(64);
+
 void BM_ZipfSample(benchmark::State& state) {
   Rng rng(2);
   ZipfSampler zipf(10'000'000, 0.99);

@@ -1,0 +1,158 @@
+#include "cache/sharded_lru.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+namespace bandana {
+
+namespace {
+
+/// Split `capacity` across shards proportionally to `count` (largest
+/// remainder), then raise empties to 1 entry, stealing from the largest
+/// shares while any can spare one.
+std::vector<std::uint64_t> split_capacity(
+    std::uint64_t capacity, const std::vector<std::uint32_t>& count) {
+  const std::size_t n = count.size();
+  std::vector<std::uint64_t> caps(n, 0);
+  if (n == 1) {
+    caps[0] = capacity;
+    return caps;
+  }
+  const std::uint64_t universe =
+      std::accumulate(count.begin(), count.end(), std::uint64_t{0});
+  std::uint64_t assigned = 0;
+  std::vector<std::pair<double, std::size_t>> remainder(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    const double exact =
+        universe == 0
+            ? static_cast<double>(capacity) / static_cast<double>(n)
+            : static_cast<double>(capacity) * static_cast<double>(count[s]) /
+                  static_cast<double>(universe);
+    caps[s] = static_cast<std::uint64_t>(exact);
+    assigned += caps[s];
+    remainder[s] = {exact - static_cast<double>(caps[s]), s};
+  }
+  std::sort(remainder.begin(), remainder.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (std::size_t i = 0; assigned < capacity; ++i) {
+    ++caps[remainder[i % n].second];
+    ++assigned;
+  }
+  for (std::size_t s = 0; s < n; ++s) {
+    if (caps[s] > 0) continue;
+    const auto richest = std::max_element(caps.begin(), caps.end());
+    if (*richest > 1) --*richest;  // else the total grows past `capacity`
+    caps[s] = 1;
+  }
+  return caps;
+}
+
+}  // namespace
+
+ShardedInsertionLru::ShardedInsertionLru(std::uint32_t universe,
+                                         std::uint64_t capacity,
+                                         std::vector<double> insertion_points,
+                                         std::vector<std::uint32_t> shard_of,
+                                         std::uint32_t num_shards)
+    : shard_of_(std::move(shard_of)) {
+  if (num_shards == 0) {
+    throw std::invalid_argument("ShardedInsertionLru: zero shards");
+  }
+  if (capacity == 0) {
+    throw std::invalid_argument("ShardedInsertionLru: capacity 0");
+  }
+  if (shard_of_.empty()) {
+    if (num_shards != 1) {
+      throw std::invalid_argument(
+          "ShardedInsertionLru: shard assignment required for >1 shard");
+    }
+    shard_of_.assign(universe, 0);
+  }
+  if (shard_of_.size() != universe) {
+    throw std::invalid_argument(
+        "ShardedInsertionLru: shard assignment size mismatch");
+  }
+
+  std::vector<std::uint32_t> count(num_shards, 0);
+  local_id_.resize(universe);
+  for (VectorId v = 0; v < universe; ++v) {
+    if (shard_of_[v] >= num_shards) {
+      throw std::invalid_argument("ShardedInsertionLru: shard out of range");
+    }
+    local_id_[v] = count[shard_of_[v]]++;
+  }
+
+  const std::vector<std::uint64_t> caps = split_capacity(capacity, count);
+  shards_.reserve(num_shards);
+  global_of_.resize(num_shards);
+  stats_.resize(num_shards);
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    shards_.emplace_back(count[s], caps[s], insertion_points);
+    global_of_[s].resize(count[s]);
+    stats_[s].capacity = caps[s];
+    total_capacity_ += caps[s];
+  }
+  for (VectorId v = 0; v < universe; ++v) {
+    global_of_[shard_of_[v]][local_id_[v]] = v;
+  }
+}
+
+bool ShardedInsertionLru::access(VectorId v) {
+  const std::uint32_t s = shard_of_[v];
+  ++stats_[s].accesses;
+  if (!shards_[s].access(local_id_[v])) return false;
+  ++stats_[s].hits;
+  return true;
+}
+
+VectorId ShardedInsertionLru::insert(VectorId v, std::size_t point) {
+  const std::uint32_t s = shard_of_[v];
+  ++stats_[s].inserts;
+  const VectorId local_evicted = shards_[s].insert(local_id_[v], point);
+  if (local_evicted == kInvalidVector) return kInvalidVector;
+  ++stats_[s].evictions;
+  return global_of_[s][local_evicted];
+}
+
+bool ShardedInsertionLru::erase(VectorId v) {
+  return shards_[shard_of_[v]].erase(local_id_[v]);
+}
+
+CacheShardStats ShardedInsertionLru::shard_stats(std::uint32_t s) const {
+  CacheShardStats stats = stats_[s];
+  stats.size = shards_[s].size();
+  return stats;
+}
+
+CacheShardStats ShardedInsertionLru::rollup() const {
+  CacheShardStats total;
+  for (std::uint32_t s = 0; s < num_shards(); ++s) total += shard_stats(s);
+  return total;
+}
+
+std::uint64_t ShardedInsertionLru::size() const {
+  std::uint64_t n = 0;
+  for (const auto& shard : shards_) n += shard.size();
+  return n;
+}
+
+std::vector<VectorId> ShardedInsertionLru::shard_contents(
+    std::uint32_t s) const {
+  std::vector<VectorId> out = shards_[s].contents();
+  for (VectorId& v : out) v = global_of_[s][v];
+  return out;
+}
+
+std::vector<VectorId> ShardedInsertionLru::contents() const {
+  std::vector<VectorId> out;
+  out.reserve(size());
+  for (std::uint32_t s = 0; s < num_shards(); ++s) {
+    const auto shard = shard_contents(s);
+    out.insert(out.end(), shard.begin(), shard.end());
+  }
+  return out;
+}
+
+}  // namespace bandana

@@ -11,12 +11,14 @@
 #include "cache/dram_allocator.h"   // IWYU pragma: export
 #include "cache/lru_cache.h"        // IWYU pragma: export
 #include "cache/mini_cache.h"       // IWYU pragma: export
+#include "cache/sharded_lru.h"      // IWYU pragma: export
 #include "core/config.h"            // IWYU pragma: export
 #include "core/metrics.h"           // IWYU pragma: export
 #include "core/request.h"           // IWYU pragma: export
 #include "core/store.h"             // IWYU pragma: export
 #include "core/store_builder.h"     // IWYU pragma: export
 #include "core/trainer.h"           // IWYU pragma: export
+#include "nvm/admission.h"          // IWYU pragma: export
 #include "nvm/block_storage.h"      // IWYU pragma: export
 #include "nvm/endurance.h"          // IWYU pragma: export
 #include "nvm/nvm_device.h"         // IWYU pragma: export

@@ -1,8 +1,10 @@
 // Public configuration for the Bandana store.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <thread>
 
 #include "cache/cache_sim.h"
 #include "common/types.h"
@@ -25,8 +27,22 @@ struct StoreConfig {
   /// model; when false it only counts block reads (fast replay mode).
   bool simulate_timing = true;
 
+  /// Independently-locked DRAM cache shards per table, so concurrent
+  /// requests to the *same* table proceed in parallel. 0 = one shard per
+  /// hardware thread. 1 reproduces the seed single-LRU behavior exactly
+  /// (hit/miss/eviction order), which the fidelity tests rely on. Each
+  /// table clamps the count to its block and cache-entry counts; vectors
+  /// are striped by block so prefetch admission stays shard-local.
+  std::uint32_t cache_shards = 0;
+
   std::uint32_t vectors_per_block() const {
     return static_cast<std::uint32_t>(block_bytes / vector_bytes);
+  }
+
+  std::uint32_t resolved_cache_shards() const {
+    return cache_shards != 0
+               ? cache_shards
+               : std::max(1u, std::thread::hardware_concurrency());
   }
 };
 

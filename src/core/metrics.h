@@ -1,6 +1,7 @@
 // Operational counters exposed by the store (per table and aggregated).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 namespace bandana {
@@ -40,6 +41,38 @@ struct TableMetrics {
     app_bytes_served += o.app_bytes_served;
     republish_writes += o.republish_writes;
     return *this;
+  }
+};
+
+/// Write side of TableMetrics for the sharded serving path: shard-local
+/// lookups bump relaxed atomics (no lock, no cross-shard cache-line
+/// ping-pong beyond the counter itself), and readers take a lock-free
+/// snapshot at any time — metrics accessors never stall serving.
+struct AtomicTableMetrics {
+  std::atomic<std::uint64_t> lookups{0};
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> nvm_block_reads{0};
+  std::atomic<std::uint64_t> prefetch_inserted{0};
+  std::atomic<std::uint64_t> prefetch_hits{0};
+  std::atomic<std::uint64_t> nvm_bytes_read{0};
+  std::atomic<std::uint64_t> miss_bytes{0};
+  std::atomic<std::uint64_t> app_bytes_served{0};
+  std::atomic<std::uint64_t> republish_writes{0};
+
+  /// Each counter is individually consistent; the set is as consistent as
+  /// any point-in-time poll of a live system can be.
+  TableMetrics snapshot() const {
+    TableMetrics m;
+    m.lookups = lookups.load(std::memory_order_relaxed);
+    m.hits = hits.load(std::memory_order_relaxed);
+    m.nvm_block_reads = nvm_block_reads.load(std::memory_order_relaxed);
+    m.prefetch_inserted = prefetch_inserted.load(std::memory_order_relaxed);
+    m.prefetch_hits = prefetch_hits.load(std::memory_order_relaxed);
+    m.nvm_bytes_read = nvm_bytes_read.load(std::memory_order_relaxed);
+    m.miss_bytes = miss_bytes.load(std::memory_order_relaxed);
+    m.app_bytes_served = app_bytes_served.load(std::memory_order_relaxed);
+    m.republish_writes = republish_writes.load(std::memory_order_relaxed);
+    return m;
   }
 };
 

@@ -9,6 +9,12 @@
 
 namespace bandana {
 
+namespace {
+/// Chunk size for streaming published blocks into grown storage: 16 MB of
+/// 4 KB blocks, so growth never buffers the whole old storage in memory.
+constexpr std::uint64_t kGrowthChunkBlocks = 4096;
+}  // namespace
+
 Store::Store(StoreConfig config, std::uint64_t seed)
     : Store(config, memory_storage_factory(), seed) {}
 
@@ -20,6 +26,7 @@ Store::Store(StoreConfig config, BlockStorageFactory storage_factory,
       latency_model_(config.device),
       timing_mu_(std::make_unique<std::mutex>()),
       channel_free_us_(config.device.channels, 0.0),
+      admission_(config.device.channels, config.device.queue_depth),
       rng_(seed),
       endurance_(config.device.capacity_blocks * config.device.block_bytes,
                  config.device.endurance_dwpd) {
@@ -43,32 +50,59 @@ Store Store::from_plan(const StoreConfig& config, const StorePlan& plan,
 
 void Store::ensure_capacity(std::uint64_t total_blocks) {
   if (storage_ && storage_->num_blocks() >= total_blocks) return;
-  // Buffer published blocks through memory: a file factory re-creates (and
-  // truncates) its backing path, so the old storage must be drained first.
   const std::uint64_t used = next_block_;
-  std::vector<std::byte> old(used * config_.block_bytes);
-  const auto block_of = [&](std::uint64_t b) {
-    return std::span<std::byte>(old).subspan(b * config_.block_bytes,
-                                             config_.block_bytes);
-  };
-  for (BlockId b = 0; b < used; ++b) storage_->read_block(b, block_of(b));
-
-  std::unique_ptr<BlockStorage> grown;
-  try {
-    grown = storage_factory_(total_blocks, config_.block_bytes);
-    if (!grown || grown->num_blocks() < total_blocks ||
-        grown->block_bytes() != config_.block_bytes) {
-      throw std::runtime_error("Store: storage factory produced bad geometry");
+  // Sample the first and last published blocks BEFORE the factory runs:
+  // they re-verify the factory's preserve-on-regrowth contract below (a
+  // legacy truncate-on-invocation factory would otherwise zero published
+  // data silently — better to fail loudly).
+  std::vector<std::byte> first_probe, last_probe;
+  if (storage_ && used > 0) {
+    first_probe.resize(config_.block_bytes);
+    last_probe.resize(config_.block_bytes);
+    storage_->read_block(0, first_probe);
+    storage_->read_block(static_cast<BlockId>(used - 1), last_probe);
+  }
+  // If the factory throws, the store keeps serving from its old storage
+  // untouched: factories preserve existing contents on re-creation (a
+  // same-path file factory reopens without truncating), so nothing needs
+  // draining or restoring up front.
+  auto grown = storage_factory_(total_blocks, config_.block_bytes);
+  if (!grown || grown->num_blocks() < total_blocks ||
+      grown->block_bytes() != config_.block_bytes) {
+    throw std::runtime_error("Store: storage factory produced bad geometry");
+  }
+  if (storage_ && used > 0) {
+    if (!grown->same_backing(*storage_)) {
+      // Distinct backends: migrate the published blocks in bounded chunks —
+      // a 375 GB file-backed store must never be buffered wholesale through
+      // memory. (Same-backing growth resized in place; nothing to copy.)
+      const std::uint64_t chunk_blocks = std::min(used, kGrowthChunkBlocks);
+      std::vector<std::byte> buf(chunk_blocks * config_.block_bytes);
+      for (std::uint64_t b0 = 0; b0 < used; b0 += chunk_blocks) {
+        const std::uint64_t n = std::min(chunk_blocks, used - b0);
+        for (std::uint64_t i = 0; i < n; ++i) {
+          const auto block = std::span<std::byte>(buf).subspan(
+              i * config_.block_bytes, config_.block_bytes);
+          storage_->read_block(static_cast<BlockId>(b0 + i), block);
+          grown->write_block(static_cast<BlockId>(b0 + i), block);
+        }
+      }
     }
-  } catch (...) {
-    // Keep the store serving from its previous storage. A same-path file
-    // factory may have truncated the backing file before failing, so
-    // restore the drained blocks into the old storage.
-    for (BlockId b = 0; b < used; ++b) storage_->write_block(b, block_of(b));
-    throw;
+    std::vector<std::byte> check(config_.block_bytes);
+    grown->read_block(0, check);
+    bool ok = check == first_probe;
+    if (ok) {
+      grown->read_block(static_cast<BlockId>(used - 1), check);
+      ok = check == last_probe;
+    }
+    if (!ok) {
+      throw std::runtime_error(
+          "Store: storage factory lost published blocks on growth — "
+          "factories must preserve existing contents when re-invoked "
+          "(see BlockStorageFactory)");
+    }
   }
   storage_ = std::move(grown);
-  for (BlockId b = 0; b < used; ++b) storage_->write_block(b, block_of(b));
 }
 
 void Store::reserve_blocks(std::uint64_t total_blocks) {
@@ -88,36 +122,30 @@ TableId Store::add_table(const EmbeddingTable& values, BlockLayout layout,
   table->publish(values, *storage_);
   endurance_.record_write(std::uint64_t{blocks} * config_.block_bytes, 0.0);
 
-  TableSlot slot;
-  slot.block_epochs.assign(table->num_blocks(), 0);
-  slot.table = std::move(table);
-  slot.mu = std::make_unique<std::mutex>();
-  tables_.push_back(std::move(slot));
+  tables_.push_back(std::move(table));
   next_block_ += blocks;
   return static_cast<TableId>(tables_.size() - 1);
 }
 
-const Store::TableSlot& Store::checked_slot(TableId t) const {
+const BandanaTable& Store::checked_table(TableId t) const {
   if (t >= tables_.size()) {
     throw std::out_of_range("Store: bad table id " + std::to_string(t));
   }
-  return tables_[t];
+  return *tables_[t];
 }
 
 double Store::schedule_reads(std::uint64_t reads, LatencyRecorder& recorder,
                              bool advance_clock, double arrival_us) {
   if (!config_.simulate_timing) return 0.0;
   std::lock_guard lock(*timing_mu_);
-  // All of the request's block reads are submitted at arrival time; the
-  // dispatch queue spreads them over the device channels, so latency grows
-  // with the request's own queue depth (paper Fig. 2) and with channel
-  // backlog left by earlier requests.
+  // All of the request's block reads are submitted at arrival time, gated
+  // by the admission controller (at most queue_depth * channels
+  // outstanding), and the dispatch queue spreads them over the device
+  // channels — so latency grows with the request's own queue depth (paper
+  // Fig. 2) and with channel backlog left by earlier requests.
   const double start = arrival_us < 0.0 ? now_us_ : arrival_us;
-  double max_done = start;
-  for (std::uint64_t i = 0; i < reads; ++i) {
-    max_done = std::max(
-        max_done, submit_read(latency_model_, start, channel_free_us_, rng_));
-  }
+  const double max_done = submit_reads(latency_model_, start, reads,
+                                       channel_free_us_, admission_, rng_);
   const double latency = max_done - start;
   recorder.add(latency);
   // Closed loop (lookup_batch): the caller waits for the query, so the
@@ -131,12 +159,12 @@ double Store::schedule_reads(std::uint64_t reads, LatencyRecorder& recorder,
 double Store::lookup_batch(TableId t, std::span<const VectorId> ids,
                            std::span<std::byte> out) {
   std::shared_lock storage_lock(*storage_mu_);
-  const TableSlot& slot = checked_slot(t);
+  BandanaTable& table = checked_table(t);
   const std::size_t vb = config_.vector_bytes;
   if (out.size() < ids.size() * vb) {
     throw std::invalid_argument("lookup_batch: output span too small");
   }
-  const std::uint32_t num_vectors = slot.table->num_vectors();
+  const std::uint32_t num_vectors = table.num_vectors();
   for (const VectorId v : ids) {
     if (v >= num_vectors) {
       throw std::out_of_range("lookup_batch: bad vector id " +
@@ -144,16 +172,11 @@ double Store::lookup_batch(TableId t, std::span<const VectorId> ids,
     }
   }
   std::uint64_t reads = 0;
-  {
-    TableSlot& mut = checked_slot(t);
-    std::lock_guard table_lock(*mut.mu);
-    const std::uint32_t epoch = ++mut.epoch;
-    for (std::size_t i = 0; i < ids.size(); ++i) {
-      const auto outcome =
-          mut.table->lookup(ids[i], *storage_, out.subspan(i * vb, vb),
-                            &mut.block_epochs, epoch);
-      if (outcome.nvm_read) ++reads;
-    }
+  const std::uint64_t epoch = table.begin_batch();
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const auto outcome =
+        table.lookup(ids[i], *storage_, out.subspan(i * vb, vb), epoch);
+    if (outcome.nvm_read) ++reads;
   }
   return schedule_reads(reads, query_latency_, /*advance_clock=*/true);
 }
@@ -174,8 +197,8 @@ MultiGetResult Store::multi_get_impl(const MultiGetRequest& request,
   // Validate the whole request up front so a bad entry cannot leave it
   // half-served (and half-counted in the metrics).
   for (const auto& get : request.gets) {
-    const TableSlot& slot = checked_slot(get.table);
-    const std::uint32_t num_vectors = slot.table->num_vectors();
+    const BandanaTable& table = checked_table(get.table);
+    const std::uint32_t num_vectors = table.num_vectors();
     for (const VectorId v : get.ids) {
       if (v >= num_vectors) {
         throw std::out_of_range("multi_get: bad vector id " +
@@ -190,31 +213,30 @@ MultiGetResult Store::multi_get_impl(const MultiGetRequest& request,
   result.per_table.resize(request.gets.size());
   // One dedup epoch per distinct table per request: a block read by an
   // earlier id list (even of the same table appearing twice) is not
-  // re-counted.
-  std::vector<std::pair<TableId, std::uint32_t>> request_epochs;
+  // re-counted. Lookups lock only the touched cache shard, so concurrent
+  // requests to the same table interleave freely.
+  std::vector<std::pair<TableId, std::uint64_t>> request_epochs;
   for (std::size_t g = 0; g < request.gets.size(); ++g) {
     const auto& get = request.gets[g];
-    TableSlot& slot = tables_[get.table];
+    BandanaTable& table = *tables_[get.table];
     auto& bytes = result.vectors[g];
     auto& stats = result.per_table[g];
     bytes.resize(get.ids.size() * vb);
 
-    std::lock_guard table_lock(*slot.mu);
-    std::uint32_t epoch = 0;
+    std::uint64_t epoch = 0;
     const auto known =
         std::find_if(request_epochs.begin(), request_epochs.end(),
                      [&](const auto& e) { return e.first == get.table; });
     if (known != request_epochs.end()) {
       epoch = known->second;
     } else {
-      epoch = ++slot.epoch;
+      epoch = table.begin_batch();
       request_epochs.emplace_back(get.table, epoch);
     }
     for (std::size_t i = 0; i < get.ids.size(); ++i) {
-      const auto outcome = slot.table->lookup(
+      const auto outcome = table.lookup(
           get.ids[i], *storage_,
-          std::span<std::byte>(bytes).subspan(i * vb, vb),
-          &slot.block_epochs, epoch);
+          std::span<std::byte>(bytes).subspan(i * vb, vb), epoch);
       if (outcome.hit) ++stats.hits;
       if (outcome.nvm_read) ++stats.block_reads;
     }
@@ -248,28 +270,23 @@ std::future<MultiGetResult> Store::multi_get_async(MultiGetRequest request,
 
 void Store::republish(TableId t, const EmbeddingTable& values, double day) {
   std::unique_lock lock(*storage_mu_);
-  const TableSlot& slot = checked_slot(t);
-  slot.table->republish(values, *storage_);
+  BandanaTable& table = checked_table(t);
+  table.republish(values, *storage_);
   endurance_.record_write(
-      std::uint64_t{slot.table->num_blocks()} * config_.block_bytes, day);
+      std::uint64_t{table.num_blocks()} * config_.block_bytes, day);
 }
 
 TableMetrics Store::table_metrics(TableId t) const {
-  const TableSlot& slot = checked_slot(t);
-  std::lock_guard table_lock(*slot.mu);
-  return slot.table->metrics();
+  return checked_table(t).metrics();
 }
 
 const BandanaTable& Store::table(TableId t) const {
-  return *checked_slot(t).table;
+  return checked_table(t);
 }
 
 TableMetrics Store::total_metrics() const {
   TableMetrics total;
-  for (const auto& slot : tables_) {
-    std::lock_guard table_lock(*slot.mu);
-    total += slot.table->metrics();
-  }
+  for (const auto& table : tables_) total += table->metrics();
   return total;
 }
 

@@ -11,18 +11,21 @@
 //
 // Serving is request-level: one MultiGetRequest fans out across many
 // embedding tables (a DLRM ranking request). Block reads are deduplicated
-// across the whole request and submitted together at request arrival, so
-// they spread queue-depth-aware over the NVM channels (paper Fig. 2) and
-// the request completes with its slowest read:
+// across the whole request, submitted together at request arrival, and
+// admission-controlled to the device's queue-depth cap (paper §2.2; see
+// nvm/admission.h), so oversized bursts queue at the gate instead of
+// monopolizing the channels:
 //
 //   MultiGetRequest req;
 //   req.add(user_table, user_ids).add(ads_table, ad_ids);
 //   MultiGetResult res = store.multi_get(req);
 //   // res.vectors[i], res.per_table[i], res.service_latency_us
 //
-// `multi_get_async` serves concurrent request streams on a ThreadPool;
-// tables are locked individually, so requests pipeline across tables.
-// The per-table `lookup_batch` path remains for single-table callers.
+// `multi_get_async` serves concurrent request streams on a ThreadPool.
+// Each table's DRAM cache is sharded (StoreConfig::cache_shards) with one
+// lock per shard, so concurrent requests proceed in parallel even inside
+// a single table. The per-table `lookup_batch` path remains for
+// single-table callers.
 #pragma once
 
 #include <cstdint>
@@ -40,6 +43,7 @@
 #include "core/metrics.h"
 #include "core/request.h"
 #include "core/table.h"
+#include "nvm/admission.h"
 #include "nvm/block_storage.h"
 #include "nvm/endurance.h"
 #include "nvm/nvm_device.h"
@@ -77,7 +81,9 @@ class Store {
   /// Register a table: writes `values` to NVM per `layout` and sets up its
   /// DRAM cache. `access_counts` (SHP-run query counts) are required for
   /// the kThreshold policy. Returns the table handle. Prefer StoreBuilder /
-  /// from_plan, which size storage once for the whole model.
+  /// from_plan, which size storage once for the whole model; incremental
+  /// growth streams already-published blocks through a bounded chunk
+  /// buffer, never the whole old storage.
   TableId add_table(const EmbeddingTable& values, BlockLayout layout,
                     TablePolicy policy,
                     std::vector<std::uint32_t> access_counts = {});
@@ -86,16 +92,17 @@ class Store {
 
   /// Serve one whole request. Block reads are deduplicated across every id
   /// list in the request (including repeats of a table) and scheduled
-  /// together across the NVM channels. Timing is open-loop: reads are
-  /// submitted at the current clock and the clock is NOT advanced to the
-  /// request's completion — pace arrivals with advance_time_us, and
-  /// overload shows up as channel backlog growing request over request
-  /// (paper Fig. 5). Throws std::out_of_range on a bad table or vector id,
-  /// before any part of the request is served.
+  /// together across the NVM channels, capped at the device queue depth.
+  /// Timing is open-loop: reads are submitted at the current clock and the
+  /// clock is NOT advanced to the request's completion — pace arrivals with
+  /// advance_time_us, and overload shows up as channel backlog growing
+  /// request over request (paper Fig. 5). Throws std::out_of_range on a bad
+  /// table or vector id, before any part of the request is served.
   MultiGetResult multi_get(const MultiGetRequest& request);
 
   /// Asynchronous multi_get on `pool`. The request is moved onto the task;
-  /// per-table locks let concurrent requests pipeline across tables.
+  /// per-shard cache locks let concurrent requests proceed in parallel,
+  /// even within one table.
   std::future<MultiGetResult> multi_get_async(MultiGetRequest request,
                                               ThreadPool& pool);
 
@@ -114,9 +121,9 @@ class Store {
   /// Re-publish a table after retraining (§2.2); counts endurance writes.
   void republish(TableId t, const EmbeddingTable& values, double day = 0.0);
 
-  /// Metrics and latency accessors return consistent snapshots taken under
-  /// the relevant locks, so they are safe to poll while multi_get_async
-  /// requests are in flight.
+  /// Metrics accessors are lock-free snapshots of per-shard counters
+  /// (aggregated on read), so polling them never stalls in-flight
+  /// multi_get_async requests. Latency accessors take the timing lock.
   TableMetrics table_metrics(TableId t) const;
   TableMetrics total_metrics() const;
   LatencyRecorder query_latency_us() const;
@@ -134,26 +141,18 @@ class Store {
   double now_us() const;
 
  private:
-  /// One table plus its serving state; `mu` guards the cache, metrics and
-  /// the read-dedup epochs so async requests can pipeline across tables.
-  struct TableSlot {
-    std::unique_ptr<BandanaTable> table;
-    std::unique_ptr<std::mutex> mu;
-    std::vector<std::uint32_t> block_epochs;
-    std::uint32_t epoch = 0;
-  };
-
-  /// Grow storage to `total_blocks` via the factory, preserving published
-  /// blocks (buffered through memory: file factories reuse their path).
+  /// Grow storage to `total_blocks` via the factory, streaming published
+  /// blocks across in bounded chunks (file factories keep their existing
+  /// contents on re-creation, so old and new storage coexist).
   void ensure_capacity(std::uint64_t total_blocks);
-  const TableSlot& checked_slot(TableId t) const;
-  TableSlot& checked_slot(TableId t) {
-    return const_cast<TableSlot&>(std::as_const(*this).checked_slot(t));
+  const BandanaTable& checked_table(TableId t) const;
+  BandanaTable& checked_table(TableId t) {
+    return const_cast<BandanaTable&>(std::as_const(*this).checked_table(t));
   }
   /// Submit `reads` block reads at `arrival_us` (or the current clock when
-  /// negative) and record the latency to the slowest completion.
-  /// `advance_clock` selects closed-loop (clock moves to completion) vs
-  /// open-loop (clock stays at arrival) semantics. Returns the latency.
+  /// negative) through the admission gate and record the latency to the
+  /// slowest completion. `advance_clock` selects closed-loop (clock moves
+  /// to completion) vs open-loop (clock stays at arrival) semantics.
   double schedule_reads(std::uint64_t reads, LatencyRecorder& recorder,
                         bool advance_clock, double arrival_us = -1.0);
   /// `arrival_us`: simulated arrival timestamp (negative = current clock).
@@ -167,12 +166,13 @@ class Store {
   std::unique_ptr<BlockStorage> storage_;
   /// Unique: add_table / republish (storage mutation). Shared: serving.
   std::unique_ptr<std::shared_mutex> storage_mu_;
-  std::vector<TableSlot> tables_;
+  std::vector<std::unique_ptr<BandanaTable>> tables_;
   BlockId next_block_ = 0;
 
   NvmLatencyModel latency_model_;
   std::unique_ptr<std::mutex> timing_mu_;  ///< Clock, channels, recorders.
   std::vector<double> channel_free_us_;
+  AdmissionController admission_;
   Rng rng_;
   double now_us_ = 0.0;
   LatencyRecorder query_latency_;

@@ -1,5 +1,6 @@
 #include "core/table.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 #include <stdexcept>
@@ -15,6 +16,27 @@ std::vector<double> insertion_points_for(const TablePolicy& policy) {
   }
   return {0.0};
 }
+
+/// Builds the table's cache: one shard per hardware thread by default, but
+/// never more shards than blocks (vectors are striped by block, keeping
+/// prefetch admission shard-local) or cache entries (every shard needs at
+/// least one slot without inflating the DRAM budget).
+ShardedInsertionLru make_cache(const StoreConfig& cfg,
+                               const TablePolicy& policy,
+                               const BlockLayout& layout) {
+  const std::uint64_t capacity =
+      std::max<std::uint64_t>(1, policy.cache_vectors);
+  const auto num_shards = static_cast<std::uint32_t>(std::max<std::uint64_t>(
+      1, std::min({static_cast<std::uint64_t>(cfg.resolved_cache_shards()),
+                   static_cast<std::uint64_t>(layout.num_blocks()),
+                   capacity})));
+  std::vector<std::uint32_t> shard_of(layout.num_vectors());
+  for (VectorId v = 0; v < layout.num_vectors(); ++v) {
+    shard_of[v] = layout.block_of(v) % num_shards;
+  }
+  return {layout.num_vectors(), capacity, insertion_points_for(policy),
+          std::move(shard_of), num_shards};
+}
 }  // namespace
 
 BandanaTable::BandanaTable(const StoreConfig& store_cfg, TablePolicy policy,
@@ -28,12 +50,10 @@ BandanaTable::BandanaTable(const StoreConfig& store_cfg, TablePolicy policy,
       vector_bytes_(store_cfg.vector_bytes),
       block_bytes_(store_cfg.block_bytes),
       vectors_per_block_(store_cfg.vectors_per_block()),
-      cache_(layout_.num_vectors(),
-             std::max<std::uint64_t>(1, policy.cache_vectors),
-             insertion_points_for(policy)),
+      cache_(make_cache(store_cfg, policy, layout_)),
       slot_of_(layout_.num_vectors(), 0),
       prefetched_(layout_.num_vectors(), 0),
-      block_buf_(block_bytes_) {
+      block_epochs_(layout_.num_blocks(), 0) {
   if (store_cfg.block_bytes % store_cfg.vector_bytes != 0) {
     throw std::invalid_argument("vector_bytes must divide block_bytes");
   }
@@ -45,18 +65,34 @@ BandanaTable::BandanaTable(const StoreConfig& store_cfg, TablePolicy policy,
     throw std::invalid_argument("kThreshold requires per-vector access counts");
   }
   low_point_ = cache_.num_insertion_points() - 1;
-  const std::uint64_t cap = cache_.capacity();
-  slab_.resize(cap * vector_bytes_);
-  free_slots_.reserve(cap);
-  for (std::uint64_t s = cap; s > 0; --s) {
-    free_slots_.push_back(static_cast<std::uint32_t>(s - 1));
+  slab_.resize(cache_.capacity() * vector_bytes_);
+
+  // Slab slots are partitioned by shard: shard s owns the contiguous range
+  // starting at the sum of earlier shard capacities. Free lists pop in
+  // ascending slot order within each shard (matching the seed's fill order).
+  shards_.reserve(cache_.num_shards());
+  std::uint64_t slot_base = 0;
+  for (std::uint32_t s = 0; s < cache_.num_shards(); ++s) {
+    auto shard = std::make_unique<Shard>();
+    const std::uint64_t cap = cache_.shard_capacity(s);
+    shard->free_slots.reserve(cap);
+    for (std::uint64_t i = cap; i > 0; --i) {
+      shard->free_slots.push_back(
+          static_cast<std::uint32_t>(slot_base + i - 1));
+    }
+    shard->block_buf.resize(block_bytes_);
+    shards_.push_back(std::move(shard));
+    slot_base += cap;
   }
+
   if (policy_.policy == PrefetchPolicy::kShadow ||
       policy_.policy == PrefetchPolicy::kShadowPosition) {
     const auto shadow_cap = std::max<std::uint64_t>(
-        1, static_cast<std::uint64_t>(static_cast<double>(cap) *
+        1, static_cast<std::uint64_t>(static_cast<double>(cache_.capacity()) *
                                       policy_.shadow_multiplier));
-    shadow_ = std::make_unique<InsertionLru>(layout_.num_vectors(), shadow_cap);
+    shadow_ = std::make_unique<ShardedInsertionLru>(
+        layout_.num_vectors(), shadow_cap, std::vector<double>{0.0},
+        cache_.assignment(), cache_.num_shards());
   }
 }
 
@@ -86,35 +122,40 @@ void BandanaTable::republish(const EmbeddingTable& values,
                              BlockStorage& storage) {
   publish(values, storage);
   // Cached bytes are stale: drop everything (the ids and the learned layout
-  // stay valid — that is SHP's advantage over K-means, §4.2.2).
+  // stay valid — that is SHP's advantage over K-means, §4.2.2). The caller
+  // excludes lookups, so no shard locks are needed here.
   for (VectorId v = 0; v < layout_.num_vectors(); ++v) {
     if (cache_.contains(v)) {
       cache_.erase(v);
-      free_slots_.push_back(slot_of_[v]);
+      shards_[cache_.shard_of(v)]->free_slots.push_back(slot_of_[v]);
       prefetched_[v] = 0;
     }
   }
-  metrics_.republish_writes += layout_.num_vectors();
+  metrics_.republish_writes.fetch_add(layout_.num_vectors(),
+                                      std::memory_order_relaxed);
 }
 
-void BandanaTable::cache_vector(VectorId v, std::span<const std::byte> bytes,
+void BandanaTable::cache_vector(Shard& shard, VectorId v,
+                                std::span<const std::byte> bytes,
                                 std::size_t point, bool is_prefetch) {
   const VectorId evicted = cache_.insert(v, point);
   std::uint32_t slot;
   if (evicted != kInvalidVector) {
-    slot = slot_of_[evicted];
+    slot = slot_of_[evicted];  // same shard: eviction is shard-local
   } else {
-    assert(!free_slots_.empty());
-    slot = free_slots_.back();
-    free_slots_.pop_back();
+    assert(!shard.free_slots.empty());
+    slot = shard.free_slots.back();
+    shard.free_slots.pop_back();
   }
   slot_of_[v] = slot;
   std::memcpy(slot_bytes(slot).data(), bytes.data(), vector_bytes_);
   prefetched_[v] = is_prefetch ? 1 : 0;
-  if (is_prefetch) ++metrics_.prefetch_inserted;
+  if (is_prefetch) {
+    metrics_.prefetch_inserted.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
-void BandanaTable::admit_prefetches(BlockId local_block,
+void BandanaTable::admit_prefetches(Shard& shard, BlockId local_block,
                                     std::span<const std::byte> block) {
   const auto members = layout_.block_members(local_block);
   for (std::size_t i = 0; i < members.size(); ++i) {
@@ -126,76 +167,108 @@ void BandanaTable::admit_prefetches(BlockId local_block,
       case PrefetchPolicy::kNone:
         return;
       case PrefetchPolicy::kAll:
-        cache_vector(u, bytes, 0, /*is_prefetch=*/true);
+        cache_vector(shard, u, bytes, 0, /*is_prefetch=*/true);
         break;
       case PrefetchPolicy::kPosition:
-        cache_vector(u, bytes, low_point_, true);
+        cache_vector(shard, u, bytes, low_point_, true);
         break;
       case PrefetchPolicy::kShadow:
-        if (shadow_->contains(u)) cache_vector(u, bytes, 0, true);
+        if (shadow_->contains(u)) cache_vector(shard, u, bytes, 0, true);
         break;
       case PrefetchPolicy::kShadowPosition:
-        cache_vector(u, bytes, shadow_->contains(u) ? 0 : low_point_, true);
+        cache_vector(shard, u, bytes, shadow_->contains(u) ? 0 : low_point_,
+                     true);
         break;
       case PrefetchPolicy::kThreshold:
         if (access_counts_[u] > policy_.access_threshold) {
-          cache_vector(u, bytes, 0, true);
+          cache_vector(shard, u, bytes, 0, true);
         }
         break;
     }
   }
 }
 
-BandanaTable::LookupOutcome BandanaTable::lookup(
-    VectorId v, BlockStorage& storage, std::span<std::byte> out,
-    std::vector<std::uint32_t>* block_epoch, std::uint32_t epoch) {
+BandanaTable::LookupOutcome BandanaTable::lookup(VectorId v,
+                                                 BlockStorage& storage,
+                                                 std::span<std::byte> out,
+                                                 std::uint64_t epoch) {
   assert(v < layout_.num_vectors());
   assert(out.size() >= vector_bytes_);
   LookupOutcome outcome;
-  ++metrics_.lookups;
-  metrics_.app_bytes_served += vector_bytes_;
+  // Everything a lookup touches — the cache entry, the block, its other
+  // members, the shadow entry, the slab slots — lives in this one shard.
+  Shard& shard = *shards_[cache_.shard_of(v)];
+  std::lock_guard lock(shard.mu);
+  metrics_.lookups.fetch_add(1, std::memory_order_relaxed);
+  metrics_.app_bytes_served.fetch_add(vector_bytes_,
+                                      std::memory_order_relaxed);
 
   if (shadow_) {
     if (!shadow_->access(v)) shadow_->insert(v);
   }
 
   if (cache_.access(v)) {
-    ++metrics_.hits;
+    metrics_.hits.fetch_add(1, std::memory_order_relaxed);
     outcome.hit = true;
     if (prefetched_[v]) {
-      ++metrics_.prefetch_hits;
+      metrics_.prefetch_hits.fetch_add(1, std::memory_order_relaxed);
       prefetched_[v] = 0;
     }
     std::memcpy(out.data(), slot_bytes(slot_of_[v]).data(), vector_bytes_);
     return outcome;
   }
 
-  // Miss: fetch the block (dedup within a batched query via block_epoch).
+  // Miss: fetch the block (the epoch mark is shard-local because blocks
+  // never span shards). ">=" rather than "==": a mark left by a *newer*
+  // concurrent scope means the block was just fetched, so this scope's
+  // read coalesces with it instead of re-counting (and re-admitting).
   const BlockId local_b = layout_.block_of(v);
-  metrics_.miss_bytes += vector_bytes_;
-  const bool already_read =
-      block_epoch != nullptr && (*block_epoch)[local_b] == epoch;
-  storage.read_block(first_block_ + local_b, block_buf_);
+  metrics_.miss_bytes.fetch_add(vector_bytes_, std::memory_order_relaxed);
+  const bool already_read = block_epochs_[local_b] >= epoch;
+  storage.read_block(first_block_ + local_b, shard.block_buf);
   if (!already_read) {
-    if (block_epoch != nullptr) (*block_epoch)[local_b] = epoch;
-    ++metrics_.nvm_block_reads;
-    metrics_.nvm_bytes_read += block_bytes_;
+    block_epochs_[local_b] = epoch;
+    metrics_.nvm_block_reads.fetch_add(1, std::memory_order_relaxed);
+    metrics_.nvm_bytes_read.fetch_add(block_bytes_,
+                                      std::memory_order_relaxed);
     outcome.nvm_read = true;
     outcome.block_read = first_block_ + local_b;
   }
 
   const std::uint32_t pos_in_block =
       layout_.position_of(v) % vectors_per_block_;
-  std::memcpy(out.data(),
-              block_buf_.data() + std::size_t{pos_in_block} * vector_bytes_,
-              vector_bytes_);
-  cache_vector(v, {block_buf_.data() + std::size_t{pos_in_block} * vector_bytes_,
-                   vector_bytes_},
-               0, /*is_prefetch=*/false);
+  const std::span<const std::byte> vector_view{
+      shard.block_buf.data() + std::size_t{pos_in_block} * vector_bytes_,
+      vector_bytes_};
+  std::memcpy(out.data(), vector_view.data(), vector_bytes_);
+  cache_vector(shard, v, vector_view, 0, /*is_prefetch=*/false);
   if (!already_read && policy_.policy != PrefetchPolicy::kNone) {
-    admit_prefetches(local_b, block_buf_);
+    admit_prefetches(shard, local_b, shard.block_buf);
   }
   return outcome;
+}
+
+CacheShardStats BandanaTable::shard_stats(std::uint32_t s) const {
+  std::lock_guard lock(shards_[s]->mu);
+  return cache_.shard_stats(s);
+}
+
+CacheShardStats BandanaTable::cache_stats() const {
+  CacheShardStats total;
+  for (std::uint32_t s = 0; s < cache_.num_shards(); ++s) {
+    total += shard_stats(s);
+  }
+  return total;
+}
+
+std::vector<VectorId> BandanaTable::cache_contents() const {
+  std::vector<VectorId> out;
+  for (std::uint32_t s = 0; s < cache_.num_shards(); ++s) {
+    std::lock_guard lock(shards_[s]->mu);
+    const auto shard = cache_.shard_contents(s);
+    out.insert(out.end(), shard.begin(), shard.end());
+  }
+  return out;
 }
 
 }  // namespace bandana

@@ -1,13 +1,26 @@
 // One embedding table inside a Bandana store: NVM-resident blocks plus a
-// DRAM vector cache with prefetch admission.
+// sharded DRAM vector cache with prefetch admission.
+//
+// Concurrency model: the vector universe is striped across N cache shards
+// by *block* (shard_of(v) = block_of(v) % N), so a miss, its block read,
+// and the prefetch admission of the block's other members all stay inside
+// one shard — lookup() takes exactly one shard lock and concurrent
+// requests to the same table proceed in parallel on different shards.
+// Metrics are relaxed atomics (lock-free snapshot); block-read dedup
+// epochs are per-block and therefore shard-local too.
+//
+// publish/republish mutate NVM storage and require external exclusion
+// against lookups (Store holds its storage mutex uniquely around them).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
-#include "cache/lru_cache.h"
+#include "cache/sharded_lru.h"
 #include "core/config.h"
 #include "core/metrics.h"
 #include "nvm/block_storage.h"
@@ -25,11 +38,12 @@ class BandanaTable {
                BlockId first_block);
 
   /// Write all vectors of `values` into NVM blocks per the layout.
+  /// Requires external exclusion against lookups.
   void publish(const EmbeddingTable& values, BlockStorage& storage);
 
   /// Re-publish updated values (retraining, §2.2): rewrites every block and
   /// keeps the cache contents (ids stay valid; bytes are refreshed lazily by
-  /// invalidating cached entries).
+  /// invalidating cached entries). Requires external exclusion.
   void republish(const EmbeddingTable& values, BlockStorage& storage);
 
   struct LookupOutcome {
@@ -38,28 +52,57 @@ class BandanaTable {
     bool nvm_read = false;    ///< True if a block read was issued.
   };
 
-  /// Serve one vector: on miss, reads the block from `storage` (the caller
-  /// accounts device timing), admits prefetches per policy, and caches the
-  /// vector. `same_query_blocks` dedups block reads within a batched query
-  /// (pass nullptr to disable batching).
+  /// Open a block-read dedup scope (one batched query, or one table's id
+  /// lists within a multi-get request): lookups sharing the returned epoch
+  /// count each block read once. Epochs are monotonic, and a block is
+  /// "already read" when its mark is >= the scope's epoch — so when two
+  /// concurrent scopes touch the same block, the later fetch coalesces
+  /// with the earlier one instead of being double-counted.
+  std::uint64_t begin_batch() {
+    return epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Serve one vector. Thread-safe: locks the vector's cache shard for the
+  /// duration. On miss, reads the block from `storage` (the caller accounts
+  /// device timing), admits prefetches per policy, and caches the vector.
   LookupOutcome lookup(VectorId v, BlockStorage& storage,
-                       std::span<std::byte> out,
-                       std::vector<std::uint32_t>* block_epoch,
-                       std::uint32_t epoch);
+                       std::span<std::byte> out, std::uint64_t epoch);
 
   std::uint32_t num_vectors() const { return layout_.num_vectors(); }
   std::uint32_t num_blocks() const { return layout_.num_blocks(); }
   BlockId first_block() const { return first_block_; }
   const BlockLayout& layout() const { return layout_; }
   const TablePolicy& policy() const { return policy_; }
-  const TableMetrics& metrics() const { return metrics_; }
   std::size_t vector_bytes() const { return vector_bytes_; }
 
+  std::uint32_t num_shards() const { return cache_.num_shards(); }
+
+  /// Lock-free snapshot of the per-shard counters, aggregated on read.
+  TableMetrics metrics() const { return metrics_.snapshot(); }
+
+  /// Cache occupancy/traffic of one shard (taken under that shard's lock).
+  CacheShardStats shard_stats(std::uint32_t s) const;
+  /// Aggregate over all shards.
+  CacheShardStats cache_stats() const;
+
+  /// Cached ids, shard by shard, each MRU->LRU (test/diagnostic; takes the
+  /// shard locks). With one shard this is the exact LRU eviction order.
+  std::vector<VectorId> cache_contents() const;
+
  private:
+  /// Per-shard mutable state; slab slots [slot_base, slot_base + capacity)
+  /// belong to this shard, so eviction and reuse never cross shards.
+  struct Shard {
+    std::mutex mu;
+    std::vector<std::uint32_t> free_slots;
+    std::vector<std::byte> block_buf;  ///< scratch for block reads
+  };
+
   std::span<std::byte> slot_bytes(std::uint32_t slot);
-  void cache_vector(VectorId v, std::span<const std::byte> bytes,
+  void cache_vector(Shard& shard, VectorId v, std::span<const std::byte> bytes,
                     std::size_t point, bool is_prefetch);
-  void admit_prefetches(BlockId local_block, std::span<const std::byte> block);
+  void admit_prefetches(Shard& shard, BlockId local_block,
+                        std::span<const std::byte> block);
 
   TablePolicy policy_;
   BlockLayout layout_;
@@ -69,16 +112,17 @@ class BandanaTable {
   std::size_t block_bytes_;
   std::uint32_t vectors_per_block_;
 
-  InsertionLru cache_;
+  ShardedInsertionLru cache_;
   std::size_t low_point_ = 0;  ///< Insertion point index for cold prefetches.
-  std::unique_ptr<InsertionLru> shadow_;
+  std::unique_ptr<ShardedInsertionLru> shadow_;
+  std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::uint32_t> slot_of_;  ///< vector -> DRAM slot
-  std::vector<std::byte> slab_;         ///< cache_vectors * vector_bytes
-  std::vector<std::uint32_t> free_slots_;
+  std::vector<std::byte> slab_;         ///< cache capacity * vector_bytes
   std::vector<std::uint8_t> prefetched_;
-  std::vector<std::byte> block_buf_;    ///< scratch for block reads
+  std::vector<std::uint64_t> block_epochs_;  ///< per-block dedup marks
+  std::atomic<std::uint64_t> epoch_{0};
 
-  TableMetrics metrics_;
+  AtomicTableMetrics metrics_;
 };
 
 }  // namespace bandana

@@ -1,0 +1,80 @@
+// Queue-depth admission control for block-read submission (paper §2.2).
+//
+// The paper keeps the NVM device's queue depth bounded: latency past the
+// bandwidth knee is a queueing artifact, and an unbounded submitter turns
+// one oversized request into a device-monopolizing burst. This controller
+// caps the number of outstanding block reads at queue_depth × channels;
+// submit_reads() splits a request's read batch into depth-bounded waves —
+// a read past the cap is only submitted once an earlier read completes,
+// so the Fig. 5 hockey stick emerges from queueing at the admission gate
+// rather than from unbounded submission.
+//
+// A slot is held through the read's full completion (channel service plus
+// the fixed submission/completion overhead), which reproduces Fig. 2's
+// queue-depth trade-off: at per-channel depth 1 the overhead is exposed
+// (channels idle between reads, bandwidth below peak), while a depth of
+// roughly 1 + base_latency/service hides it and the channel queue becomes
+// the binding constraint again.
+//
+// Simulated-time semantics: completions are tracked as timestamps, so the
+// controller is exercised under the owner's timing lock (Store holds
+// timing_mu_) and needs no synchronization of its own.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/rng.h"
+#include "nvm/nvm_device.h"
+
+namespace bandana {
+
+class AdmissionController {
+ public:
+  /// `queue_depth` is the per-channel cap on outstanding reads; 0 disables
+  /// admission control (unbounded submission, the pre-admission behavior).
+  AdmissionController(unsigned channels, unsigned queue_depth)
+      : max_outstanding_(static_cast<std::uint64_t>(channels) * queue_depth) {}
+
+  bool bounded() const { return max_outstanding_ > 0; }
+  std::uint64_t max_outstanding() const { return max_outstanding_; }
+  std::size_t outstanding() const { return completions_.size(); }
+
+  /// Earliest simulated time (>= arrival_us) at which the next read may be
+  /// submitted. Reads completed by arrival_us free their slots first; if
+  /// the gate is still full, the read waits for the earliest completion
+  /// (whose slot it consumes).
+  double admit(double arrival_us) {
+    if (!bounded()) return arrival_us;
+    while (!completions_.empty() && completions_.top() <= arrival_us) {
+      completions_.pop();
+    }
+    if (completions_.size() < max_outstanding_) return arrival_us;
+    const double freed_at = completions_.top();
+    completions_.pop();
+    return freed_at;
+  }
+
+  /// Record a submitted read's completion time (it holds a slot until then).
+  void on_submitted(double completion_us) {
+    if (bounded()) completions_.push(completion_us);
+  }
+
+  void reset() { completions_ = {}; }
+
+ private:
+  std::uint64_t max_outstanding_;
+  std::priority_queue<double, std::vector<double>, std::greater<>>
+      completions_;
+};
+
+/// Submit `count` block reads arriving together at `arrival_us`, gated by
+/// `admission`, onto the device channels. Returns the completion time of
+/// the slowest read (== arrival_us when count is 0). With an unbounded
+/// controller this reproduces the plain submit_read loop exactly.
+double submit_reads(const NvmLatencyModel& model, double arrival_us,
+                    std::uint64_t count, std::vector<double>& channel_free_us,
+                    AdmissionController& admission, Rng& rng);
+
+}  // namespace bandana

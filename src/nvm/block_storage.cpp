@@ -1,6 +1,7 @@
 #include "nvm/block_storage.h"
 
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cassert>
@@ -37,9 +38,12 @@ std::span<const std::byte> MemoryBlockStorage::block_view(BlockId b) const {
 
 FileBlockStorage::FileBlockStorage(const std::string& path,
                                    std::uint64_t num_blocks,
-                                   std::size_t block_bytes)
+                                   std::size_t block_bytes,
+                                   bool preserve_contents)
     : num_blocks_(num_blocks), block_bytes_(block_bytes) {
-  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  const int flags =
+      preserve_contents ? O_RDWR | O_CREAT : O_RDWR | O_CREAT | O_TRUNC;
+  fd_ = ::open(path.c_str(), flags, 0644);
   if (fd_ < 0) throw std::runtime_error("FileBlockStorage: cannot open " + path);
   if (::ftruncate(fd_, static_cast<off_t>(num_blocks * block_bytes)) != 0) {
     ::close(fd_);
@@ -77,6 +81,15 @@ void FileBlockStorage::write_block(BlockId b, std::span<const std::byte> in) {
   }
 }
 
+bool FileBlockStorage::same_backing(const BlockStorage& other) const {
+  if (this == &other) return true;
+  const auto* file = dynamic_cast<const FileBlockStorage*>(&other);
+  if (file == nullptr) return false;
+  struct stat a{}, b{};
+  if (::fstat(fd_, &a) != 0 || ::fstat(file->fd_, &b) != 0) return false;
+  return a.st_dev == b.st_dev && a.st_ino == b.st_ino;
+}
+
 BlockStorageFactory memory_storage_factory() {
   return [](std::uint64_t num_blocks, std::size_t block_bytes) {
     return std::make_unique<MemoryBlockStorage>(num_blocks, block_bytes);
@@ -84,9 +97,15 @@ BlockStorageFactory memory_storage_factory() {
 }
 
 BlockStorageFactory file_storage_factory(std::string path) {
-  return [path = std::move(path)](std::uint64_t num_blocks,
-                                  std::size_t block_bytes) {
-    return std::make_unique<FileBlockStorage>(path, num_blocks, block_bytes);
+  // First invocation truncates (a fresh store must not inherit stale bytes
+  // from an earlier run); growth re-invocations resize the same file in
+  // place so the store can stream published blocks without a full drain.
+  return [path = std::move(path), created = false](
+             std::uint64_t num_blocks, std::size_t block_bytes) mutable {
+    auto storage = std::make_unique<FileBlockStorage>(
+        path, num_blocks, block_bytes, /*preserve_contents=*/created);
+    created = true;
+    return storage;
   };
 }
 

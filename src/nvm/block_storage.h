@@ -33,6 +33,13 @@ class BlockStorage {
 
   /// Overwrite block `b` from `in` (in.size() == block_bytes()).
   virtual void write_block(BlockId b, std::span<const std::byte> in) = 0;
+
+  /// True if `other` reads and writes the same bytes as this storage (e.g.
+  /// two FileBlockStorage handles on one inode). Lets the store skip the
+  /// block migration when a growth factory resized the backing in place.
+  virtual bool same_backing(const BlockStorage& other) const {
+    return this == &other;
+  }
 };
 
 class MemoryBlockStorage final : public BlockStorage {
@@ -55,9 +62,11 @@ class MemoryBlockStorage final : public BlockStorage {
 
 class FileBlockStorage final : public BlockStorage {
  public:
-  /// Creates (or truncates) `path` sized num_blocks * block_bytes.
+  /// Opens `path` sized to num_blocks * block_bytes. With
+  /// `preserve_contents` the existing bytes survive (growth resizes in
+  /// place); otherwise the file is truncated to a clean slate first.
   FileBlockStorage(const std::string& path, std::uint64_t num_blocks,
-                   std::size_t block_bytes);
+                   std::size_t block_bytes, bool preserve_contents = false);
   ~FileBlockStorage() override;
 
   FileBlockStorage(const FileBlockStorage&) = delete;
@@ -67,6 +76,8 @@ class FileBlockStorage final : public BlockStorage {
   std::uint64_t num_blocks() const override { return num_blocks_; }
   void read_block(BlockId b, std::span<std::byte> out) const override;
   void write_block(BlockId b, std::span<const std::byte> in) override;
+  /// Two file storages share a backing iff they are open on the same inode.
+  bool same_backing(const BlockStorage& other) const override;
 
  private:
   std::uint64_t num_blocks_;
@@ -76,7 +87,11 @@ class FileBlockStorage final : public BlockStorage {
 
 /// How a Store obtains its backing storage. Called with the exact geometry
 /// once it is known (StoreBuilder knows it up front; the incremental
-/// add_table path may call it again with a larger block count).
+/// add_table path may call it again with a larger block count). Repeat
+/// invocations must preserve already-written contents — the store streams
+/// published blocks from the old storage to the new one in bounded chunks,
+/// so old and new must be able to coexist (a same-path file factory
+/// achieves this by resizing in place instead of truncating).
 using BlockStorageFactory = std::function<std::unique_ptr<BlockStorage>(
     std::uint64_t num_blocks, std::size_t block_bytes)>;
 
@@ -84,7 +99,8 @@ using BlockStorageFactory = std::function<std::unique_ptr<BlockStorage>(
 BlockStorageFactory memory_storage_factory();
 
 /// Real-file storage at `path` (pread/pwrite), the repro substitution for
-/// NVM hardware. The file is created or truncated when the factory runs.
+/// NVM hardware. The first invocation creates or truncates the file;
+/// growth re-invocations resize it in place, preserving published blocks.
 BlockStorageFactory file_storage_factory(std::string path);
 
 }  // namespace bandana

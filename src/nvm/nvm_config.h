@@ -27,6 +27,14 @@ struct NvmDeviceConfig {
   /// Internal parallelism: number of independent service units.
   unsigned channels = 4;
 
+  /// Admission cap on outstanding block reads per channel (paper §2.2
+  /// keeps device queue depth bounded). The store submits at most
+  /// queue_depth * channels reads at once; oversized request batches are
+  /// split into depth-bounded waves (nvm/admission.h). 0 = unbounded
+  /// submission. Distinct from run_closed_loop's queue_depth parameter,
+  /// which is the number of logical Fio clients.
+  unsigned queue_depth = 32;
+
   /// Fixed submission/completion overhead per IO, microseconds.
   double base_latency_us = 2.8;
 

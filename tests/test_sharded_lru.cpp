@@ -1,0 +1,268 @@
+#include "cache/sharded_lru.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "cache/lru_cache.h"
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "core/store.h"
+#include "partition/layout.h"
+#include "trace/trace_generator.h"
+
+namespace bandana {
+namespace {
+
+// ---- Shard-equivalence: one shard must BE the seed InsertionLru. ----
+
+TEST(ShardedLru, SingleShardTraceIsByteIdenticalToSeedLru) {
+  const std::uint32_t universe = 512;
+  const std::uint64_t capacity = 64;
+  const std::vector<double> points = {0.0, 0.5};
+  InsertionLru seed(universe, capacity, points);
+  ShardedInsertionLru sharded(universe, capacity, points);
+  ASSERT_EQ(sharded.num_shards(), 1u);
+  ASSERT_EQ(sharded.capacity(), capacity);
+
+  Rng rng(7);
+  ZipfSampler zipf(universe, 0.8);
+  for (int op = 0; op < 20'000; ++op) {
+    const auto v = static_cast<VectorId>(zipf(rng));
+    if (rng.next_bernoulli(0.05)) {
+      ASSERT_EQ(seed.erase(v), sharded.erase(v)) << "op " << op;
+      continue;
+    }
+    const bool hit = seed.access(v);
+    ASSERT_EQ(hit, sharded.access(v)) << "op " << op;
+    if (!hit) {
+      const std::size_t point = rng.next_bernoulli(0.5) ? 1 : 0;
+      // Same eviction victim on every insert == same eviction order.
+      ASSERT_EQ(seed.insert(v, point), sharded.insert(v, point)) << "op " << op;
+    }
+    if (op % 997 == 0) {
+      ASSERT_EQ(seed.contents(), sharded.contents()) << "op " << op;
+    }
+  }
+  EXPECT_EQ(seed.size(), sharded.size());
+  EXPECT_EQ(seed.contents(), sharded.contents());
+}
+
+TEST(ShardedLru, RejectsBadConfig) {
+  EXPECT_THROW(ShardedInsertionLru(16, 0), std::invalid_argument);
+  EXPECT_THROW(ShardedInsertionLru(16, 4, {0.0}, {}, 0),
+               std::invalid_argument);
+  // >1 shard needs an assignment covering the universe.
+  EXPECT_THROW(ShardedInsertionLru(16, 4, {0.0}, {}, 2),
+               std::invalid_argument);
+  EXPECT_THROW(ShardedInsertionLru(16, 4, {0.0}, {0, 1}, 2),
+               std::invalid_argument);
+  // Assignment referencing a shard out of range.
+  std::vector<std::uint32_t> bad(16, 0);
+  bad[3] = 5;
+  EXPECT_THROW(ShardedInsertionLru(16, 4, {0.0}, bad, 2),
+               std::invalid_argument);
+}
+
+TEST(ShardedLru, CapacitySplitsProportionallyAcrossShards) {
+  // Shard 0 holds 3/4 of the universe, shard 1 the remaining 1/4.
+  const std::uint32_t universe = 400;
+  std::vector<std::uint32_t> shard_of(universe);
+  for (VectorId v = 0; v < universe; ++v) shard_of[v] = v < 300 ? 0 : 1;
+  ShardedInsertionLru cache(universe, 100, {0.0}, shard_of, 2);
+  EXPECT_EQ(cache.capacity(), 100u);
+  EXPECT_EQ(cache.shard_capacity(0), 75u);
+  EXPECT_EQ(cache.shard_capacity(1), 25u);
+}
+
+TEST(ShardedLru, EveryShardGetsAtLeastOneEntry) {
+  std::vector<std::uint32_t> shard_of = {0, 1, 2, 3};
+  ShardedInsertionLru cache(4, 2, {0.0}, shard_of, 4);
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    EXPECT_GE(cache.shard_capacity(s), 1u);
+  }
+}
+
+TEST(ShardedLru, ShardsEvictIndependentlyAndStatsRoll) {
+  const std::uint32_t universe = 64;
+  std::vector<std::uint32_t> shard_of(universe);
+  for (VectorId v = 0; v < universe; ++v) shard_of[v] = v % 4;
+  ShardedInsertionLru cache(universe, 16, {0.0}, shard_of, 4);
+
+  // Fill shard 0 (ids 0,4,8,...) past its capacity: evictions stay inside
+  // shard 0 while the other shards are untouched.
+  std::set<VectorId> evicted;
+  for (VectorId v = 0; v < universe; v += 4) {
+    const VectorId victim = cache.insert(v);
+    if (victim != kInvalidVector) evicted.insert(victim);
+  }
+  EXPECT_EQ(evicted.size(), 16 - cache.shard_capacity(0));
+  for (const VectorId v : evicted) EXPECT_EQ(cache.shard_of(v), 0u);
+  EXPECT_EQ(cache.shard_contents(1), std::vector<VectorId>{});
+
+  const CacheShardStats s0 = cache.shard_stats(0);
+  EXPECT_EQ(s0.inserts, 16u);
+  EXPECT_EQ(s0.evictions, evicted.size());
+  EXPECT_EQ(s0.size, cache.shard_capacity(0));
+  const CacheShardStats total = cache.rollup();
+  EXPECT_EQ(total.inserts, 16u);
+  EXPECT_EQ(total.size, cache.size());
+  EXPECT_EQ(total.capacity, cache.capacity());
+}
+
+// ---- Store-level equivalence and tolerance. ----
+
+TableWorkloadConfig workload_config() {
+  TableWorkloadConfig cfg;
+  cfg.num_vectors = 4096;
+  cfg.dim = 32;  // 128 B vectors
+  cfg.mean_lookups_per_query = 12;
+  cfg.num_profiles = 80;
+  return cfg;
+}
+
+StoreConfig sharded_config(std::uint32_t shards) {
+  StoreConfig cfg;
+  cfg.simulate_timing = false;
+  cfg.cache_shards = shards;
+  return cfg;
+}
+
+/// Replays `trace` against the seed semantics (policy kNone: plain LRU,
+/// per-query block-read dedup) using the unsharded InsertionLru directly.
+struct SeedReplay {
+  std::uint64_t hits = 0;
+  std::uint64_t block_reads = 0;
+  std::vector<VectorId> final_contents;
+};
+
+SeedReplay replay_seed(const Trace& trace, const BlockLayout& layout,
+                       std::uint64_t capacity) {
+  InsertionLru lru(layout.num_vectors(), capacity);
+  SeedReplay r;
+  for (std::size_t q = 0; q < trace.num_queries(); ++q) {
+    std::set<BlockId> blocks_read;
+    for (const VectorId v : trace.query(q)) {
+      if (lru.access(v)) {
+        ++r.hits;
+        continue;
+      }
+      if (blocks_read.insert(layout.block_of(v)).second) ++r.block_reads;
+      lru.insert(v, 0);
+    }
+  }
+  r.final_contents = lru.contents();
+  return r;
+}
+
+TEST(ShardedStore, OneShardReproducesSeedHitMissAndEvictionTrace) {
+  TraceGenerator gen(workload_config(), 11);
+  const EmbeddingTable values = gen.make_embeddings();
+  const Trace trace = gen.generate(800);
+  const auto layout = BlockLayout::random(4096, 32, 3);
+
+  Store store(sharded_config(/*shards=*/1));
+  TablePolicy policy;
+  policy.cache_vectors = 400;
+  policy.policy = PrefetchPolicy::kNone;
+  const TableId t = store.add_table(values, layout, policy);
+  ASSERT_EQ(store.table(t).num_shards(), 1u);
+
+  std::vector<std::byte> out(128 * 256);
+  for (std::size_t q = 0; q < trace.num_queries(); ++q) {
+    store.lookup_batch(t, trace.query(q), out);
+  }
+
+  const SeedReplay want = replay_seed(trace, layout, 400);
+  const TableMetrics m = store.table_metrics(t);
+  EXPECT_EQ(m.hits, want.hits);
+  EXPECT_EQ(m.nvm_block_reads, want.block_reads);
+  // Not just the same counts: the exact same residents in the exact same
+  // MRU->LRU order, i.e. the eviction order matched step for step.
+  EXPECT_EQ(store.table(t).cache_contents(), want.final_contents);
+}
+
+TEST(ShardedStore, ShardedHitRateStaysWithinToleranceOfSeed) {
+  TraceGenerator gen(workload_config(), 12);
+  const EmbeddingTable values = gen.make_embeddings();
+  const Trace trace = gen.generate(2000);
+  const auto layout = BlockLayout::random(4096, 32, 5);
+  TablePolicy policy;
+  policy.cache_vectors = 512;
+  policy.policy = PrefetchPolicy::kPosition;
+  policy.insertion_position = 0.5;
+
+  auto run = [&](std::uint32_t shards) {
+    Store store(sharded_config(shards));
+    const TableId t = store.add_table(values, layout, policy);
+    std::vector<std::byte> out(128 * 256);
+    for (std::size_t q = 0; q < trace.num_queries(); ++q) {
+      store.lookup_batch(t, trace.query(q), out);
+    }
+    return store.table_metrics(t);
+  };
+
+  const TableMetrics seed = run(1);
+  const TableMetrics sharded = run(8);
+  EXPECT_EQ(seed.lookups, sharded.lookups);
+  EXPECT_NEAR(seed.hit_rate(), sharded.hit_rate(), 0.05);
+  // Sharding must not change what a miss costs, only who may run
+  // concurrently: reads stay in the same ballpark too.
+  EXPECT_NEAR(
+      static_cast<double>(sharded.nvm_block_reads),
+      static_cast<double>(seed.nvm_block_reads),
+      0.15 * static_cast<double>(seed.nvm_block_reads));
+}
+
+class ShardedPolicyTest : public ::testing::TestWithParam<PrefetchPolicy> {};
+
+TEST_P(ShardedPolicyTest, ServesCorrectBytesWithManyShards) {
+  TraceGenerator gen(workload_config(), 13);
+  const EmbeddingTable values = gen.make_embeddings();
+  Store store(sharded_config(/*shards=*/8));
+  TablePolicy policy;
+  policy.cache_vectors = 256;
+  policy.policy = GetParam();
+  std::vector<std::uint32_t> counts(4096);
+  for (VectorId v = 0; v < 4096; ++v) counts[v] = v % 40;
+  const TableId t = store.add_table(
+      values, BlockLayout::random(4096, 32, 9), policy, counts);
+  EXPECT_GT(store.table(t).num_shards(), 1u);
+
+  const Trace trace = gen.generate(400);
+  std::vector<std::byte> out(128 * 256);
+  for (std::size_t q = 0; q < trace.num_queries(); ++q) {
+    const auto ids = trace.query(q);
+    store.lookup_batch(t, ids, out);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      const auto want = values.vector_bytes_view(ids[i]);
+      ASSERT_EQ(std::memcmp(out.data() + i * 128, want.data(), 128), 0)
+          << "policy " << to_string(GetParam()) << " vector " << ids[i];
+    }
+  }
+  // Sharded caches still cache: the workload is skewed enough to hit.
+  EXPECT_GT(store.table_metrics(t).hits, 0u);
+  // The shard rollup agrees with the table metrics on traffic volume.
+  const CacheShardStats stats = store.table(t).cache_stats();
+  EXPECT_EQ(stats.hits, store.table_metrics(t).hits);
+  EXPECT_LE(stats.size, stats.capacity);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, ShardedPolicyTest,
+    ::testing::Values(PrefetchPolicy::kNone, PrefetchPolicy::kAll,
+                      PrefetchPolicy::kPosition, PrefetchPolicy::kShadow,
+                      PrefetchPolicy::kShadowPosition,
+                      PrefetchPolicy::kThreshold),
+    [](const auto& info) {
+      std::string s = to_string(info.param);
+      for (char& c : s) {
+        if (c == '+') c = '_';
+      }
+      return s;
+    });
+
+}  // namespace
+}  // namespace bandana
