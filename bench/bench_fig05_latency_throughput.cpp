@@ -221,5 +221,57 @@ int main() {
       "The >= 3x async-throughput win at 8\nthreads requires >= 8 hardware "
       "cores (this host has %u).\n",
       std::thread::hardware_concurrency());
+
+  // ---- Part 4: real-file backends — admission waves of overlapped reads
+  // (io_uring, or thread-pool preads) vs one synchronous pread per miss. ----
+  std::printf(
+      "\nreal-file serving: sync pread vs batched async reads (one table, "
+      "cold cache,\nadmission waves of queue_depth x channels blocks; "
+      "timing model off)\n\n");
+  TablePrinter file_sweep({"backend", "wall_s", "kreq/s", "hit_rate"});
+  const auto file_bench = [&](const char* name, BlockStorageFactory factory) {
+    StoreConfig sc;
+    sc.simulate_timing = false;
+    sc.cache_shards = 1;
+    StoreBuilder sb(sc);
+    sb.storage(std::move(factory));
+    sb.add_table(svalues, TablePlan{slayout, {}, spolicy, 0.0});
+    Store store = sb.build();
+    WallTimer timer;
+    for (std::size_t q = 0; q < strace.num_queries(); ++q) {
+      MultiGetRequest req;
+      req.add(0, strace.query(q));
+      store.multi_get(req);
+    }
+    const double secs = timer.seconds();
+    file_sweep.add_row({name, TablePrinter::fmt(secs, 2),
+                        TablePrinter::fmt(strace.num_queries() / secs / 1e3, 1),
+                        pct(store.total_metrics().hit_rate())});
+  };
+  const std::string sync_path = "/tmp/bandana_fig05_sync.bin";
+  const std::string async_path = "/tmp/bandana_fig05_async.bin";
+  const std::string pool_path = "/tmp/bandana_fig05_pool.bin";
+  file_bench("sync pread (FileBlockStorage)", file_storage_factory(sync_path));
+  {
+    // Report which async path is live on this host.
+    AsyncFileBlockStorage probe("/tmp/bandana_fig05_probe.bin", 1, 4096);
+    std::printf("async path on this host: %s\n\n",
+                probe.io_uring_active() ? "io_uring" : "thread-pool preads");
+    std::remove("/tmp/bandana_fig05_probe.bin");
+  }
+  file_bench("async waves (auto)", async_file_storage_factory(async_path));
+  AsyncFileBlockStorage::Options pool_opts;
+  pool_opts.force_thread_pool = true;
+  file_bench("async waves (thread-pool)",
+             async_file_storage_factory(pool_path, pool_opts));
+  file_sweep.print();
+  std::printf(
+      "\nEvery miss block of a request is staged through one batched "
+      "read_blocks wave\nper queue_depth x channels blocks, so real I/O "
+      "overlaps like the simulated\nchannels — and the admission gate now "
+      "throttles actual device traffic.\n");
+  std::remove(sync_path.c_str());
+  std::remove(async_path.c_str());
+  std::remove(pool_path.c_str());
   return 0;
 }

@@ -19,8 +19,10 @@
 #include "core/store_builder.h"     // IWYU pragma: export
 #include "core/trainer.h"           // IWYU pragma: export
 #include "nvm/admission.h"          // IWYU pragma: export
+#include "nvm/async_file_storage.h" // IWYU pragma: export
 #include "nvm/block_storage.h"      // IWYU pragma: export
 #include "nvm/endurance.h"          // IWYU pragma: export
+#include "nvm/io_engine.h"          // IWYU pragma: export
 #include "nvm/nvm_device.h"         // IWYU pragma: export
 #include "partition/fanout.h"       // IWYU pragma: export
 #include "partition/kmeans.h"       // IWYU pragma: export

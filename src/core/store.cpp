@@ -13,6 +13,12 @@ namespace {
 /// Chunk size for streaming published blocks into grown storage: 16 MB of
 /// 4 KB blocks, so growth never buffers the whole old storage in memory.
 constexpr std::uint64_t kGrowthChunkBlocks = 4096;
+
+/// Cap on blocks staged per request through the batched read pipeline
+/// (16 MB of 4 KB blocks). The admission waves bound in-flight device
+/// I/O; this bounds the staging buffer itself. Staging is best-effort —
+/// misses beyond the cap fall back to inline reads in the lookup.
+constexpr std::size_t kMaxStagedBlocks = 4096;
 }  // namespace
 
 Store::Store(StoreConfig config, std::uint64_t seed)
@@ -23,11 +29,8 @@ Store::Store(StoreConfig config, BlockStorageFactory storage_factory,
     : config_(config),
       storage_factory_(std::move(storage_factory)),
       storage_mu_(std::make_unique<std::shared_mutex>()),
-      latency_model_(config.device),
       timing_mu_(std::make_unique<std::mutex>()),
-      channel_free_us_(config.device.channels, 0.0),
-      admission_(config.device.channels, config.device.queue_depth),
-      rng_(seed),
+      engine_(config.device, seed),
       endurance_(config.device.capacity_blocks * config.device.block_bytes,
                  config.device.endurance_dwpd) {
   if (config_.block_bytes % config_.vector_bytes != 0) {
@@ -138,14 +141,13 @@ double Store::schedule_reads(std::uint64_t reads, LatencyRecorder& recorder,
                              bool advance_clock, double arrival_us) {
   if (!config_.simulate_timing) return 0.0;
   std::lock_guard lock(*timing_mu_);
-  // All of the request's block reads are submitted at arrival time, gated
-  // by the admission controller (at most queue_depth * channels
-  // outstanding), and the dispatch queue spreads them over the device
-  // channels — so latency grows with the request's own queue depth (paper
-  // Fig. 2) and with channel backlog left by earlier requests.
+  // All of the request's block reads arrive together as one admission wave
+  // into the event-driven engine: the gate caps outstanding reads at
+  // queue_depth * channels, and each read joins the per-channel FIFO that
+  // drains first — so latency grows with the request's own queue depth
+  // (paper Fig. 2) and with channel backlog left by earlier requests.
   const double start = arrival_us < 0.0 ? now_us_ : arrival_us;
-  const double max_done = submit_reads(latency_model_, start, reads,
-                                       channel_free_us_, admission_, rng_);
+  const double max_done = engine_.submit_wave(start, reads);
   const double latency = max_done - start;
   recorder.add(latency);
   // Closed loop (lookup_batch): the caller waits for the query, so the
@@ -154,6 +156,19 @@ double Store::schedule_reads(std::uint64_t reads, LatencyRecorder& recorder,
   // arrival time and overload shows up as channel backlog (paper Fig. 5).
   if (advance_clock) now_us_ = max_done;
   return latency;
+}
+
+void Store::stage_miss_blocks(const BandanaTable& table,
+                              std::span<const VectorId> ids,
+                              StagedBlockReads& staged) const {
+  for (const VectorId v : ids) {
+    if (staged.size() >= kMaxStagedBlocks) return;
+    if (!table.is_cached(v)) staged.add(table.global_block_of(v));
+  }
+}
+
+std::uint64_t Store::real_read_wave_blocks() const {
+  return std::uint64_t{config_.device.queue_depth} * config_.device.channels;
 }
 
 double Store::lookup_batch(TableId t, std::span<const VectorId> ids,
@@ -171,11 +186,21 @@ double Store::lookup_batch(TableId t, std::span<const VectorId> ids,
                               std::to_string(v));
     }
   }
+  // Overlapped-read backends: fetch the query's miss blocks up front in
+  // admission-sized waves, so real I/O is batched instead of one pread per
+  // miss inside the lookup loop.
+  StagedBlockReads staged;
+  const bool stage = storage_->prefers_batched_reads();
+  if (stage) {
+    stage_miss_blocks(table, ids, staged);
+    staged.fetch(*storage_, real_read_wave_blocks());
+  }
   std::uint64_t reads = 0;
   const std::uint64_t epoch = table.begin_batch();
   for (std::size_t i = 0; i < ids.size(); ++i) {
-    const auto outcome =
-        table.lookup(ids[i], *storage_, out.subspan(i * vb, vb), epoch);
+    const auto outcome = table.lookup(ids[i], *storage_,
+                                      out.subspan(i * vb, vb), epoch,
+                                      stage ? &staged : nullptr);
     if (outcome.nvm_read) ++reads;
   }
   return schedule_reads(reads, query_latency_, /*advance_clock=*/true);
@@ -208,6 +233,20 @@ MultiGetResult Store::multi_get_impl(const MultiGetRequest& request,
     }
   }
 
+  // Overlapped-read backends: one staging pass over the whole request
+  // collects every block the lookups will miss on (deduplicated across
+  // tables and repeated id lists) and fetches them as admission-sized
+  // batched waves — the request's real I/O overlaps exactly like its
+  // simulated channel reads do.
+  StagedBlockReads staged;
+  const bool stage = storage_->prefers_batched_reads();
+  if (stage) {
+    for (const auto& get : request.gets) {
+      stage_miss_blocks(*tables_[get.table], get.ids, staged);
+    }
+    staged.fetch(*storage_, real_read_wave_blocks());
+  }
+
   MultiGetResult result;
   result.vectors.resize(request.gets.size());
   result.per_table.resize(request.gets.size());
@@ -236,7 +275,8 @@ MultiGetResult Store::multi_get_impl(const MultiGetRequest& request,
     for (std::size_t i = 0; i < get.ids.size(); ++i) {
       const auto outcome = table.lookup(
           get.ids[i], *storage_,
-          std::span<std::byte>(bytes).subspan(i * vb, vb), epoch);
+          std::span<std::byte>(bytes).subspan(i * vb, vb), epoch,
+          stage ? &staged : nullptr);
       if (outcome.hit) ++stats.hits;
       if (outcome.nvm_read) ++stats.block_reads;
     }

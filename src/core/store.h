@@ -26,6 +26,15 @@
 // lock per shard, so concurrent requests proceed in parallel even inside
 // a single table. The per-table `lookup_batch` path remains for
 // single-table callers.
+//
+// Simulated IO timing runs on the event-driven per-channel NvmIoEngine
+// (nvm/io_engine.h): each request's deduplicated block reads are one
+// admission wave through per-channel FIFO queues. When the backend
+// prefers batched reads (async_file_storage_factory — io_uring, with a
+// thread-pool pread fallback), the same admission geometry throttles the
+// *real* I/O: the request's miss blocks are staged through
+// BlockStorage::read_blocks in waves of at most queue_depth x channels
+// blocks, each wave one batched overlapped submission.
 #pragma once
 
 #include <cstdint>
@@ -43,10 +52,9 @@
 #include "core/metrics.h"
 #include "core/request.h"
 #include "core/table.h"
-#include "nvm/admission.h"
 #include "nvm/block_storage.h"
 #include "nvm/endurance.h"
-#include "nvm/nvm_device.h"
+#include "nvm/io_engine.h"
 #include "trace/trace.h"
 
 namespace bandana {
@@ -145,6 +153,14 @@ class Store {
   /// blocks across in bounded chunks (file factories keep their existing
   /// contents on re-creation, so old and new storage coexist).
   void ensure_capacity(std::uint64_t total_blocks);
+  /// Peek table t's cache for `ids` (no LRU mutation) and stage every
+  /// block the lookups would miss on. Best-effort under concurrency.
+  void stage_miss_blocks(const BandanaTable& table,
+                         std::span<const VectorId> ids,
+                         StagedBlockReads& staged) const;
+  /// Blocks per real-I/O wave: the admission cap (queue_depth x channels),
+  /// or 0 (single wave) when admission is unbounded.
+  std::uint64_t real_read_wave_blocks() const;
   const BandanaTable& checked_table(TableId t) const;
   BandanaTable& checked_table(TableId t) {
     return const_cast<BandanaTable&>(std::as_const(*this).checked_table(t));
@@ -169,11 +185,10 @@ class Store {
   std::vector<std::unique_ptr<BandanaTable>> tables_;
   BlockId next_block_ = 0;
 
-  NvmLatencyModel latency_model_;
-  std::unique_ptr<std::mutex> timing_mu_;  ///< Clock, channels, recorders.
-  std::vector<double> channel_free_us_;
-  AdmissionController admission_;
-  Rng rng_;
+  std::unique_ptr<std::mutex> timing_mu_;  ///< Clock, engine, recorders.
+  /// Event-driven per-channel device model; all of a request's reads form
+  /// one admission wave (exercised under timing_mu_).
+  NvmIoEngine engine_;
   double now_us_ = 0.0;
   LatencyRecorder query_latency_;
   LatencyRecorder request_latency_;

@@ -26,6 +26,7 @@
 
 #include "core/store.h"
 #include "core/trainer.h"
+#include "nvm/async_file_storage.h"
 #include "nvm/block_storage.h"
 #include "trace/embedding_table.h"
 
@@ -52,6 +53,14 @@ class StoreBuilder {
   /// Back the store with a real file at `path` (created at build()).
   StoreBuilder& file_storage(std::string path) {
     return storage(file_storage_factory(std::move(path)));
+  }
+
+  /// Back the store with a real file at `path` whose batched reads overlap
+  /// (io_uring, or thread-pool preads where unavailable). The store stages
+  /// each request's miss blocks through it in admission-sized waves.
+  StoreBuilder& async_file_storage(std::string path,
+                                   AsyncFileBlockStorage::Options options = {}) {
+    return storage(async_file_storage_factory(std::move(path), options));
   }
 
   /// Queue one table: its values plus the Trainer's plan entry for it.

@@ -188,10 +188,15 @@ void BandanaTable::admit_prefetches(Shard& shard, BlockId local_block,
   }
 }
 
-BandanaTable::LookupOutcome BandanaTable::lookup(VectorId v,
-                                                 BlockStorage& storage,
-                                                 std::span<std::byte> out,
-                                                 std::uint64_t epoch) {
+bool BandanaTable::is_cached(VectorId v) const {
+  assert(v < layout_.num_vectors());
+  std::lock_guard lock(shards_[cache_.shard_of(v)]->mu);
+  return cache_.contains(v);
+}
+
+BandanaTable::LookupOutcome BandanaTable::lookup(
+    VectorId v, BlockStorage& storage, std::span<std::byte> out,
+    std::uint64_t epoch, const StagedBlockReads* staged) {
   assert(v < layout_.num_vectors());
   assert(out.size() >= vector_bytes_);
   LookupOutcome outcome;
@@ -225,7 +230,17 @@ BandanaTable::LookupOutcome BandanaTable::lookup(VectorId v,
   const BlockId local_b = layout_.block_of(v);
   metrics_.miss_bytes.fetch_add(vector_bytes_, std::memory_order_relaxed);
   const bool already_read = block_epochs_[local_b] >= epoch;
-  storage.read_block(first_block_ + local_b, shard.block_buf);
+  // The request's staging pass may already hold this block's bytes (one
+  // batched overlapped read for the whole request); staging is best-effort
+  // under concurrency, so a block it missed falls back to an inline read.
+  std::span<const std::byte> block_bytes;
+  if (staged != nullptr) {
+    block_bytes = staged->find(first_block_ + local_b);
+  }
+  if (block_bytes.empty()) {
+    storage.read_block(first_block_ + local_b, shard.block_buf);
+    block_bytes = shard.block_buf;
+  }
   if (!already_read) {
     block_epochs_[local_b] = epoch;
     metrics_.nvm_block_reads.fetch_add(1, std::memory_order_relaxed);
@@ -237,13 +252,13 @@ BandanaTable::LookupOutcome BandanaTable::lookup(VectorId v,
 
   const std::uint32_t pos_in_block =
       layout_.position_of(v) % vectors_per_block_;
-  const std::span<const std::byte> vector_view{
-      shard.block_buf.data() + std::size_t{pos_in_block} * vector_bytes_,
-      vector_bytes_};
+  const std::span<const std::byte> vector_view =
+      block_bytes.subspan(std::size_t{pos_in_block} * vector_bytes_,
+                          vector_bytes_);
   std::memcpy(out.data(), vector_view.data(), vector_bytes_);
   cache_vector(shard, v, vector_view, 0, /*is_prefetch=*/false);
   if (!already_read && policy_.policy != PrefetchPolicy::kNone) {
-    admit_prefetches(shard, local_b, shard.block_buf);
+    admit_prefetches(shard, local_b, block_bytes);
   }
   return outcome;
 }

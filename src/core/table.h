@@ -63,10 +63,23 @@ class BandanaTable {
   }
 
   /// Serve one vector. Thread-safe: locks the vector's cache shard for the
-  /// duration. On miss, reads the block from `storage` (the caller accounts
-  /// device timing), admits prefetches per policy, and caches the vector.
+  /// duration. On miss, consumes the block's bytes from `staged` when the
+  /// request pre-fetched them (Store's batched read pipeline), otherwise
+  /// reads the block from `storage` inline; either way the caller accounts
+  /// device timing. Admits prefetches per policy and caches the vector.
   LookupOutcome lookup(VectorId v, BlockStorage& storage,
-                       std::span<std::byte> out, std::uint64_t epoch);
+                       std::span<std::byte> out, std::uint64_t epoch,
+                       const StagedBlockReads* staged = nullptr);
+
+  /// True if v is currently cached. Takes the shard lock but never mutates
+  /// LRU state — the staging pass peeks ahead of the real lookups to
+  /// collect the blocks a request will miss on.
+  bool is_cached(VectorId v) const;
+
+  /// Store-wide block id that serves vector v.
+  BlockId global_block_of(VectorId v) const {
+    return first_block_ + layout_.block_of(v);
+  }
 
   std::uint32_t num_vectors() const { return layout_.num_vectors(); }
   std::uint32_t num_blocks() const { return layout_.num_blocks(); }

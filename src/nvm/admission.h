@@ -19,6 +19,11 @@
 // Simulated-time semantics: completions are tracked as timestamps, so the
 // controller is exercised under the owner's timing lock (Store holds
 // timing_mu_) and needs no synchronization of its own.
+//
+// The event-driven NvmIoEngine (nvm/io_engine.h) embeds this controller at
+// its submission boundary; submit_reads() below is the legacy
+// single-dispatch-queue wave submitter, kept as the reference model for
+// the engine's channels=1 equivalence suite.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,291 @@
+#include "nvm/async_file_storage.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+
+// io_uring via raw syscalls. IORING_OP_READV is part of the original 5.1
+// op set, so any kernel (and any UAPI header) that has io_uring at all can
+// build and run this path; hosts whose headers lack the syscall numbers
+// compile the thread-pool fallback only.
+#if defined(__linux__) && __has_include(<linux/io_uring.h>)
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#if defined(__NR_io_uring_setup) && defined(__NR_io_uring_enter)
+#define BANDANA_HAS_IO_URING 1
+#endif
+#endif
+
+namespace bandana {
+
+#ifdef BANDANA_HAS_IO_URING
+
+namespace {
+int sys_io_uring_setup(unsigned entries, io_uring_params* p) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, p));
+}
+int sys_io_uring_enter(int fd, unsigned to_submit, unsigned min_complete,
+                       unsigned flags) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, fd, to_submit,
+                                    min_complete, flags, nullptr, 0));
+}
+}  // namespace
+
+/// One mmap'd submission/completion ring plus its submitter lock. All
+/// index pointers alias kernel-shared memory; head/tail crossings use
+/// acquire/release.
+struct AsyncFileBlockStorage::Ring {
+  std::mutex mu;  ///< one submitter per ring; the pool gives concurrency
+  int fd = -1;
+  void* sq_ptr = nullptr;
+  std::size_t sq_len = 0;
+  void* cq_ptr = nullptr;  ///< == sq_ptr under IORING_FEAT_SINGLE_MMAP
+  std::size_t cq_len = 0;
+  io_uring_sqe* sqes = nullptr;
+  std::size_t sqes_len = 0;
+
+  unsigned* sq_head = nullptr;
+  unsigned* sq_tail = nullptr;
+  unsigned sq_mask = 0;
+  unsigned* sq_array = nullptr;
+  unsigned* cq_head = nullptr;
+  unsigned* cq_tail = nullptr;
+  unsigned cq_mask = 0;
+  io_uring_cqe* cqes = nullptr;
+  unsigned entries = 0;
+  std::vector<iovec> iovecs;  ///< per-SQE iovec, alive until the reap
+
+  ~Ring() {
+    if (sqes != nullptr) ::munmap(sqes, sqes_len);
+    if (cq_ptr != nullptr && cq_ptr != sq_ptr) ::munmap(cq_ptr, cq_len);
+    if (sq_ptr != nullptr) ::munmap(sq_ptr, sq_len);
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+void AsyncFileBlockStorage::init_rings(const Options& options) {
+  for (unsigned r = 0; r < std::max(1u, options.ring_count); ++r) {
+    io_uring_params params{};
+    const int fd = sys_io_uring_setup(std::max(1u, options.ring_entries),
+                                      &params);
+    if (fd < 0) break;  // ENOSYS/EPERM/...: whatever we have so far
+
+    auto ring = std::make_unique<Ring>();
+    ring->fd = fd;
+    ring->entries = params.sq_entries;
+    ring->sq_len = params.sq_off.array + params.sq_entries * sizeof(unsigned);
+    ring->cq_len =
+        params.cq_off.cqes + params.cq_entries * sizeof(io_uring_cqe);
+    // Pre-5.4 UAPI headers have neither io_uring_params::features nor the
+    // single-mmap feature bit; two mmaps always work.
+    bool single_mmap = false;
+#ifdef IORING_FEAT_SINGLE_MMAP
+    single_mmap = (params.features & IORING_FEAT_SINGLE_MMAP) != 0;
+#endif
+    if (single_mmap) {
+      ring->sq_len = ring->cq_len = std::max(ring->sq_len, ring->cq_len);
+    }
+    ring->sq_ptr = ::mmap(nullptr, ring->sq_len, PROT_READ | PROT_WRITE,
+                          MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_SQ_RING);
+    if (ring->sq_ptr == MAP_FAILED) {
+      ring->sq_ptr = nullptr;
+      break;
+    }
+    if (single_mmap) {
+      ring->cq_ptr = ring->sq_ptr;
+    } else {
+      ring->cq_ptr = ::mmap(nullptr, ring->cq_len, PROT_READ | PROT_WRITE,
+                            MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_CQ_RING);
+      if (ring->cq_ptr == MAP_FAILED) {
+        ring->cq_ptr = nullptr;
+        break;
+      }
+    }
+    ring->sqes_len = params.sq_entries * sizeof(io_uring_sqe);
+    ring->sqes = static_cast<io_uring_sqe*>(
+        ::mmap(nullptr, ring->sqes_len, PROT_READ | PROT_WRITE,
+               MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_SQES));
+    if (ring->sqes == MAP_FAILED) {
+      ring->sqes = nullptr;
+      break;
+    }
+
+    auto* sq = static_cast<std::uint8_t*>(ring->sq_ptr);
+    auto* cq = static_cast<std::uint8_t*>(ring->cq_ptr);
+    ring->sq_head = reinterpret_cast<unsigned*>(sq + params.sq_off.head);
+    ring->sq_tail = reinterpret_cast<unsigned*>(sq + params.sq_off.tail);
+    ring->sq_mask = *reinterpret_cast<unsigned*>(sq + params.sq_off.ring_mask);
+    ring->sq_array = reinterpret_cast<unsigned*>(sq + params.sq_off.array);
+    ring->cq_head = reinterpret_cast<unsigned*>(cq + params.cq_off.head);
+    ring->cq_tail = reinterpret_cast<unsigned*>(cq + params.cq_off.tail);
+    ring->cq_mask = *reinterpret_cast<unsigned*>(cq + params.cq_off.ring_mask);
+    ring->cqes = reinterpret_cast<io_uring_cqe*>(cq + params.cq_off.cqes);
+    ring->iovecs.resize(ring->entries);
+    rings_.push_back(std::move(ring));
+  }
+}
+
+void AsyncFileBlockStorage::read_wave_uring(
+    Ring& ring, std::span<const BlockReadOp> ops) const {
+  const std::size_t bb = block_bytes();
+  // Waves larger than the ring are chunked; each chunk is one batched
+  // submission (one io_uring_enter with GETEVENTS) and a full reap.
+  for (std::size_t base = 0; base < ops.size(); base += ring.entries) {
+    const unsigned n = static_cast<unsigned>(
+        std::min<std::size_t>(ring.entries, ops.size() - base));
+    unsigned tail = std::atomic_ref<unsigned>(*ring.sq_tail)
+                        .load(std::memory_order_relaxed);
+    for (unsigned i = 0; i < n; ++i) {
+      const BlockReadOp& op = ops[base + i];
+      const unsigned idx = (tail + i) & ring.sq_mask;
+      ring.iovecs[idx] = {op.out.data(), bb};
+      io_uring_sqe& sqe = ring.sqes[idx];
+      std::memset(&sqe, 0, sizeof(sqe));
+      sqe.opcode = IORING_OP_READV;
+      sqe.fd = fd();
+      sqe.addr = reinterpret_cast<std::uint64_t>(&ring.iovecs[idx]);
+      sqe.len = 1;
+      sqe.off = static_cast<std::uint64_t>(op.block) * bb;
+      sqe.user_data = base + i;
+      ring.sq_array[idx] = idx;
+    }
+    std::atomic_ref<unsigned>(*ring.sq_tail)
+        .store(tail + n, std::memory_order_release);
+
+    unsigned to_submit = n;
+    unsigned reaped = 0;
+    while (reaped < n) {
+      const int ret = sys_io_uring_enter(ring.fd, to_submit, n - reaped,
+                                         IORING_ENTER_GETEVENTS);
+      if (ret < 0) {
+        if (errno == EINTR) continue;
+        throw std::runtime_error(
+            std::string("AsyncFileBlockStorage: io_uring_enter failed: ") +
+            std::strerror(errno));
+      }
+      to_submit -= static_cast<unsigned>(ret);
+      unsigned head = std::atomic_ref<unsigned>(*ring.cq_head)
+                          .load(std::memory_order_relaxed);
+      const unsigned cq_tail = std::atomic_ref<unsigned>(*ring.cq_tail)
+                                   .load(std::memory_order_acquire);
+      while (head != cq_tail) {
+        const io_uring_cqe& cqe = ring.cqes[head & ring.cq_mask];
+        // Short reads or per-op errors: finish the block with a plain
+        // pread so every path stays byte-equivalent to FileBlockStorage.
+        if (cqe.res != static_cast<std::int32_t>(bb)) {
+          const BlockReadOp& op = ops[cqe.user_data];
+          read_block(op.block, op.out);
+        }
+        ++head;
+        ++reaped;
+      }
+      std::atomic_ref<unsigned>(*ring.cq_head)
+          .store(head, std::memory_order_release);
+    }
+  }
+}
+
+#else  // !BANDANA_HAS_IO_URING
+
+struct AsyncFileBlockStorage::Ring {};
+void AsyncFileBlockStorage::init_rings(const Options&) {}
+void AsyncFileBlockStorage::read_wave_uring(
+    Ring&, std::span<const BlockReadOp>) const {}
+
+#endif  // BANDANA_HAS_IO_URING
+
+AsyncFileBlockStorage::AsyncFileBlockStorage(const std::string& path,
+                                             std::uint64_t num_blocks,
+                                             std::size_t block_bytes,
+                                             bool preserve_contents,
+                                             Options options)
+    : FileBlockStorage(path, num_blocks, block_bytes, preserve_contents),
+      options_(options) {
+  if (!options_.force_thread_pool) init_rings(options_);
+  if (rings_.empty()) {
+    fallback_pool_ = std::make_unique<ThreadPool>(options_.fallback_threads);
+  }
+}
+
+AsyncFileBlockStorage::~AsyncFileBlockStorage() = default;
+
+void AsyncFileBlockStorage::read_wave_threads(
+    std::span<const BlockReadOp> ops) const {
+  // Per-wave completion latch: concurrent waves share the pool's workers
+  // but each returns as soon as ITS chunks finish (ThreadPool::wait_idle
+  // would couple every wave to global pool idleness).
+  const std::size_t chunks = std::min(ops.size(), fallback_pool_->size());
+  const std::size_t per = (ops.size() + chunks - 1) / chunks;
+  std::mutex mu;
+  std::condition_variable done_cv;
+  // Fully counted before any task runs: workers only ever decrement.
+  std::size_t remaining = (ops.size() + per - 1) / per;
+  for (std::size_t begin = 0; begin < ops.size(); begin += per) {
+    const std::size_t end = std::min(ops.size(), begin + per);
+    fallback_pool_->submit([this, ops, begin, end, &mu, &done_cv,
+                            &remaining] {
+      for (std::size_t i = begin; i < end; ++i) {
+        read_block(ops[i].block, ops[i].out);
+      }
+      std::lock_guard lock(mu);
+      if (--remaining == 0) done_cv.notify_all();
+    });
+  }
+  std::unique_lock lock(mu);
+  done_cv.wait(lock, [&remaining] { return remaining == 0; });
+}
+
+void AsyncFileBlockStorage::read_blocks(
+    std::span<const BlockReadOp> ops) const {
+  if (ops.empty()) return;
+  if (ops.size() == 1) {
+    read_block(ops[0].block, ops[0].out);
+    return;
+  }
+  if (rings_.empty()) {
+    // Each wave waits on its own completion latch inside
+    // read_wave_threads, so concurrent waves share the pool's workers
+    // without waiting on each other's reads.
+    read_wave_threads(ops);
+    return;
+  }
+#ifdef BANDANA_HAS_IO_URING
+  // Grab the first free ring so concurrent request streams overlap their
+  // waves; when every ring is busy, overflow streams spread round-robin
+  // across the pool instead of piling onto one ring.
+  for (auto& ring : rings_) {
+    std::unique_lock lock(ring->mu, std::try_to_lock);
+    if (lock.owns_lock()) {
+      read_wave_uring(*ring, ops);
+      return;
+    }
+  }
+  Ring& ring = *rings_[overflow_ring_.fetch_add(1, std::memory_order_relaxed) %
+                       rings_.size()];
+  std::lock_guard lock(ring.mu);
+  read_wave_uring(ring, ops);
+#endif
+}
+
+BlockStorageFactory async_file_storage_factory(
+    std::string path, AsyncFileBlockStorage::Options options) {
+  // Same contract as file_storage_factory: first invocation truncates,
+  // growth re-invocations resize in place and preserve published blocks.
+  return [path = std::move(path), options, created = false](
+             std::uint64_t num_blocks, std::size_t block_bytes) mutable {
+    auto storage = std::make_unique<AsyncFileBlockStorage>(
+        path, num_blocks, block_bytes, /*preserve_contents=*/created,
+        options);
+    created = true;
+    return storage;
+  };
+}
+
+}  // namespace bandana

@@ -1,0 +1,99 @@
+// AsyncFileBlockStorage — real-file block storage whose batched reads
+// overlap, the way the simulated NVM channels do.
+//
+// Same byte contract as FileBlockStorage (it *is* one: single-block
+// read_block/write_block, in-place growth preserve, inode-based
+// same_backing), plus an overlapped read_blocks():
+//
+//  * io_uring path — the whole wave is written into the submission queue
+//    and submitted with one io_uring_enter(GETEVENTS) call; the kernel
+//    services the readv's concurrently and we reap every completion. The
+//    rings are built with raw syscalls (no liburing dependency; the
+//    original 5.1 op set, so any io_uring kernel works). A small pool of
+//    rings (Options::ring_count) lets concurrent request streams overlap
+//    their waves instead of serializing on one submitter.
+//  * thread-pool fallback — where the io_uring syscalls are unavailable
+//    (older kernels, seccomp-filtered sandboxes, non-Linux), the same wave
+//    fans out as preads on a small owned ThreadPool behind the identical
+//    interface; each wave waits on its own completion latch, so concurrent
+//    waves share workers without waiting on each other's reads.
+//    `Options::force_thread_pool` pins this path for tests.
+//
+// The probe is at construction time: if io_uring_setup fails for any
+// reason the storage silently uses the fallback (io_uring_active() tells
+// which path is live). Short reads and per-op errors are completed with a
+// plain pread retry so both paths are byte-equivalent to FileBlockStorage.
+//
+// bandana::Store stages each request's miss blocks through read_blocks()
+// in admission-sized waves (queue_depth x channels blocks per wave), so
+// the AdmissionController throttles *real* I/O here, not just simulated
+// timing.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "nvm/block_storage.h"
+
+namespace bandana {
+
+struct AsyncFileStorageOptions {
+  /// Submission-queue entries per io_uring (waves larger than this are
+  /// chunked internally). Rounded up to a power of two by the kernel.
+  unsigned ring_entries = 256;
+  /// Rings in the pool: up to this many concurrent request streams submit
+  /// waves in parallel (overflow streams spread round-robin across the
+  /// rings).
+  unsigned ring_count = 4;
+  /// Threads of the pread fallback pool (0 = hardware concurrency).
+  unsigned fallback_threads = 4;
+  /// Skip the io_uring probe and always use the thread-pool path.
+  bool force_thread_pool = false;
+};
+
+class AsyncFileBlockStorage : public FileBlockStorage {
+ public:
+  using Options = AsyncFileStorageOptions;
+
+  AsyncFileBlockStorage(const std::string& path, std::uint64_t num_blocks,
+                        std::size_t block_bytes,
+                        bool preserve_contents = false, Options options = {});
+  ~AsyncFileBlockStorage() override;
+
+  void read_blocks(std::span<const BlockReadOp> ops) const override;
+  bool prefers_batched_reads() const override { return true; }
+
+  /// True when the io_uring path is live (false = thread-pool preads).
+  bool io_uring_active() const { return !rings_.empty(); }
+
+ private:
+  struct Ring;  // mmap'd SQ/CQ geometry + its submitter lock (io_uring)
+
+  void init_rings(const Options& options);
+  void read_wave_uring(Ring& ring, std::span<const BlockReadOp> ops) const;
+  void read_wave_threads(std::span<const BlockReadOp> ops) const;
+
+  Options options_;
+  /// Ring pool: a wave grabs the first free ring (try-lock sweep) so
+  /// concurrent request streams overlap their device I/O; when all rings
+  /// are busy, overflow waves round-robin on this counter.
+  std::vector<std::unique_ptr<Ring>> rings_;
+  mutable std::atomic<std::size_t> overflow_ring_{0};
+  /// Built at construction when the io_uring probe fails (or is skipped).
+  /// Waves share the workers but each waits on its own completion latch,
+  /// so one wave never blocks on another wave's reads.
+  std::unique_ptr<ThreadPool> fallback_pool_;
+};
+
+/// Real-file storage at `path` whose batched reads overlap (io_uring or
+/// thread-pool preads). First invocation truncates; growth re-invocations
+/// resize in place, preserving published blocks — the same factory
+/// contract as file_storage_factory.
+BlockStorageFactory async_file_storage_factory(
+    std::string path, AsyncFileBlockStorage::Options options = {});
+
+}  // namespace bandana

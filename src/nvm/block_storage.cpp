@@ -4,11 +4,34 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 #include <stdexcept>
 
 namespace bandana {
+
+void BlockStorage::read_blocks(std::span<const BlockReadOp> ops) const {
+  for (const auto& op : ops) read_block(op.block, op.out);
+}
+
+void StagedBlockReads::fetch(const BlockStorage& storage,
+                             std::uint64_t wave_blocks) {
+  block_bytes_ = storage.block_bytes();
+  bytes_.resize(blocks_.size() * block_bytes_);
+  std::vector<BlockReadOp> ops(blocks_.size());
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    ops[i] = {blocks_[i],
+              std::span<std::byte>(bytes_).subspan(i * block_bytes_,
+                                                   block_bytes_)};
+  }
+  const std::size_t wave =
+      wave_blocks == 0 ? ops.size() : static_cast<std::size_t>(wave_blocks);
+  for (std::size_t i = 0; i < ops.size(); i += wave) {
+    const std::size_t n = std::min(wave, ops.size() - i);
+    storage.read_blocks(std::span<const BlockReadOp>(ops).subspan(i, n));
+  }
+}
 
 MemoryBlockStorage::MemoryBlockStorage(std::uint64_t num_blocks,
                                        std::size_t block_bytes)

@@ -1,12 +1,17 @@
 // Byte storage for NVM blocks.
 //
-// The timing model (nvm_device.h) answers "when does this read complete";
-// BlockStorage answers "what bytes live in block b". bandana::Store composes
-// the two. Two backends:
+// The timing model (nvm_device.h, nvm/io_engine.h) answers "when does this
+// read complete"; BlockStorage answers "what bytes live in block b".
+// bandana::Store composes the two. Three backends:
 //  * MemoryBlockStorage — heap-backed, used by simulations and tests.
 //  * FileBlockStorage  — a real file accessed with pread/pwrite, so the
 //    whole system can run against an actual SSD (the repro substitution for
 //    NVM hardware).
+//  * AsyncFileBlockStorage (nvm/async_file_storage.h) — the same file
+//    contract, but read_blocks() submits a whole admission wave as one
+//    batched io_uring submission (thread-pool preads where io_uring is
+//    unavailable), so real-file serving overlaps reads the way the
+//    simulated channels do.
 #pragma once
 
 #include <cstddef>
@@ -15,11 +20,19 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
 
 namespace bandana {
+
+/// One entry of a batched read: fill `out` (block_bytes() long) from
+/// block `block`.
+struct BlockReadOp {
+  BlockId block = 0;
+  std::span<std::byte> out;
+};
 
 class BlockStorage {
  public:
@@ -34,12 +47,60 @@ class BlockStorage {
   /// Overwrite block `b` from `in` (in.size() == block_bytes()).
   virtual void write_block(BlockId b, std::span<const std::byte> in) = 0;
 
+  /// Read many blocks; returns when all of `ops` are filled. Backends may
+  /// overlap the reads (the async file backend batches them into one
+  /// io_uring submission). Duplicate block ids are allowed. The default is
+  /// a sequential read_block loop.
+  virtual void read_blocks(std::span<const BlockReadOp> ops) const;
+
+  /// True when read_blocks() genuinely overlaps I/O and the store should
+  /// stage a request's miss blocks through it in admission-sized waves
+  /// rather than read one block per miss inline.
+  virtual bool prefers_batched_reads() const { return false; }
+
   /// True if `other` reads and writes the same bytes as this storage (e.g.
   /// two FileBlockStorage handles on one inode). Lets the store skip the
   /// block migration when a growth factory resized the backing in place.
   virtual bool same_backing(const BlockStorage& other) const {
     return this == &other;
   }
+};
+
+/// A request-scoped set of prefetched block bytes: the store's read
+/// pipeline collects a request's miss blocks, fetches them through
+/// read_blocks() in admission-gated waves, and lets each table lookup
+/// consume the staged bytes instead of issuing an inline read.
+class StagedBlockReads {
+ public:
+  StagedBlockReads() = default;
+
+  /// Reserve a slot for `b` (deduplicating). Call before fetch().
+  void add(BlockId b) {
+    if (index_.emplace(b, blocks_.size()).second) blocks_.push_back(b);
+  }
+
+  std::size_t size() const { return blocks_.size(); }
+  bool empty() const { return blocks_.empty(); }
+  std::span<const BlockId> blocks() const { return blocks_; }
+
+  /// Fetch every added block from `storage`, at most `wave_blocks` per
+  /// read_blocks() call (0 = one wave). This is where admission control
+  /// throttles *real* I/O: each wave is one batched submission, and wave
+  /// k+1 is only submitted once wave k has completed.
+  void fetch(const BlockStorage& storage, std::uint64_t wave_blocks = 0);
+
+  /// Staged bytes of block `b`, or an empty span when b was not staged.
+  std::span<const std::byte> find(BlockId b) const {
+    const auto it = index_.find(b);
+    if (it == index_.end() || bytes_.empty()) return {};
+    return {bytes_.data() + it->second * block_bytes_, block_bytes_};
+  }
+
+ private:
+  std::vector<BlockId> blocks_;
+  std::unordered_map<BlockId, std::size_t> index_;
+  std::vector<std::byte> bytes_;
+  std::size_t block_bytes_ = 0;
 };
 
 class MemoryBlockStorage final : public BlockStorage {
@@ -60,7 +121,7 @@ class MemoryBlockStorage final : public BlockStorage {
   std::vector<std::byte> data_;
 };
 
-class FileBlockStorage final : public BlockStorage {
+class FileBlockStorage : public BlockStorage {
  public:
   /// Opens `path` sized to num_blocks * block_bytes. With
   /// `preserve_contents` the existing bytes survive (growth resizes in
@@ -78,6 +139,9 @@ class FileBlockStorage final : public BlockStorage {
   void write_block(BlockId b, std::span<const std::byte> in) override;
   /// Two file storages share a backing iff they are open on the same inode.
   bool same_backing(const BlockStorage& other) const override;
+
+ protected:
+  int fd() const { return fd_; }
 
  private:
   std::uint64_t num_blocks_;

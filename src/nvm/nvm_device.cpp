@@ -4,6 +4,8 @@
 #include <cmath>
 #include <queue>
 
+#include "nvm/io_engine.h"
+
 namespace bandana {
 
 double NvmDeviceConfig::mean_service_us() const {
@@ -28,16 +30,15 @@ double submit_read(const NvmLatencyModel& model, double now_us,
   return channel_busy_until + model.base_latency_us();
 }
 
-DeviceRunResult run_closed_loop(const NvmDeviceConfig& cfg,
-                                unsigned queue_depth, std::uint64_t num_ios,
-                                std::uint64_t seed) {
+DeviceRunResult run_closed_loop_legacy(const NvmDeviceConfig& cfg,
+                                       unsigned queue_depth,
+                                       std::uint64_t num_ios,
+                                       std::uint64_t seed) {
   Rng rng(seed);
   NvmLatencyModel model(cfg);
   std::vector<double> channel_free(cfg.channels, 0.0);
-  // Min-heap of (next issue time) per client; all clients start at t=0.
   std::priority_queue<double, std::vector<double>, std::greater<>> clients;
   for (unsigned i = 0; i < queue_depth; ++i) clients.push(0.0);
-
   DeviceRunResult result;
   result.latency_us.reserve(num_ios);
   double end_time = 0.0;
@@ -54,23 +55,63 @@ DeviceRunResult run_closed_loop(const NvmDeviceConfig& cfg,
   return result;
 }
 
+namespace {
+/// The drivers are raw fio-style characterization sweeps: `queue_depth`
+/// here is the client count (or the arrival rate sets the load), and the
+/// store-side admission cap must not gate them — outstanding IOs are
+/// bounded by the sweep itself, exactly as in the legacy drivers.
+NvmDeviceConfig ungated(NvmDeviceConfig cfg) {
+  cfg.queue_depth = 0;
+  return cfg;
+}
+}  // namespace
+
+DeviceRunResult run_closed_loop(const NvmDeviceConfig& cfg,
+                                unsigned queue_depth, std::uint64_t num_ios,
+                                std::uint64_t seed) {
+  NvmIoEngine engine(ungated(cfg), seed);
+  DeviceRunResult result;
+  result.latency_us.reserve(num_ios);
+  // `queue_depth` logical clients all issue at t=0; each completion event
+  // triggers that client's next submission.
+  std::uint64_t issued = 0;
+  for (unsigned i = 0; i < queue_depth && issued < num_ios; ++i, ++issued) {
+    engine.submit(0.0);
+  }
+  double end_time = 0.0;
+  while (auto done = engine.next_completion()) {
+    result.latency_us.add(done->latency_us());
+    end_time = std::max(end_time, done->complete_us);
+    if (issued < num_ios) {
+      engine.submit(done->complete_us);
+      ++issued;
+    }
+  }
+  result.ios = num_ios;
+  result.elapsed_us = end_time;
+  return result;
+}
+
 DeviceRunResult run_open_loop(const NvmDeviceConfig& cfg,
                               double arrivals_per_s, std::uint64_t num_ios,
                               std::uint64_t seed) {
-  Rng rng(seed);
-  NvmLatencyModel model(cfg);
-  std::vector<double> channel_free(cfg.channels, 0.0);
+  NvmIoEngine engine(ungated(cfg), seed);
+  // Arrivals draw from their own seed-derived stream, disjoint from every
+  // channel's service stream, so each process is independently replayable.
+  Rng arrival_rng(arrival_stream_seed(seed));
   const double rate_per_us = arrivals_per_s * 1e-6;
 
   DeviceRunResult result;
   result.latency_us.reserve(num_ios);
   double arrival = 0.0;
-  double end_time = 0.0;
   for (std::uint64_t i = 0; i < num_ios; ++i) {
-    arrival += rng.next_exponential(rate_per_us);
-    const double done = submit_read(model, arrival, channel_free, rng);
-    result.latency_us.add(done - arrival);
-    end_time = std::max(end_time, done);
+    arrival += arrival_rng.next_exponential(rate_per_us);
+    engine.submit(arrival);
+  }
+  double end_time = 0.0;
+  while (auto done = engine.next_completion()) {
+    result.latency_us.add(done->latency_us());
+    end_time = std::max(end_time, done->complete_us);
   }
   result.ios = num_ios;
   result.elapsed_us = end_time;

@@ -2,10 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <thread>
 
+#include "common/rng.h"
 #include "core/store.h"
+#include "core/store_builder.h"
+#include "nvm/async_file_storage.h"
 #include "trace/trace_generator.h"
 
 namespace bandana {
@@ -157,6 +162,255 @@ TEST(StorageFactory, FreshFileFactoryTruncatesStaleBytes) {
   for (auto b : out) EXPECT_EQ(b, std::byte{0});
   fresh.reset();
   std::remove(path.c_str());
+}
+
+// ---- AsyncFileBlockStorage: byte-equivalent overlapped reads. ----
+
+AsyncFileBlockStorage::Options thread_pool_options() {
+  AsyncFileBlockStorage::Options options;
+  options.force_thread_pool = true;
+  options.fallback_threads = 3;
+  return options;
+}
+
+TEST(AsyncFileBlockStorage, RoundtripBothPaths) {
+  for (const bool force_threads : {false, true}) {
+    const std::string path = ::testing::TempDir() + "/bandana_async.bin";
+    {
+      AsyncFileBlockStorage::Options options;
+      options.force_thread_pool = force_threads;
+      AsyncFileBlockStorage s(path, 8, 512, /*preserve_contents=*/false,
+                              options);
+      ASSERT_TRUE(s.prefers_batched_reads());
+      if (force_threads) ASSERT_FALSE(s.io_uring_active());
+      roundtrip_test(s);
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST(AsyncFileBlockStorage, IoUringPathServesBatchedReads) {
+  const std::string path = ::testing::TempDir() + "/bandana_uring.bin";
+  AsyncFileBlockStorage s(path, 16, 512);
+  if (!s.io_uring_active()) {
+    std::remove(path.c_str());
+    GTEST_SKIP() << "io_uring unavailable (syscall blocked or pre-5.6 "
+                    "kernel); thread-pool fallback is covered elsewhere";
+  }
+  std::vector<std::byte> in(512);
+  for (BlockId b = 0; b < 16; ++b) {
+    fill_pattern(in, static_cast<std::uint8_t>(7 * b + 3));
+    s.write_block(b, in);
+  }
+  // A shuffled batch with duplicate block ids: one ring submission.
+  const std::vector<BlockId> want = {9, 1, 14, 1, 0, 15, 9, 7, 3, 11};
+  std::vector<std::byte> out(want.size() * 512);
+  std::vector<BlockReadOp> ops(want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    ops[i] = {want[i], std::span<std::byte>(out).subspan(i * 512, 512)};
+  }
+  s.read_blocks(ops);
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    fill_pattern(in, static_cast<std::uint8_t>(7 * want[i] + 3));
+    EXPECT_EQ(std::memcmp(in.data(), out.data() + i * 512, 512), 0)
+        << "batched op " << i << " (block " << want[i] << ")";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(AsyncFileBlockStorage, WavesLargerThanTheRingAreChunked) {
+  const std::string path = ::testing::TempDir() + "/bandana_bigwave.bin";
+  AsyncFileBlockStorage::Options options;
+  options.ring_entries = 4;  // force multiple chunks per wave
+  AsyncFileBlockStorage s(path, 64, 256, false, options);
+  std::vector<std::byte> in(256);
+  for (BlockId b = 0; b < 64; ++b) {
+    fill_pattern(in, static_cast<std::uint8_t>(b));
+    s.write_block(b, in);
+  }
+  std::vector<std::byte> out(64 * 256);
+  std::vector<BlockReadOp> ops(64);
+  for (BlockId b = 0; b < 64; ++b) {
+    ops[b] = {63 - b, std::span<std::byte>(out).subspan(b * 256, 256)};
+  }
+  s.read_blocks(ops);
+  for (BlockId b = 0; b < 64; ++b) {
+    fill_pattern(in, static_cast<std::uint8_t>(63 - b));
+    EXPECT_EQ(std::memcmp(in.data(), out.data() + b * 256, 256), 0);
+  }
+  std::remove(path.c_str());
+}
+
+/// Drives the same pinned-RNG sequence of write / batched-read / grow
+/// operations against every backend and asserts byte equivalence
+/// throughout, including the in-place-growth preserve contract.
+TEST(AsyncFileBlockStorage, RandomOpsByteEquivalentAcrossAllBackends) {
+  const std::string file_path = ::testing::TempDir() + "/bandana_equiv_f.bin";
+  const std::string async_path = ::testing::TempDir() + "/bandana_equiv_a.bin";
+  const std::string fallback_path =
+      ::testing::TempDir() + "/bandana_equiv_t.bin";
+  constexpr std::size_t kBlock = 384;
+
+  BlockStorageFactory factories[] = {
+      memory_storage_factory(), file_storage_factory(file_path),
+      async_file_storage_factory(async_path),
+      async_file_storage_factory(fallback_path, thread_pool_options())};
+  std::uint64_t blocks = 6;
+  std::vector<std::unique_ptr<BlockStorage>> backends;
+  for (auto& factory : factories) backends.push_back(factory(blocks, kBlock));
+
+  Rng rng(2024);
+  std::vector<std::byte> buf(kBlock), expect(kBlock);
+  for (int step = 0; step < 300; ++step) {
+    const auto op = rng.next_below(10);
+    if (op < 5) {  // write one random block everywhere
+      const BlockId b = static_cast<BlockId>(rng.next_below(blocks));
+      fill_pattern(buf, static_cast<std::uint8_t>(rng.next_below(256)));
+      for (auto& backend : backends) backend->write_block(b, buf);
+    } else if (op < 9) {  // batched read of random blocks, compare all
+      const std::size_t n = 1 + rng.next_below(8);
+      std::vector<BlockId> ids(n);
+      for (auto& id : ids) id = static_cast<BlockId>(rng.next_below(blocks));
+      std::vector<std::vector<std::byte>> outs(
+          backends.size(), std::vector<std::byte>(n * kBlock));
+      for (std::size_t k = 0; k < backends.size(); ++k) {
+        std::vector<BlockReadOp> ops(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          ops[i] = {ids[i],
+                    std::span<std::byte>(outs[k]).subspan(i * kBlock, kBlock)};
+        }
+        backends[k]->read_blocks(ops);
+      }
+      for (std::size_t k = 1; k < backends.size(); ++k) {
+        ASSERT_EQ(outs[k], outs[0]) << "backend " << k << " step " << step;
+      }
+    } else {  // grow: file factories must preserve published blocks in
+      // place (same backing); distinct backings are migrated the way the
+      // store migrates them, so all backends stay byte-identical.
+      const std::uint64_t old_blocks = blocks;
+      blocks += 1 + rng.next_below(4);
+      for (std::size_t k = 0; k < backends.size(); ++k) {
+        auto grown = factories[k](blocks, kBlock);
+        if (!grown->same_backing(*backends[k])) {
+          for (BlockId b = 0; b < old_blocks; ++b) {
+            backends[k]->read_block(b, buf);
+            grown->write_block(b, buf);
+          }
+        }
+        backends[k] = std::move(grown);
+      }
+    }
+  }
+  // Final sweep: every block byte-identical across backends.
+  for (BlockId b = 0; b < blocks; ++b) {
+    backends[0]->read_block(b, expect);
+    for (std::size_t k = 1; k < backends.size(); ++k) {
+      backends[k]->read_block(b, buf);
+      ASSERT_EQ(buf, expect) << "backend " << k << " block " << b;
+    }
+  }
+  backends.clear();
+  std::remove(file_path.c_str());
+  std::remove(async_path.c_str());
+  std::remove(fallback_path.c_str());
+}
+
+TEST(AsyncFileBlockStorage, ConcurrentBatchedReadersAreSafe) {
+  const std::string path = ::testing::TempDir() + "/bandana_async_mt.bin";
+  AsyncFileBlockStorage s(path, 32, 256);
+  std::vector<std::byte> in(256);
+  for (BlockId b = 0; b < 32; ++b) {
+    fill_pattern(in, static_cast<std::uint8_t>(b * 5 + 1));
+    s.write_block(b, in);
+  }
+  std::vector<std::thread> readers;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&s, t, &failures] {
+      std::vector<std::byte> want(256), out(8 * 256);
+      for (int iter = 0; iter < 50; ++iter) {
+        std::vector<BlockReadOp> ops(8);
+        for (std::size_t i = 0; i < 8; ++i) {
+          const BlockId b = static_cast<BlockId>((t * 7 + iter + i * 3) % 32);
+          ops[i] = {b, std::span<std::byte>(out).subspan(i * 256, 256)};
+        }
+        s.read_blocks(ops);
+        for (std::size_t i = 0; i < 8; ++i) {
+          fill_pattern(want, static_cast<std::uint8_t>(ops[i].block * 5 + 1));
+          if (std::memcmp(want.data(), out.data() + i * 256, 256) != 0) {
+            failures.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& r : readers) r.join();
+  EXPECT_EQ(failures.load(), 0);
+  std::remove(path.c_str());
+}
+
+TEST(AsyncFileBlockStorage, SameBackingInteroperatesWithFileStorage) {
+  const std::string path = ::testing::TempDir() + "/bandana_async_inode.bin";
+  auto a = async_file_storage_factory(path)(4, 512);
+  FileBlockStorage plain(path, 4, 512, /*preserve_contents=*/true);
+  EXPECT_TRUE(a->same_backing(plain));
+  EXPECT_TRUE(plain.same_backing(*a));
+  a.reset();
+  std::remove(path.c_str());
+}
+
+TEST(AsyncFileBlockStorage, StoreServesIdenticalBytesOnAsyncBackend) {
+  // End-to-end: the store's staged read pipeline (peek misses -> batched
+  // admission waves -> lookups consume staged bytes) must serve exactly
+  // the bytes the memory backend serves, for both async paths.
+  TableWorkloadConfig wl;
+  wl.num_vectors = 4096;
+  wl.dim = 32;
+  TraceGenerator gen(wl, 91);
+  const EmbeddingTable values = gen.make_embeddings();
+  const Trace trace = gen.generate(300);
+  TablePolicy policy;
+  policy.cache_vectors = 256;
+  policy.policy = PrefetchPolicy::kPosition;
+  policy.insertion_position = 0.5;
+  StoreConfig cfg;
+  cfg.cache_shards = 1;
+  cfg.device.channels = 2;
+  cfg.device.queue_depth = 2;  // tiny waves: many read_blocks calls
+
+  const auto serve = [&](BlockStorageFactory factory) {
+    StoreBuilder builder(cfg);
+    if (factory) builder.storage(std::move(factory));
+    builder.add_table(values,
+                      TablePlan{BlockLayout::random(4096, 32, 6), {}, policy,
+                                0.0});
+    Store store = builder.build();
+    std::vector<std::vector<std::byte>> responses;
+    std::uint64_t reads = 0;
+    for (std::size_t q = 0; q < trace.num_queries(); ++q) {
+      MultiGetRequest req;
+      req.add(0, trace.query(q));
+      const MultiGetResult res = store.multi_get(req);
+      responses.push_back(res.vectors[0]);
+      reads += res.block_reads;
+    }
+    return std::make_pair(responses, reads);
+  };
+
+  const std::string uring_path = ::testing::TempDir() + "/bandana_store_u.bin";
+  const std::string pool_path = ::testing::TempDir() + "/bandana_store_p.bin";
+  const auto memory = serve(nullptr);
+  const auto uring = serve(async_file_storage_factory(uring_path));
+  const auto pool =
+      serve(async_file_storage_factory(pool_path, thread_pool_options()));
+  EXPECT_EQ(uring.first, memory.first);
+  EXPECT_EQ(pool.first, memory.first);
+  // Identical single-threaded serving: staging never changes what counts
+  // as a block read, only how the bytes are fetched.
+  EXPECT_EQ(uring.second, memory.second);
+  EXPECT_EQ(pool.second, memory.second);
+  std::remove(uring_path.c_str());
+  std::remove(pool_path.c_str());
 }
 
 TEST(StoreGrowth, IncrementalAddTableStreamsOldBlocksOnFileBackend) {

@@ -54,6 +54,17 @@ TEST(ClosedLoop, BandwidthGrowsThenSaturates) {
   EXPECT_LT(bw8, cfg.peak_bandwidth_bytes_per_s() * 1.05);  // saturates
 }
 
+TEST(ClosedLoop, ClientCountIsNotCappedByDeviceAdmissionDepth) {
+  // run_closed_loop's queue_depth is the fio client count; the store-side
+  // admission cap (NvmDeviceConfig::queue_depth) must not gate the raw
+  // characterization sweep.
+  NvmDeviceConfig cfg;    // 4 channels
+  cfg.queue_depth = 1;    // a store would cap at 4 outstanding reads
+  const auto r = run_closed_loop(cfg, 16, 20000, 7);
+  EXPECT_GT(r.bandwidth_bytes_per_s(cfg.block_bytes),
+            0.9 * cfg.peak_bandwidth_bytes_per_s());
+}
+
 TEST(ClosedLoop, QD1LatencyIsServicePlusBase) {
   NvmDeviceConfig cfg;
   cfg.service_sigma = 0.0;
@@ -77,6 +88,35 @@ TEST(OpenLoop, OverloadLatencyDiverges) {
   const auto ok = run_open_loop(cfg, 0.7 * peak_iops, 30000, 5);
   const auto over = run_open_loop(cfg, 1.3 * peak_iops, 30000, 5);
   EXPECT_GT(over.latency_us.mean(), 10.0 * ok.latency_us.mean());
+}
+
+// ---- Fig. 5 hockey-stick shape properties on the per-channel engine
+// (guards the shape, not exact numbers). ----
+
+TEST(OpenLoop, MeanLatencyNonDecreasingInArrivalRate) {
+  const auto cfg = test_config();
+  const double peak_iops = cfg.peak_bandwidth_bytes_per_s() / cfg.block_bytes;
+  double previous = 0.0;
+  for (const double util : {0.2, 0.4, 0.6, 0.8, 0.95, 1.1, 1.4}) {
+    const auto r = run_open_loop(cfg, util * peak_iops, 30000, 5);
+    // Same seed per point; 2% slack absorbs sampling noise in the flat
+    // low-load region where queueing is negligible.
+    EXPECT_GE(r.latency_us.mean(), 0.98 * previous) << "util " << util;
+    previous = r.latency_us.mean();
+  }
+}
+
+TEST(OpenLoop, LatencyDivergesPastPeakBandwidthButNotBelowIt) {
+  const auto cfg = test_config();
+  const double peak_iops = cfg.peak_bandwidth_bytes_per_s() / cfg.block_bytes;
+  // Past the knee the queue grows without bound, so the mean scales with
+  // the run length; below the knee it is run-length independent.
+  const auto over_short = run_open_loop(cfg, 1.2 * peak_iops, 20000, 5);
+  const auto over_long = run_open_loop(cfg, 1.2 * peak_iops, 60000, 5);
+  EXPECT_GT(over_long.latency_us.mean(), 2.0 * over_short.latency_us.mean());
+  const auto ok_short = run_open_loop(cfg, 0.8 * peak_iops, 20000, 5);
+  const auto ok_long = run_open_loop(cfg, 0.8 * peak_iops, 60000, 5);
+  EXPECT_LT(ok_long.latency_us.mean(), 2.0 * ok_short.latency_us.mean());
 }
 
 TEST(DeviceRunResult, BandwidthComputation) {
