@@ -8,16 +8,46 @@
 // EXPERIMENTS.md for the side-by-side.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/table_printer.h"
 #include "core/bandana.h"
 
 namespace bandana::bench {
+
+/// Smoke mode (`--smoke`): every bench runs one tiny configuration so CI
+/// can catch bench bit-rot at PR time without paying full reproduction
+/// cost. Benches wrap their heavy sizes in scaled()/scaled32(); sweep
+/// structure and output format are unchanged, only the sizes shrink.
+inline bool g_smoke = false;
+
+/// Call first in every bench main(): parses --smoke (anything else is
+/// ignored) and announces the mode so CI logs are self-describing.
+inline void parse_bench_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--smoke") g_smoke = true;
+  }
+  if (g_smoke) std::printf("[smoke mode: tiny configuration]\n\n");
+}
+
+/// Full-size count in normal runs; ~1/64 (but at least `floor`) in smoke.
+inline std::size_t scaled(std::size_t full, std::size_t floor = 64) {
+  return g_smoke ? std::max<std::size_t>(floor, full / 64) : full;
+}
+
+inline std::uint64_t scaled64(std::uint64_t full, std::uint64_t floor = 64) {
+  return g_smoke ? std::max<std::uint64_t>(floor, full / 64) : full;
+}
+
+inline std::uint32_t scaled32(std::uint32_t full, std::uint32_t floor = 64) {
+  return g_smoke ? std::max<std::uint32_t>(floor, full / 64) : full;
+}
 
 struct TableRun {
   TableWorkloadConfig cfg;

@@ -5,9 +5,10 @@
 using namespace bandana;
 using namespace bandana::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  parse_bench_args(argc, argv);
   constexpr double kScale = 0.2;
-  const auto runs = make_runs(kScale, 0, 30'000);
+  const auto runs = make_runs(kScale, 0, scaled(30'000));
   const int tables[4] = {0, 1, 5, 6};  // tables 1, 2, 6, 7
 
   print_header("Figure 3: hit rate curves (top-lookup tables)",

@@ -6,9 +6,10 @@
 using namespace bandana;
 using namespace bandana::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  parse_bench_args(argc, argv);
   constexpr double kScale = 0.2;
-  const auto runs = make_runs(kScale, 0, 30'000);
+  const auto runs = make_runs(kScale, 0, scaled(30'000));
   const int tables[4] = {0, 1, 5, 6};
 
   print_header("Figure 4: access histograms (top-lookup tables)",

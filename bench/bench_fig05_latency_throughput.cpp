@@ -40,7 +40,8 @@ MultiGetRequest make_request(const std::vector<TableRun>& runs,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  parse_bench_args(argc, argv);
   const NvmDeviceConfig cfg;
   const double peak_iops = cfg.peak_bandwidth_bytes_per_s() / cfg.block_bytes;
 
@@ -51,7 +52,7 @@ int main() {
 
   TablePrinter t({"policy", "app_MB/s", "device_util", "mean_us", "p99_us"});
   for (double util : {0.1, 0.3, 0.5, 0.7, 0.85, 0.95}) {
-    const auto r = run_open_loop(cfg, util * peak_iops, 150'000, 11);
+    const auto r = run_open_loop(cfg, util * peak_iops, scaled64(150'000), 11);
     for (const bool baseline : {true, false}) {
       const double useful_bytes = baseline ? 128.0 : 4096.0;
       t.add_row({baseline ? "baseline(128B useful)" : "100%-effective(4KB)",
@@ -68,7 +69,7 @@ int main() {
       peak_iops * 128.0 / 1e6 * 0.95, peak_iops * 4096.0 / 1e6 * 0.95);
 
   // ---- Part 2: the production serving path. ----
-  auto runs = make_runs(0.05, 6'000, 2'000);
+  auto runs = make_runs(0.05, scaled(6'000), scaled(2'000, 200));
   std::vector<Trace> train;
   std::vector<std::uint32_t> sizes;
   std::vector<EmbeddingTable> tables;
@@ -113,6 +114,77 @@ int main() {
                                  1)});
   }
   s.print();
+
+  // ---- Part 2b: read-only vs mixed traffic (live republish interference).
+  // Republish writes are IoKind::kWrite events on the same channel FIFOs
+  // and admission gate as the reads (open loop: the backlog stays on the
+  // channels), so periodic retraining pushes the read tail out — the
+  // paper's §2.2 write interference, reproducible end to end.
+  //
+  // Three modes separate the two costs of a live republish:
+  //  * "side table": republish a table the requests never touch. Its
+  //    cache flush affects nothing the sweep reads, so the latency gap vs
+  //    read-only is PURE channel/gate write contention.
+  //  * "served table": republish table 1, which the requests do read —
+  //    write contention PLUS the cache flush's re-miss surge (visible as
+  //    blocks/req rising). This is what a production republish costs. ----
+  const std::size_t republish_every = std::max<std::size_t>(num_requests / 10,
+                                                            1);
+  std::printf(
+      "\nread-only vs mixed traffic (one republish every %zu requests, same "
+      "arrival\nprocess; republish-wave latency from Store::republish):\n\n",
+      republish_every);
+  enum class Mode { kReadOnly, kSideTable, kServedTable };
+  TablePrinter mx({"interarrival_us", "mode", "sim_mean_us", "sim_p99_us",
+                   "blocks/req", "republish_waves", "wave_p99_us"});
+  TablePolicy side_policy;
+  side_policy.cache_vectors = 1;
+  side_policy.policy = PrefetchPolicy::kNone;
+  for (double interarrival_us : {100.0, 50.0, 25.0, 10.0}) {
+    for (const Mode mode :
+         {Mode::kReadOnly, Mode::kSideTable, Mode::kServedTable}) {
+      Store store = StoreBuilder(store_cfg).add_plan(plan, tables).build();
+      // The interference table: identical geometry to table 1, never read
+      // by any request — only its write waves touch the serving path.
+      const TableId side = store.add_table(
+          tables[0],
+          BlockLayout::identity(runs[0].cfg.num_vectors, 32), side_policy);
+      LatencyRecorder lat, wave_lat;
+      std::uint64_t blocks = 0;
+      for (std::size_t q = 0; q < num_requests; ++q) {
+        store.advance_time_us(interarrival_us);
+        if (mode != Mode::kReadOnly && q > 0 && q % republish_every == 0) {
+          wave_lat.add(store.republish(
+              mode == Mode::kSideTable ? side : 0, tables[0]));
+        }
+        const MultiGetResult res = store.multi_get(make_request(runs, q));
+        lat.add(res.service_latency_us);
+        blocks += res.block_reads;
+      }
+      mx.add_row({TablePrinter::fmt(interarrival_us, 0),
+                  mode == Mode::kReadOnly     ? "read-only"
+                  : mode == Mode::kSideTable  ? "mixed (side table)"
+                                              : "mixed (served table)",
+                  TablePrinter::fmt(lat.mean(), 1),
+                  TablePrinter::fmt(lat.percentile(0.99), 1),
+                  TablePrinter::fmt(static_cast<double>(blocks) /
+                                        static_cast<double>(num_requests),
+                                    1),
+                  std::to_string(wave_lat.count()),
+                  wave_lat.count() == 0
+                      ? "-"
+                      : TablePrinter::fmt(wave_lat.percentile(0.99), 1)});
+    }
+  }
+  mx.print();
+  std::printf(
+      "\nSame seed, same arrivals. The side-table rows isolate pure write "
+      "contention:\nblocks/req matches read-only, so the whole p99 gap is "
+      "republish writes queued\non the shared channels and admission gate. "
+      "The served-table rows add the cache\nflush a real republish implies — "
+      "blocks/req rises (re-miss surge) and the tail\ngrows further. Both "
+      "gaps widen as offered load approaches the knee:\nrepublishing during "
+      "peak traffic costs tail latency, during troughs almost\nnothing.\n");
 
   // Sync vs async wall-clock serving throughput (unpaced: as fast as the
   // serving path goes).
@@ -159,13 +231,13 @@ int main() {
       "threads\n(timing model off: pure serving-path scaling; in-flight "
       "window = 4 x threads)\n\n");
   TableWorkloadConfig swl;
-  swl.num_vectors = 100'000;
+  swl.num_vectors = scaled32(100'000, 10'000);
   swl.dim = 32;
   swl.mean_lookups_per_query = 64;
   swl.num_profiles = 1000;
   TraceGenerator sgen(swl, 77);
   const EmbeddingTable svalues = sgen.make_embeddings();
-  const Trace strace = sgen.generate(2000);
+  const Trace strace = sgen.generate(scaled(2000, 100));
   const BlockLayout slayout = BlockLayout::random(swl.num_vectors, 32, 5);
   TablePolicy spolicy;
   spolicy.cache_vectors = 10'000;
@@ -247,6 +319,17 @@ int main() {
     file_sweep.add_row({name, TablePrinter::fmt(secs, 2),
                         TablePrinter::fmt(strace.num_queries() / secs / 1e3, 1),
                         pct(store.total_metrics().hit_rate())});
+    // Staging coverage: truncated/deferred blocks are the pipeline's
+    // coverage gaps — visible here instead of silently inlined.
+    const StoreMetrics sm = store.store_metrics();
+    std::printf(
+        "  %s staging: staged=%llu truncated=%llu deferred=%llu "
+        "retry_blocks=%llu retry_waves=%llu\n",
+        name, static_cast<unsigned long long>(sm.staged_blocks),
+        static_cast<unsigned long long>(sm.stage_truncated_blocks),
+        static_cast<unsigned long long>(sm.deferred_lookups),
+        static_cast<unsigned long long>(sm.retry_blocks),
+        static_cast<unsigned long long>(sm.retry_waves));
   };
   const std::string sync_path = "/tmp/bandana_fig05_sync.bin";
   const std::string async_path = "/tmp/bandana_fig05_async.bin";

@@ -7,9 +7,10 @@
 using namespace bandana;
 using namespace bandana::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  parse_bench_args(argc, argv);
   constexpr double kScale = 0.1;  // K-means is the paper's scalability pain
-  const auto runs = make_runs(kScale, 0, 15'000);
+  const auto runs = make_runs(kScale, 0, scaled(15'000));
   const int tables[4] = {0, 1, 5, 7};  // tables 1, 2, 6, 8
   ThreadPool pool;
 
@@ -31,7 +32,8 @@ int main() {
     values.push_back(r.gen->make_embeddings());
   }
 
-  for (std::uint32_t k : {1u, 8u, 32u, 128u, 512u, 1024u}) {
+  for (std::uint32_t full_k : {1u, 8u, 32u, 128u, 512u, 1024u}) {
+    const std::uint32_t k = scaled32(full_k, 1);
     std::vector<std::string> row{std::to_string(k)};
     for (int j = 0; j < 4; ++j) {
       const auto& r = runs[tables[j]];

@@ -7,10 +7,11 @@
 using namespace bandana;
 using namespace bandana::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  parse_bench_args(argc, argv);
   ThreadPool pool;
   constexpr double kScale = 0.1;
-  auto runs = make_runs(kScale, 10'000, 1);
+  auto runs = make_runs(kScale, scaled(10'000), 1);
   const auto values = runs[3].gen->make_embeddings();  // table 4, as paper
 
   print_header("Figure 7a: flat K-means runtime vs clusters (table 4)",
@@ -18,7 +19,8 @@ int main() {
                "1:200 table, dim 32, 8 Lloyd iterations");
   {
     TablePrinter t({"clusters", "seconds"});
-    for (std::uint32_t k : {16u, 64u, 256u, 1024u, 2048u}) {
+    for (std::uint32_t full_k : {16u, 64u, 256u, 1024u, 2048u}) {
+      const std::uint32_t k = scaled32(full_k, 2);
       KMeansConfig kc;
       kc.k = k;
       kc.max_iters = 8;
@@ -34,9 +36,10 @@ int main() {
                "1:200 table, 64 top clusters");
   {
     TablePrinter t({"sub_clusters", "seconds"});
-    for (std::uint32_t leaves : {256u, 1024u, 4096u, 8192u}) {
+    for (std::uint32_t full_leaves : {256u, 1024u, 4096u, 8192u}) {
+      const std::uint32_t leaves = scaled32(full_leaves, 16);
       RecursiveKMeansConfig rc;
-      rc.top_clusters = 64;
+      rc.top_clusters = scaled32(64, 4);
       rc.total_leaves = leaves;
       rc.max_iters = 8;
       WallTimer w;

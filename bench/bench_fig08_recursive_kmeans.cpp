@@ -7,9 +7,10 @@
 using namespace bandana;
 using namespace bandana::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  parse_bench_args(argc, argv);
   constexpr double kScale = 0.1;
-  const auto runs = make_runs(kScale, 0, 15'000);
+  const auto runs = make_runs(kScale, 0, scaled(15'000));
   const int tables[4] = {0, 1, 5, 7};
   ThreadPool pool;
 
@@ -29,12 +30,13 @@ int main() {
     base[j] = baseline_reads(r.eval, r.cfg.num_vectors, 0, true);
     values.push_back(r.gen->make_embeddings());
   }
-  for (std::uint32_t leaves : {64u, 256u, 1024u, 4096u}) {
+  for (std::uint32_t full_leaves : {64u, 256u, 1024u, 4096u}) {
+    const std::uint32_t leaves = scaled32(full_leaves, 8);
     std::vector<std::string> row{std::to_string(leaves)};
     for (int j = 0; j < 4; ++j) {
       const auto& r = runs[tables[j]];
       RecursiveKMeansConfig rc;
-      rc.top_clusters = 64;
+      rc.top_clusters = scaled32(64, 4);
       rc.total_leaves = leaves;
       rc.max_iters = 8;
       const auto rk = recursive_kmeans(values[j], rc, &pool);

@@ -7,11 +7,13 @@
 using namespace bandana;
 using namespace bandana::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  parse_bench_args(argc, argv);
   constexpr double kScale = 0.2;
   // Train sizes scaled from the paper's 200M / 1B / 5B requests.
-  const std::size_t kTrainSizes[3] = {2'000, 10'000, 50'000};
-  const auto runs = make_runs(kScale, kTrainSizes[2], 15'000);
+  const std::size_t kTrainSizes[3] = {scaled(2'000), scaled(10'000),
+                                      scaled(50'000)};
+  const auto runs = make_runs(kScale, kTrainSizes[2], scaled(15'000));
   ThreadPool pool;
 
   print_header("Figure 9: EBW increase with SHP vs training-set size",

@@ -10,9 +10,10 @@
 using namespace bandana;
 using namespace bandana::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  parse_bench_args(argc, argv);
   constexpr double kScale = 0.2;
-  const auto runs = make_runs(kScale, 30'000, 15'000);
+  const auto runs = make_runs(kScale, scaled(30'000), scaled(15'000));
   const auto& r = runs[1];  // table 2
   ThreadPool pool;
 

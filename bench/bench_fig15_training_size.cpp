@@ -6,10 +6,12 @@
 using namespace bandana;
 using namespace bandana::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  parse_bench_args(argc, argv);
   constexpr double kScale = 0.2;
-  const std::size_t kTrainSizes[3] = {2'000, 10'000, 50'000};
-  const auto runs = make_runs(kScale, kTrainSizes[2], 15'000);
+  const std::size_t kTrainSizes[3] = {scaled(2'000), scaled(10'000),
+                                      scaled(50'000)};
+  const auto runs = make_runs(kScale, kTrainSizes[2], scaled(15'000));
   ThreadPool pool;
   const std::uint64_t kCapPerTable = 2000;
 

@@ -6,7 +6,8 @@
 using namespace bandana;
 using namespace bandana::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  parse_bench_args(argc, argv);
   constexpr double kScale = 0.2;
   const std::uint64_t kCapPerTable = 2000;
 
@@ -20,7 +21,7 @@ int main() {
   ThreadPool pool;
 
   for (const std::uint16_t dim : {16, 32, 64}) {
-    const auto runs = make_runs(kScale, 30'000, 15'000, dim);
+    const auto runs = make_runs(kScale, scaled(30'000), scaled(15'000), dim);
     const std::uint32_t vpb =
         static_cast<std::uint32_t>(4096 / (dim * sizeof(float)));
     for (std::size_t i = 0; i < runs.size(); ++i) {

@@ -44,6 +44,55 @@ struct TableMetrics {
   }
 };
 
+/// Store-wide counters of the staged (batched real-I/O) read pipeline.
+/// They make the pipeline's coverage gaps visible: a healthy staged path
+/// serves every miss from staged bytes (inline_reads stays 0) and stages
+/// every miss block up front (deferred counters stay near 0 — they grow
+/// only when concurrency evicts a peeked block before its lookup, or the
+/// staging cap truncates).
+struct StoreMetrics {
+  std::uint64_t staged_blocks = 0;       ///< Blocks fetched by the peek pass.
+  std::uint64_t stage_truncated_blocks = 0;  ///< Miss-block sightings past the
+                                             ///< staging cap (not staged, not
+                                             ///< deduplicated across sightings).
+  std::uint64_t deferred_lookups = 0;    ///< Lookups whose block was unstaged
+                                         ///< (evicted peek->lookup, or
+                                         ///< truncated) and went to a retry.
+  std::uint64_t retry_blocks = 0;        ///< Deduplicated blocks fetched by
+                                         ///< retry waves.
+  std::uint64_t retry_waves = 0;         ///< Batched retry fetches issued.
+
+  StoreMetrics& operator+=(const StoreMetrics& o) {
+    staged_blocks += o.staged_blocks;
+    stage_truncated_blocks += o.stage_truncated_blocks;
+    deferred_lookups += o.deferred_lookups;
+    retry_blocks += o.retry_blocks;
+    retry_waves += o.retry_waves;
+    return *this;
+  }
+};
+
+/// Write side of StoreMetrics: bumped from concurrent request streams with
+/// relaxed atomics, snapshotted lock-free like AtomicTableMetrics.
+struct AtomicStoreMetrics {
+  std::atomic<std::uint64_t> staged_blocks{0};
+  std::atomic<std::uint64_t> stage_truncated_blocks{0};
+  std::atomic<std::uint64_t> deferred_lookups{0};
+  std::atomic<std::uint64_t> retry_blocks{0};
+  std::atomic<std::uint64_t> retry_waves{0};
+
+  StoreMetrics snapshot() const {
+    StoreMetrics m;
+    m.staged_blocks = staged_blocks.load(std::memory_order_relaxed);
+    m.stage_truncated_blocks =
+        stage_truncated_blocks.load(std::memory_order_relaxed);
+    m.deferred_lookups = deferred_lookups.load(std::memory_order_relaxed);
+    m.retry_blocks = retry_blocks.load(std::memory_order_relaxed);
+    m.retry_waves = retry_waves.load(std::memory_order_relaxed);
+    return m;
+  }
+};
+
 /// Write side of TableMetrics for the sharded serving path: shard-local
 /// lookups bump relaxed atomics (no lock, no cross-shard cache-line
 /// ping-pong beyond the counter itself), and readers take a lock-free

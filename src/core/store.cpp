@@ -1,6 +1,7 @@
 #include "core/store.h"
 
 #include <algorithm>
+#include <cassert>
 #include <stdexcept>
 #include <utility>
 
@@ -14,10 +15,11 @@ namespace {
 /// 4 KB blocks, so growth never buffers the whole old storage in memory.
 constexpr std::uint64_t kGrowthChunkBlocks = 4096;
 
-/// Cap on blocks staged per request through the batched read pipeline
-/// (16 MB of 4 KB blocks). The admission waves bound in-flight device
-/// I/O; this bounds the staging buffer itself. Staging is best-effort —
-/// misses beyond the cap fall back to inline reads in the lookup.
+/// Cap on blocks staged per batched-read fetch (16 MB of 4 KB blocks).
+/// The admission waves bound in-flight device I/O; this bounds the
+/// staging buffer itself. Misses beyond the cap are counted
+/// (StoreMetrics::stage_truncated_blocks) and their lookups defer to
+/// bounded retry waves — never to inline single-block reads.
 constexpr std::size_t kMaxStagedBlocks = 4096;
 }  // namespace
 
@@ -32,7 +34,8 @@ Store::Store(StoreConfig config, BlockStorageFactory storage_factory,
       timing_mu_(std::make_unique<std::mutex>()),
       engine_(config.device, seed),
       endurance_(config.device.capacity_blocks * config.device.block_bytes,
-                 config.device.endurance_dwpd) {
+                 config.device.endurance_dwpd),
+      staging_metrics_(std::make_unique<AtomicStoreMetrics>()) {
   if (config_.block_bytes % config_.vector_bytes != 0) {
     throw std::invalid_argument("vector_bytes must divide block_bytes");
   }
@@ -90,6 +93,10 @@ void Store::ensure_capacity(std::uint64_t total_blocks) {
           grown->write_block(static_cast<BlockId>(b0 + i), block);
         }
       }
+      // Growth migration rewrites every published block: those writes
+      // occupy the device channels like any other write traffic. Closed
+      // loop — growth is setup, drained before serving resumes.
+      schedule_writes(used, /*advance_clock=*/true);
     }
     std::vector<std::byte> check(config_.block_bytes);
     grown->read_block(0, check);
@@ -124,6 +131,10 @@ TableId Store::add_table(const EmbeddingTable& values, BlockLayout layout,
   ensure_capacity(std::uint64_t{next_block_} + blocks);
   table->publish(values, *storage_);
   endurance_.record_write(std::uint64_t{blocks} * config_.block_bytes, 0.0);
+  // The publish wave's writes go through the engine's channel FIFOs,
+  // closed loop: the table only serves once its blocks have landed, so
+  // the backlog drains before the first read arrives.
+  schedule_writes(blocks, /*advance_clock=*/true);
 
   tables_.push_back(std::move(table));
   next_block_ += blocks;
@@ -158,12 +169,82 @@ double Store::schedule_reads(std::uint64_t reads, LatencyRecorder& recorder,
   return latency;
 }
 
+double Store::schedule_writes(std::uint64_t writes, bool advance_clock) {
+  if (!config_.simulate_timing || writes == 0) return 0.0;
+  std::lock_guard lock(*timing_mu_);
+  // Publish/republish block writes are one admission wave of
+  // IoKind::kWrite events: they join the same per-channel FIFOs and hold
+  // the same queue_depth x channels gate slots as reads, so write traffic
+  // contends with read traffic exactly as the device's shared submission
+  // queue would (paper §2.2). Closed loop drains the backlog (initial
+  // publish / growth: setup completes before serving); open loop leaves
+  // it on the channels (live republish: the Fig. 5 interference).
+  const double start = now_us_;
+  const double max_done =
+      engine_.submit_wave(start, writes, nullptr, IoKind::kWrite);
+  const double latency = max_done - start;
+  write_latency_.add(latency);
+  if (advance_clock) now_us_ = max_done;
+  return latency;
+}
+
 void Store::stage_miss_blocks(const BandanaTable& table,
                               std::span<const VectorId> ids,
                               StagedBlockReads& staged) const {
   for (const VectorId v : ids) {
-    if (staged.size() >= kMaxStagedBlocks) return;
-    if (!table.is_cached(v)) staged.add(table.global_block_of(v));
+    if (table.is_cached(v)) continue;
+    const BlockId b = table.global_block_of(v);
+    if (staged.contains(b)) continue;
+    if (staged.size() >= kMaxStagedBlocks) {
+      // Not staged: the lookup will defer to a retry wave. Counted per
+      // sighting (not deduplicated among the truncated tail) — a visibility
+      // signal, not an exact block count; retry_blocks is the exact one.
+      staging_metrics_->stage_truncated_blocks.fetch_add(
+          1, std::memory_order_relaxed);
+      continue;
+    }
+    staged.add(b);
+  }
+}
+
+void Store::fetch_retry_blocks(StagedBlockReads& retry,
+                               std::size_t lookups) const {
+  retry.fetch(*storage_, real_read_wave_blocks());
+  staging_metrics_->retry_waves.fetch_add(1, std::memory_order_relaxed);
+  staging_metrics_->retry_blocks.fetch_add(retry.size(),
+                                           std::memory_order_relaxed);
+  staging_metrics_->deferred_lookups.fetch_add(lookups,
+                                               std::memory_order_relaxed);
+}
+
+void Store::serve_deferred(
+    std::vector<DeferredLookup>& deferred,
+    const std::function<void(std::size_t, const BandanaTable::LookupOutcome&)>&
+        account) {
+  // Blocks evicted between the staging peek and their lookup (or truncated
+  // at the staging cap) are re-fetched through the same batched seam, in
+  // bounded waves. A retried lookup cannot defer again: its block is in
+  // the retry set, and lookups consume staged bytes under the shard lock.
+  while (!deferred.empty()) {
+    StagedBlockReads retry;
+    std::size_t taken = 0;
+    while (taken < deferred.size()) {
+      const DeferredLookup& d = deferred[taken];
+      const BlockId b = d.table->global_block_of(d.id);
+      if (!retry.contains(b) && retry.size() >= kMaxStagedBlocks) break;
+      retry.add(b);
+      ++taken;
+    }
+    fetch_retry_blocks(retry, taken);
+    for (std::size_t k = 0; k < taken; ++k) {
+      const DeferredLookup& d = deferred[k];
+      const auto outcome = d.table->lookup(d.id, *storage_, d.out, d.epoch,
+                                           &retry, /*staged_only=*/true);
+      assert(!outcome.deferred);
+      account(d.tag, outcome);
+    }
+    deferred.erase(deferred.begin(),
+                   deferred.begin() + static_cast<std::ptrdiff_t>(taken));
   }
 }
 
@@ -188,21 +269,34 @@ double Store::lookup_batch(TableId t, std::span<const VectorId> ids,
   }
   // Overlapped-read backends: fetch the query's miss blocks up front in
   // admission-sized waves, so real I/O is batched instead of one pread per
-  // miss inside the lookup loop.
+  // miss inside the lookup loop. staged_only lookups never fall back to an
+  // inline read — an unstaged miss defers to the retry waves below.
   StagedBlockReads staged;
   const bool stage = storage_->prefers_batched_reads();
   if (stage) {
     stage_miss_blocks(table, ids, staged);
     staged.fetch(*storage_, real_read_wave_blocks());
+    staging_metrics_->staged_blocks.fetch_add(staged.size(),
+                                              std::memory_order_relaxed);
   }
   std::uint64_t reads = 0;
   const std::uint64_t epoch = table.begin_batch();
+  std::vector<DeferredLookup> deferred;
   for (std::size_t i = 0; i < ids.size(); ++i) {
     const auto outcome = table.lookup(ids[i], *storage_,
                                       out.subspan(i * vb, vb), epoch,
-                                      stage ? &staged : nullptr);
+                                      stage ? &staged : nullptr,
+                                      /*staged_only=*/stage);
+    if (outcome.deferred) {
+      deferred.push_back({&table, ids[i], out.subspan(i * vb, vb), epoch, i});
+      continue;
+    }
     if (outcome.nvm_read) ++reads;
   }
+  serve_deferred(deferred,
+                 [&](std::size_t, const BandanaTable::LookupOutcome& o) {
+                   if (o.nvm_read) ++reads;
+                 });
   return schedule_reads(reads, query_latency_, /*advance_clock=*/true);
 }
 
@@ -237,7 +331,8 @@ MultiGetResult Store::multi_get_impl(const MultiGetRequest& request,
   // collects every block the lookups will miss on (deduplicated across
   // tables and repeated id lists) and fetches them as admission-sized
   // batched waves — the request's real I/O overlaps exactly like its
-  // simulated channel reads do.
+  // simulated channel reads do. staged_only lookups never fall back to an
+  // inline read: an unstaged miss defers to the retry waves below.
   StagedBlockReads staged;
   const bool stage = storage_->prefers_batched_reads();
   if (stage) {
@@ -245,6 +340,8 @@ MultiGetResult Store::multi_get_impl(const MultiGetRequest& request,
       stage_miss_blocks(*tables_[get.table], get.ids, staged);
     }
     staged.fetch(*storage_, real_read_wave_blocks());
+    staging_metrics_->staged_blocks.fetch_add(staged.size(),
+                                              std::memory_order_relaxed);
   }
 
   MultiGetResult result;
@@ -255,6 +352,7 @@ MultiGetResult Store::multi_get_impl(const MultiGetRequest& request,
   // re-counted. Lookups lock only the touched cache shard, so concurrent
   // requests to the same table interleave freely.
   std::vector<std::pair<TableId, std::uint64_t>> request_epochs;
+  std::vector<DeferredLookup> deferred;
   for (std::size_t g = 0; g < request.gets.size(); ++g) {
     const auto& get = request.gets[g];
     BandanaTable& table = *tables_[get.table];
@@ -276,11 +374,27 @@ MultiGetResult Store::multi_get_impl(const MultiGetRequest& request,
       const auto outcome = table.lookup(
           get.ids[i], *storage_,
           std::span<std::byte>(bytes).subspan(i * vb, vb), epoch,
-          stage ? &staged : nullptr);
+          stage ? &staged : nullptr, /*staged_only=*/stage);
+      if (outcome.deferred) {
+        // tag = get index: retry accounting lands on the right TableStats.
+        deferred.push_back({&table, get.ids[i],
+                            std::span<std::byte>(bytes).subspan(i * vb, vb),
+                            epoch, g});
+        continue;
+      }
       if (outcome.hit) ++stats.hits;
       if (outcome.nvm_read) ++stats.block_reads;
     }
-    stats.misses = get.ids.size() - stats.hits;
+  }
+  serve_deferred(deferred,
+                 [&](std::size_t g, const BandanaTable::LookupOutcome& o) {
+                   auto& stats = result.per_table[g];
+                   if (o.hit) ++stats.hits;
+                   if (o.nvm_read) ++stats.block_reads;
+                 });
+  for (std::size_t g = 0; g < request.gets.size(); ++g) {
+    auto& stats = result.per_table[g];
+    stats.misses = request.gets[g].ids.size() - stats.hits;
     result.block_reads += stats.block_reads;
   }
   result.service_latency_us =
@@ -308,12 +422,17 @@ std::future<MultiGetResult> Store::multi_get_async(MultiGetRequest request,
   return future;
 }
 
-void Store::republish(TableId t, const EmbeddingTable& values, double day) {
+double Store::republish(TableId t, const EmbeddingTable& values, double day) {
   std::unique_lock lock(*storage_mu_);
   BandanaTable& table = checked_table(t);
   table.republish(values, *storage_);
   endurance_.record_write(
       std::uint64_t{table.num_blocks()} * config_.block_bytes, day);
+  // Open loop: a live republish is background retraining traffic. Its
+  // writes stay queued on the channels and in the admission gate at the
+  // current clock, so concurrent read requests see the paper's
+  // mixed-traffic interference (bench_fig05 read-vs-mixed sweep).
+  return schedule_writes(table.num_blocks(), /*advance_clock=*/false);
 }
 
 TableMetrics Store::table_metrics(TableId t) const {
@@ -338,6 +457,11 @@ LatencyRecorder Store::query_latency_us() const {
 LatencyRecorder Store::request_latency_us() const {
   std::lock_guard lock(*timing_mu_);
   return request_latency_;
+}
+
+LatencyRecorder Store::write_latency_us() const {
+  std::lock_guard lock(*timing_mu_);
+  return write_latency_;
 }
 
 void Store::advance_time_us(double delta) {

@@ -38,6 +38,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -127,16 +128,29 @@ class Store {
   double lookup(TableId t, VectorId v, std::span<std::byte> out);
 
   /// Re-publish a table after retraining (§2.2); counts endurance writes.
-  void republish(TableId t, const EmbeddingTable& values, double day = 0.0);
+  /// The block writes are enqueued on the NVM channel FIFOs at the current
+  /// simulated clock WITHOUT advancing it (open-loop, like multi_get):
+  /// a live republish leaves write backlog on the channels and in the
+  /// admission gate, so concurrent read traffic sees the paper's
+  /// mixed-traffic interference (bench_fig05's read-vs-mixed sweep). It
+  /// also drops the table's cached entries (bytes are stale). Returns the
+  /// simulated latency of the write wave (0 when timing is off).
+  double republish(TableId t, const EmbeddingTable& values, double day = 0.0);
 
   /// Metrics accessors are lock-free snapshots of per-shard counters
   /// (aggregated on read), so polling them never stalls in-flight
   /// multi_get_async requests. Latency accessors take the timing lock.
   TableMetrics table_metrics(TableId t) const;
   TableMetrics total_metrics() const;
+  /// Staged-read-pipeline counters (staging coverage, truncation, retry
+  /// waves); lock-free snapshot like the table metrics.
+  StoreMetrics store_metrics() const { return staging_metrics_->snapshot(); }
   LatencyRecorder query_latency_us() const;
   /// Per-request service latency of multi_get / multi_get_async calls.
   LatencyRecorder request_latency_us() const;
+  /// Per-wave service latency of publish/republish/growth write waves
+  /// through the engine (empty when timing is off).
+  LatencyRecorder write_latency_us() const;
   const EnduranceTracker& endurance() const { return endurance_; }
   const StoreConfig& config() const { return config_; }
   const BandanaTable& table(TableId t) const;
@@ -154,10 +168,38 @@ class Store {
   /// contents on re-creation, so old and new storage coexist).
   void ensure_capacity(std::uint64_t total_blocks);
   /// Peek table t's cache for `ids` (no LRU mutation) and stage every
-  /// block the lookups would miss on. Best-effort under concurrency.
+  /// block the lookups would miss on, up to the staging cap. Miss blocks
+  /// seen past the cap are counted (stage_truncated_blocks), not staged —
+  /// their lookups defer to a retry wave. The peek is best-effort under
+  /// concurrency; the lookups' staged_only deferral makes the pipeline
+  /// airtight anyway.
   void stage_miss_blocks(const BandanaTable& table,
                          std::span<const VectorId> ids,
                          StagedBlockReads& staged) const;
+  /// Fetch a retry set of deferred lookups' blocks through
+  /// BlockStorage::read_blocks in admission-sized waves, counting the
+  /// wave, its blocks and the `lookups` it serves in the staging metrics.
+  void fetch_retry_blocks(StagedBlockReads& retry, std::size_t lookups) const;
+  /// One lookup the staged_only pipeline deferred (block unstaged at
+  /// lookup time), queued for a retry wave. `tag` is caller context
+  /// handed back through serve_deferred's `account`.
+  struct DeferredLookup {
+    BandanaTable* table;
+    VectorId id;
+    std::span<std::byte> out;
+    std::uint64_t epoch;
+    std::size_t tag;
+  };
+  /// Serve every deferred lookup through bounded retry waves — the single
+  /// place the airtight-pipeline invariant lives: at most kMaxStagedBlocks
+  /// distinct blocks per wave, blocks deduplicated across the whole set,
+  /// and a retried lookup cannot defer again (its block is in the retry
+  /// set, consumed under the shard lock). Invokes `account(tag, outcome)`
+  /// for each served lookup, in deferral order.
+  void serve_deferred(
+      std::vector<DeferredLookup>& deferred,
+      const std::function<void(std::size_t,
+                               const BandanaTable::LookupOutcome&)>& account);
   /// Blocks per real-I/O wave: the admission cap (queue_depth x channels),
   /// or 0 (single wave) when admission is unbounded.
   std::uint64_t real_read_wave_blocks() const;
@@ -171,6 +213,14 @@ class Store {
   /// to completion) vs open-loop (clock stays at arrival) semantics.
   double schedule_reads(std::uint64_t reads, LatencyRecorder& recorder,
                         bool advance_clock, double arrival_us = -1.0);
+  /// Submit `writes` block writes at the current clock as one admission
+  /// wave of IoKind::kWrite events on the engine's channel FIFOs (no-op
+  /// when timing is off). Closed loop (`advance_clock`, publish/growth:
+  /// the caller waits for the write to land) moves the clock to the wave's
+  /// completion, draining the backlog before serving resumes; open loop
+  /// (republish: background retraining traffic) leaves the clock at
+  /// submission so the write backlog interferes with subsequent reads.
+  double schedule_writes(std::uint64_t writes, bool advance_clock);
   /// `arrival_us`: simulated arrival timestamp (negative = current clock).
   /// multi_get_async captures it at submission so that queued requests keep
   /// their true arrival order even when serving lags.
@@ -187,12 +237,17 @@ class Store {
 
   std::unique_ptr<std::mutex> timing_mu_;  ///< Clock, engine, recorders.
   /// Event-driven per-channel device model; all of a request's reads form
-  /// one admission wave (exercised under timing_mu_).
+  /// one admission wave, and publish/republish writes join the same
+  /// channel FIFOs (exercised under timing_mu_).
   NvmIoEngine engine_;
   double now_us_ = 0.0;
   LatencyRecorder query_latency_;
   LatencyRecorder request_latency_;
+  LatencyRecorder write_latency_;
   EnduranceTracker endurance_;
+  /// Staged-read-pipeline counters (relaxed atomics behind a pointer so
+  /// the Store stays movable).
+  std::unique_ptr<AtomicStoreMetrics> staging_metrics_;
 };
 
 }  // namespace bandana

@@ -196,7 +196,7 @@ bool BandanaTable::is_cached(VectorId v) const {
 
 BandanaTable::LookupOutcome BandanaTable::lookup(
     VectorId v, BlockStorage& storage, std::span<std::byte> out,
-    std::uint64_t epoch, const StagedBlockReads* staged) {
+    std::uint64_t epoch, const StagedBlockReads* staged, bool staged_only) {
   assert(v < layout_.num_vectors());
   assert(out.size() >= vector_bytes_);
   LookupOutcome outcome;
@@ -204,6 +204,16 @@ BandanaTable::LookupOutcome BandanaTable::lookup(
   // members, the shadow entry, the slab slots — lives in this one shard.
   Shard& shard = *shards_[cache_.shard_of(v)];
   std::lock_guard lock(shard.mu);
+  // Airtight staged mode: if this lookup would miss and its block was not
+  // staged (evicted between the request's peek and now, or truncated at
+  // the staging cap), defer it before mutating ANY state — same shard
+  // lock, so the contains() peek and the access() below cannot disagree.
+  // The caller re-runs the lookup after a batched retry fetch.
+  if (staged_only && staged != nullptr && !cache_.contains(v) &&
+      staged->find(global_block_of(v)).empty()) {
+    outcome.deferred = true;
+    return outcome;
+  }
   metrics_.lookups.fetch_add(1, std::memory_order_relaxed);
   metrics_.app_bytes_served.fetch_add(vector_bytes_,
                                       std::memory_order_relaxed);
@@ -231,8 +241,9 @@ BandanaTable::LookupOutcome BandanaTable::lookup(
   metrics_.miss_bytes.fetch_add(vector_bytes_, std::memory_order_relaxed);
   const bool already_read = block_epochs_[local_b] >= epoch;
   // The request's staging pass may already hold this block's bytes (one
-  // batched overlapped read for the whole request); staging is best-effort
-  // under concurrency, so a block it missed falls back to an inline read.
+  // batched overlapped read for the whole request). Store's staged_only
+  // pipeline guarantees the block is staged by the time we get here; the
+  // inline fallback below only serves callers running without staging.
   std::span<const std::byte> block_bytes;
   if (staged != nullptr) {
     block_bytes = staged->find(first_block_ + local_b);

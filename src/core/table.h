@@ -50,6 +50,10 @@ class BandanaTable {
     bool hit = false;
     BlockId block_read = 0;   ///< Valid when nvm_read is true.
     bool nvm_read = false;    ///< True if a block read was issued.
+    bool deferred = false;    ///< True if the lookup was not served because
+                              ///< its block was not staged (staged_only
+                              ///< mode); nothing was counted or mutated —
+                              ///< re-run it with the block staged.
   };
 
   /// Open a block-read dedup scope (one batched query, or one table's id
@@ -67,9 +71,19 @@ class BandanaTable {
   /// request pre-fetched them (Store's batched read pipeline), otherwise
   /// reads the block from `storage` inline; either way the caller accounts
   /// device timing. Admits prefetches per policy and caches the vector.
+  ///
+  /// With `staged_only` (Store's airtight batched pipeline) an unstaged
+  /// miss never falls back to an inline read: the lookup returns
+  /// `deferred = true` BEFORE touching any state (metrics, LRU, shadow),
+  /// so the caller can fetch the block through a batched retry wave and
+  /// re-run the lookup as if this call never happened. The deferral check
+  /// and the subsequent cache access run under one shard lock, so a block
+  /// evicted between the request's staging peek and this lookup is always
+  /// caught.
   LookupOutcome lookup(VectorId v, BlockStorage& storage,
                        std::span<std::byte> out, std::uint64_t epoch,
-                       const StagedBlockReads* staged = nullptr);
+                       const StagedBlockReads* staged = nullptr,
+                       bool staged_only = false);
 
   /// True if v is currently cached. Takes the shard lock but never mutates
   /// LRU state — the staging pass peeks ahead of the real lookups to

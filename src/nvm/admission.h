@@ -1,15 +1,18 @@
-// Queue-depth admission control for block-read submission (paper §2.2).
+// Queue-depth admission control for block-IO submission (paper §2.2).
 //
 // The paper keeps the NVM device's queue depth bounded: latency past the
 // bandwidth knee is a queueing artifact, and an unbounded submitter turns
 // one oversized request into a device-monopolizing burst. This controller
-// caps the number of outstanding block reads at queue_depth × channels;
-// submit_reads() splits a request's read batch into depth-bounded waves —
-// a read past the cap is only submitted once an earlier read completes,
-// so the Fig. 5 hockey stick emerges from queueing at the admission gate
-// rather than from unbounded submission.
+// caps the number of outstanding block IOs at queue_depth × channels —
+// reads AND writes: the write-aware NvmIoEngine routes publish/republish
+// traffic through the same gate, so a live republish consumes read slots
+// exactly like the device's shared submission queue would. submit_reads()
+// splits a request's read batch into depth-bounded waves — an IO past the
+// cap is only submitted once an earlier one completes, so the Fig. 5
+// hockey stick emerges from queueing at the admission gate rather than
+// from unbounded submission.
 //
-// A slot is held through the read's full completion (channel service plus
+// A slot is held through the IO's full completion (channel service plus
 // the fixed submission/completion overhead), which reproduces Fig. 2's
 // queue-depth trade-off: at per-channel depth 1 the overhead is exposed
 // (channels idle between reads, bandwidth below peak), while a depth of
@@ -37,8 +40,9 @@ namespace bandana {
 
 class AdmissionController {
  public:
-  /// `queue_depth` is the per-channel cap on outstanding reads; 0 disables
-  /// admission control (unbounded submission, the pre-admission behavior).
+  /// `queue_depth` is the per-channel cap on outstanding IOs (reads plus
+  /// writes); 0 disables admission control (unbounded submission, the
+  /// pre-admission behavior).
   AdmissionController(unsigned channels, unsigned queue_depth)
       : max_outstanding_(static_cast<std::uint64_t>(channels) * queue_depth) {}
 

@@ -60,7 +60,6 @@ struct AsyncFileBlockStorage::Ring {
   unsigned cq_mask = 0;
   io_uring_cqe* cqes = nullptr;
   unsigned entries = 0;
-  std::vector<iovec> iovecs;  ///< per-SQE iovec, alive until the reap
 
   ~Ring() {
     if (sqes != nullptr) ::munmap(sqes, sqes_len);
@@ -127,7 +126,6 @@ void AsyncFileBlockStorage::init_rings(const Options& options) {
     ring->cq_tail = reinterpret_cast<unsigned*>(cq + params.cq_off.tail);
     ring->cq_mask = *reinterpret_cast<unsigned*>(cq + params.cq_off.ring_mask);
     ring->cqes = reinterpret_cast<io_uring_cqe*>(cq + params.cq_off.cqes);
-    ring->iovecs.resize(ring->entries);
     rings_.push_back(std::move(ring));
   }
 }
@@ -136,59 +134,129 @@ void AsyncFileBlockStorage::read_wave_uring(
     Ring& ring, std::span<const BlockReadOp> ops) const {
   const std::size_t bb = block_bytes();
   // Waves larger than the ring are chunked; each chunk is one batched
-  // submission (one io_uring_enter with GETEVENTS) and a full reap.
+  // submission (one io_uring_enter with GETEVENTS) and a reap loop. A
+  // partial completion resubmits the REMAINING byte range of its block
+  // (offset advanced by the bytes already landed) instead of re-reading
+  // the whole block through a synchronous pread — the wave stays fully
+  // overlapped even when the kernel splits an op.
   for (std::size_t base = 0; base < ops.size(); base += ring.entries) {
     const unsigned n = static_cast<unsigned>(
         std::min<std::size_t>(ring.entries, ops.size() - base));
-    unsigned tail = std::atomic_ref<unsigned>(*ring.sq_tail)
-                        .load(std::memory_order_relaxed);
-    for (unsigned i = 0; i < n; ++i) {
-      const BlockReadOp& op = ops[base + i];
-      const unsigned idx = (tail + i) & ring.sq_mask;
-      ring.iovecs[idx] = {op.out.data(), bb};
+    // Bytes already landed per in-chunk op; a resubmitted SQE reads
+    // [done, bb) of its block into the tail of the caller's buffer.
+    std::vector<std::size_t> done_bytes(n, 0);
+    // One iovec per OP (not per SQ slot): an iovec must stay valid until
+    // its op completes, and the SQ tail cycles — a resubmit landing on a
+    // still-in-flight op's slot would corrupt that op's read. Keying by
+    // op index is safe: an op is resubmitted only after its previous
+    // submission completed.
+    std::vector<iovec> iovecs(n);
+    const auto push_sqe = [&](unsigned op_idx) {
+      const unsigned tail = std::atomic_ref<unsigned>(*ring.sq_tail)
+                                .load(std::memory_order_relaxed);
+      const unsigned idx = tail & ring.sq_mask;
+      const BlockReadOp& op = ops[base + op_idx];
+      const std::size_t done = done_bytes[op_idx];
+      iovecs[op_idx] = {op.out.data() + done, bb - done};
       io_uring_sqe& sqe = ring.sqes[idx];
       std::memset(&sqe, 0, sizeof(sqe));
       sqe.opcode = IORING_OP_READV;
       sqe.fd = fd();
-      sqe.addr = reinterpret_cast<std::uint64_t>(&ring.iovecs[idx]);
+      sqe.addr = reinterpret_cast<std::uint64_t>(&iovecs[op_idx]);
       sqe.len = 1;
-      sqe.off = static_cast<std::uint64_t>(op.block) * bb;
-      sqe.user_data = base + i;
+      sqe.off = static_cast<std::uint64_t>(op.block) * bb + done;
+      sqe.user_data = op_idx;
       ring.sq_array[idx] = idx;
-    }
-    std::atomic_ref<unsigned>(*ring.sq_tail)
-        .store(tail + n, std::memory_order_release);
+      std::atomic_ref<unsigned>(*ring.sq_tail)
+          .store(tail + 1, std::memory_order_release);
+    };
+    for (unsigned i = 0; i < n; ++i) push_sqe(i);
 
     unsigned to_submit = n;
-    unsigned reaped = 0;
-    while (reaped < n) {
-      const int ret = sys_io_uring_enter(ring.fd, to_submit, n - reaped,
+    unsigned finished = 0;
+    unsigned enter_failures = 0;
+    // A fatal error — per-op OR from io_uring_enter itself — is deferred
+    // until every in-flight op of the chunk has completed: the kernel may
+    // still be writing into the caller's buffers, so bailing out
+    // mid-flight would dangle them.
+    std::string error;
+    while (finished < n) {
+      const int ret = sys_io_uring_enter(ring.fd, to_submit,
+                                         /*min_complete=*/1,
                                          IORING_ENTER_GETEVENTS);
       if (ret < 0) {
         if (errno == EINTR) continue;
-        throw std::runtime_error(
-            std::string("AsyncFileBlockStorage: io_uring_enter failed: ") +
-            std::strerror(errno));
+        if (error.empty()) {
+          error =
+              std::string("AsyncFileBlockStorage: io_uring_enter failed: ") +
+              std::strerror(errno);
+        }
+        // Unsubmitted SQEs will never complete: account them as finished
+        // and keep reaping the in-flight ops. If the syscall keeps
+        // failing we cannot drain — give up rather than spin forever
+        // (the in-flight ops may still land in soon-to-be-freed buffers,
+        // but there is nothing further we can do from here).
+        finished += to_submit;
+        to_submit = 0;
+        if (++enter_failures > 8) {
+          throw std::runtime_error(error + " (in-flight drain abandoned)");
+        }
+      } else {
+        to_submit -= static_cast<unsigned>(ret);
       }
-      to_submit -= static_cast<unsigned>(ret);
       unsigned head = std::atomic_ref<unsigned>(*ring.cq_head)
                           .load(std::memory_order_relaxed);
       const unsigned cq_tail = std::atomic_ref<unsigned>(*ring.cq_tail)
                                    .load(std::memory_order_acquire);
+      std::vector<unsigned> resubmit;
       while (head != cq_tail) {
         const io_uring_cqe& cqe = ring.cqes[head & ring.cq_mask];
-        // Short reads or per-op errors: finish the block with a plain
-        // pread so every path stays byte-equivalent to FileBlockStorage.
-        if (cqe.res != static_cast<std::int32_t>(bb)) {
-          const BlockReadOp& op = ops[cqe.user_data];
-          read_block(op.block, op.out);
+        const auto op_idx = static_cast<unsigned>(cqe.user_data);
+        const BlockReadOp& op = ops[base + op_idx];
+        if (cqe.res < 0) {
+          // Transient kernel-side interruptions retry the remainder; a
+          // real I/O error names the failing block and poisons the wave.
+          if (cqe.res == -EINTR || cqe.res == -EAGAIN) {
+            resubmit.push_back(op_idx);
+          } else {
+            if (error.empty()) {
+              error = "AsyncFileBlockStorage: read of block " +
+                      std::to_string(op.block) +
+                      " failed: " + std::strerror(-cqe.res);
+            }
+            ++finished;
+          }
+        } else if (cqe.res == 0) {
+          // EOF inside a block the geometry says exists: the backing file
+          // is shorter than num_blocks x block_bytes.
+          if (error.empty()) {
+            error = "AsyncFileBlockStorage: unexpected EOF reading block " +
+                    std::to_string(op.block) + " at byte " +
+                    std::to_string(done_bytes[op_idx]);
+          }
+          ++finished;
+        } else {
+          done_bytes[op_idx] += static_cast<std::size_t>(cqe.res);
+          if (done_bytes[op_idx] >= bb) {
+            ++finished;
+          } else {
+            resubmit.push_back(op_idx);  // short read: fetch the rest
+          }
         }
         ++head;
-        ++reaped;
       }
       std::atomic_ref<unsigned>(*ring.cq_head)
           .store(head, std::memory_order_release);
+      if (error.empty()) {
+        for (const unsigned op_idx : resubmit) {
+          push_sqe(op_idx);
+          ++to_submit;
+        }
+      } else {
+        finished += static_cast<unsigned>(resubmit.size());
+      }
     }
+    if (!error.empty()) throw std::runtime_error(error);
   }
 }
 

@@ -21,8 +21,12 @@
 //
 // The probe is at construction time: if io_uring_setup fails for any
 // reason the storage silently uses the fallback (io_uring_active() tells
-// which path is live). Short reads and per-op errors are completed with a
-// plain pread retry so both paths are byte-equivalent to FileBlockStorage.
+// which path is live). A partial io_uring completion resubmits the
+// remaining byte range of its block (offset advanced past the landed
+// bytes) so the wave stays overlapped; a per-op I/O error or unexpected
+// EOF raises an exception naming the failing block once the wave's
+// in-flight ops have drained. Both paths are byte-equivalent to
+// FileBlockStorage.
 //
 // bandana::Store stages each request's miss blocks through read_blocks()
 // in admission-sized waves (queue_depth x channels blocks per wave), so

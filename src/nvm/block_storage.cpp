@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cerrno>
 #include <cstring>
 #include <stdexcept>
 
@@ -86,7 +87,12 @@ void FileBlockStorage::read_block(BlockId b, std::span<std::byte> out) const {
   while (done < block_bytes_) {
     const ssize_t r = ::pread(fd_, out.data() + done, block_bytes_ - done,
                               off + static_cast<off_t>(done));
-    if (r <= 0) throw std::runtime_error("FileBlockStorage: pread failed");
+    if (r <= 0) {
+      throw std::runtime_error(
+          "FileBlockStorage: pread of block " + std::to_string(b) +
+          " failed at byte " + std::to_string(done) + ": " +
+          (r == 0 ? "unexpected EOF" : std::strerror(errno)));
+    }
     done += static_cast<std::size_t>(r);
   }
 }
@@ -99,7 +105,12 @@ void FileBlockStorage::write_block(BlockId b, std::span<const std::byte> in) {
   while (done < block_bytes_) {
     const ssize_t r = ::pwrite(fd_, in.data() + done, block_bytes_ - done,
                                off + static_cast<off_t>(done));
-    if (r <= 0) throw std::runtime_error("FileBlockStorage: pwrite failed");
+    if (r <= 0) {
+      throw std::runtime_error(
+          "FileBlockStorage: pwrite of block " + std::to_string(b) +
+          " failed at byte " + std::to_string(done) + ": " +
+          (r == 0 ? "no progress" : std::strerror(errno)));
+    }
     done += static_cast<std::size_t>(r);
   }
 }

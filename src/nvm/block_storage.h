@@ -82,6 +82,8 @@ class StagedBlockReads {
   std::size_t size() const { return blocks_.size(); }
   bool empty() const { return blocks_.empty(); }
   std::span<const BlockId> blocks() const { return blocks_; }
+  /// True if `b` has a reserved slot (fetched or not).
+  bool contains(BlockId b) const { return index_.count(b) != 0; }
 
   /// Fetch every added block from `storage`, at most `wave_blocks` per
   /// read_blocks() call (0 = one wave). This is where admission control

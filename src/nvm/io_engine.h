@@ -33,8 +33,19 @@
 // channel_stream_seed), bit-identical completion order and latencies —
 // tests/test_io_engine.cpp pins this equivalence.
 //
+// Writes (publish/republish/growth traffic, paper §2.2) enqueue
+// IoKind::kWrite events on the SAME per-channel FIFOs and pass the SAME
+// admission gate as reads — queue_depth x channels bounds reads plus
+// writes outstanding — so live republish traffic inflates read tail
+// latency exactly as channel contention predicts (the Fig. 5
+// mixed-traffic sweep in bench_fig05). The write path is purely additive:
+// writes draw service times from disjoint per-channel streams
+// (channel_write_stream_seed), so a read-only trace is bit-identical with
+// or without the write model, and with channels = 1 interleaved writes
+// delay reads without changing any read's service draw.
+//
 // Determinism: all randomness derives from the run seed. Channel c draws
-// service times from an independent stream seeded by
+// read service times from an independent stream seeded by
 // channel_stream_seed(seed, c); channel 0 keeps the run seed's own stream
 // so a single-channel engine replays the legacy draw sequence exactly.
 // Nothing on this path touches std::random_device or the wall clock, so
@@ -72,11 +83,29 @@ constexpr std::uint64_t arrival_stream_seed(std::uint64_t run_seed) {
   return splitmix64(run_seed ^ 0xA5A5A5A55A5A5A5AULL);
 }
 
-/// One read's full event timeline through the engine.
+/// Seed of channel `channel`'s *write* service-time stream. Disjoint from
+/// every read stream (including channel 0's legacy stream), so interleaved
+/// writes delay reads through the shared FIFOs without ever perturbing the
+/// read service draws — read-only traffic stays bit-identical whether or
+/// not the run also publishes.
+constexpr std::uint64_t channel_write_stream_seed(std::uint64_t run_seed,
+                                                  unsigned channel) {
+  return splitmix64(channel_stream_seed(run_seed, channel) ^
+                    0xC3C3C3C33C3C3C3CULL);
+}
+
+/// What an IO does to the media. Reads and writes share the per-channel
+/// FIFO queues and the admission gate (queue_depth x channels bounds reads
+/// PLUS writes outstanding); they differ only in which service distribution
+/// and which per-channel stream they draw from.
+enum class IoKind : std::uint8_t { kRead, kWrite };
+
+/// One IO's full event timeline through the engine.
 struct IoCompletion {
   std::uint64_t id = 0;      ///< Monotone submission sequence number.
-  unsigned channel = 0;      ///< Service unit that executed the read.
-  double arrival_us = 0.0;   ///< When the read arrived at the engine.
+  unsigned channel = 0;      ///< Service unit that executed the IO.
+  IoKind kind = IoKind::kRead;
+  double arrival_us = 0.0;   ///< When the IO arrived at the engine.
   double submit_us = 0.0;    ///< When the admission gate released it.
   double start_us = 0.0;     ///< When its channel began servicing it.
   double complete_us = 0.0;  ///< start + service + completion overhead.
@@ -88,32 +117,40 @@ struct IoCompletion {
 
 /// Per-channel service counters (cumulative since construction/reset).
 struct IoChannelStats {
-  std::uint64_t ios = 0;    ///< Reads serviced by this channel.
-  double busy_us = 0.0;     ///< Total media service time.
-  double tail_free_us = 0;  ///< When the channel's FIFO drains.
+  std::uint64_t ios = 0;          ///< Reads serviced by this channel.
+  double busy_us = 0.0;           ///< Total read media service time.
+  double tail_free_us = 0;        ///< When the channel's FIFO drains.
+  std::uint64_t writes = 0;       ///< Writes serviced by this channel.
+  double write_busy_us = 0.0;     ///< Total write media service time.
 };
 
 class NvmIoEngine {
  public:
   NvmIoEngine(const NvmDeviceConfig& cfg, std::uint64_t seed);
 
-  /// Submit one read arriving at `arrival_us`: admission gate, then the
-  /// per-channel FIFO whose tail drains first (ties go to the lowest
-  /// channel index). Its completion event is queued for delivery. Returns
-  /// the read's id. Arrivals need not be monotone (concurrent request
-  /// streams interleave), but determinism is per submission order.
-  std::uint64_t submit(double arrival_us);
+  /// Submit one IO arriving at `arrival_us`: admission gate (reads and
+  /// writes share the queue_depth x channels cap), then the per-channel
+  /// FIFO whose tail drains first (ties go to the lowest channel index).
+  /// Its completion event is queued for delivery. Returns the IO's id.
+  /// Arrivals need not be monotone (concurrent request streams
+  /// interleave), but determinism is per submission order. Writes draw
+  /// from a disjoint per-channel stream, so the write path is purely
+  /// additive to the read timeline: a read-only trace is bit-identical
+  /// with or without the write model configured.
+  std::uint64_t submit(double arrival_us, IoKind kind = IoKind::kRead);
 
   /// Deliver the earliest pending completion event (ties by submission
-  /// id). Empty when every submitted read has been delivered.
+  /// id). Empty when every submitted IO has been delivered.
   std::optional<IoCompletion> next_completion();
 
-  /// Submit `count` reads arriving together at `arrival_us` (one admission
-  /// wave) and deliver every pending completion. Returns the latest
-  /// completion time (`arrival_us` when the engine is idle and count is 0).
-  /// If `sink` is non-null the delivered completions are appended to it.
+  /// Submit `count` IOs of `kind` arriving together at `arrival_us` (one
+  /// admission wave) and deliver every pending completion. Returns the
+  /// latest completion time (`arrival_us` when the engine is idle and
+  /// count is 0). If `sink` is non-null the delivered completions are
+  /// appended to it.
   double submit_wave(double arrival_us, std::uint64_t count,
-                     std::vector<IoCompletion>* sink = nullptr);
+                     std::vector<IoCompletion>* sink = nullptr,
+                     IoKind kind = IoKind::kRead);
 
   /// Forget all state and re-derive every stream from the original seed.
   void reset();
@@ -130,10 +167,13 @@ class NvmIoEngine {
 
  private:
   struct Channel {
-    double tail_free_us = 0.0;  ///< When the FIFO's last read leaves media.
-    Rng rng;                    ///< Service-time stream (seed-derived).
+    double tail_free_us = 0.0;  ///< When the FIFO's last IO leaves media.
+    Rng rng;        ///< Read service-time stream (seed-derived).
+    Rng write_rng;  ///< Write service-time stream (disjoint, seed-derived).
     std::uint64_t ios = 0;
     double busy_us = 0.0;
+    std::uint64_t writes = 0;
+    double write_busy_us = 0.0;
   };
 
   struct LaterCompletion {

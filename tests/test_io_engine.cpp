@@ -275,6 +275,163 @@ TEST(NvmIoEngine, ClosedLoopBandwidthSaturatesPastChannels) {
   EXPECT_LT(bw16, 1.05 * peak);
 }
 
+// ---- Write-aware channel model: writes share FIFOs and the gate, but
+// never perturb the read service draws. ----
+
+TEST(ChannelStreamSeed, WriteStreamsDisjointFromReadStreams) {
+  std::vector<std::uint64_t> seeds;
+  for (unsigned c = 0; c < 16; ++c) {
+    seeds.push_back(channel_stream_seed(7, c));
+    seeds.push_back(channel_write_stream_seed(7, c));
+    // Pure function of (run seed, channel).
+    EXPECT_EQ(seeds.back(), channel_write_stream_seed(7, c));
+  }
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_EQ(std::adjacent_find(seeds.begin(), seeds.end()), seeds.end());
+}
+
+TEST(WriteAwareEngine, ReadOnlyTrafficBitIdenticalWithWriteModelConfigured) {
+  // The write model is purely additive: a read-only trace on a config with
+  // a (different) write service distribution replays the legacy dispatch
+  // queue bit-for-bit, exactly like the pre-write engine.
+  auto cfg = one_channel_config();
+  cfg.write_service_median_us = 99.0;  // any value: reads never draw it
+  cfg.write_service_sigma = 1.0;
+  NvmLatencyModel model(cfg);
+  Rng legacy_rng(321);
+  std::vector<double> channel_free(cfg.channels, 0.0);
+  NvmIoEngine engine(cfg, 321);
+  double t = 0.0;
+  std::vector<double> legacy_done;
+  for (int i = 0; i < 500; ++i) {
+    t += (i % 5 == 0) ? 0.0 : 4.5;
+    legacy_done.push_back(submit_read(model, t, channel_free, legacy_rng));
+    engine.submit(t);
+  }
+  std::size_t i = 0;
+  while (auto done = engine.next_completion()) {
+    ASSERT_LT(i, legacy_done.size());
+    EXPECT_EQ(done->kind, IoKind::kRead);
+    EXPECT_DOUBLE_EQ(done->complete_us, legacy_done[i]);
+    ++i;
+  }
+  EXPECT_EQ(i, legacy_done.size());
+}
+
+TEST(WriteAwareEngine, InterleavedWritesDelayReadsButKeepTheirServiceDraws) {
+  // channels = 1, unbounded gate: interleaving writes into a read trace
+  // must not change any read's media service time (writes draw from a
+  // disjoint stream) — only its queueing delay, which can only grow.
+  auto cfg = one_channel_config(/*queue_depth=*/0);
+  NvmIoEngine reads_only(cfg, 55), mixed(cfg, 55);
+  const double step = cfg.mean_service_us();  // near saturation
+  for (int i = 0; i < 400; ++i) {
+    const double arrival = step * i;
+    reads_only.submit(arrival, IoKind::kRead);
+    mixed.submit(arrival, IoKind::kRead);
+    if (i % 4 == 0) mixed.submit(arrival, IoKind::kWrite);
+  }
+  std::vector<IoCompletion> ref, got;
+  while (auto done = reads_only.next_completion()) ref.push_back(*done);
+  while (auto done = mixed.next_completion()) {
+    if (done->kind == IoKind::kRead) got.push_back(*done);
+  }
+  ASSERT_EQ(got.size(), ref.size());
+  bool any_delayed = false;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    // Same media service draw (single channel: stream order is fixed).
+    // NEAR, not DOUBLE_EQ: the draw is recovered as complete - start,
+    // and the two runs compute it at different absolute clock offsets,
+    // so the subtraction differs in the last ulps.
+    EXPECT_NEAR(got[i].complete_us - got[i].start_us,
+                ref[i].complete_us - ref[i].start_us, 1e-9);
+    // Contention is one-directional: writes only ever push reads later.
+    EXPECT_GE(got[i].complete_us, ref[i].complete_us);
+    any_delayed |= got[i].complete_us > ref[i].complete_us;
+  }
+  EXPECT_TRUE(any_delayed);
+}
+
+TEST(WriteAwareEngine, PerChannelFifoHoldsAcrossKinds) {
+  NvmDeviceConfig cfg;
+  cfg.channels = 4;
+  cfg.queue_depth = 2;
+  NvmIoEngine engine(cfg, 9);
+  for (int i = 0; i < 400; ++i) {
+    engine.submit(1.5 * i, i % 3 == 0 ? IoKind::kWrite : IoKind::kRead);
+  }
+  std::map<unsigned, std::vector<IoCompletion>> by_channel;
+  std::uint64_t reads = 0, writes = 0;
+  while (auto done = engine.next_completion()) {
+    (done->kind == IoKind::kWrite ? writes : reads) += 1;
+    by_channel[done->channel].push_back(*done);
+  }
+  EXPECT_EQ(reads + writes, 400u);
+  EXPECT_GT(writes, 0u);
+  for (auto& [channel, ios] : by_channel) {
+    std::sort(ios.begin(), ios.end(),
+              [](const auto& a, const auto& b) { return a.id < b.id; });
+    for (std::size_t i = 1; i < ios.size(); ++i) {
+      // FIFO across kinds: a later IO never starts or completes before an
+      // earlier IO of the same channel, read or write.
+      EXPECT_GE(ios[i].start_us, ios[i - 1].start_us);
+      EXPECT_GE(ios[i].complete_us, ios[i - 1].complete_us);
+    }
+  }
+}
+
+TEST(WriteAwareEngine, WritesHoldAdmissionGateSlots) {
+  NvmDeviceConfig cfg;
+  cfg.channels = 2;
+  cfg.queue_depth = 1;  // cap: 2 outstanding IOs, reads plus writes
+  NvmIoEngine engine(cfg, 13);
+  std::vector<IoCompletion> all;
+  for (int i = 0; i < 25; ++i) {
+    engine.submit(0.0, IoKind::kRead);
+    engine.submit(0.0, IoKind::kWrite);
+  }
+  while (auto done = engine.next_completion()) all.push_back(*done);
+  ASSERT_EQ(all.size(), 50u);
+  std::vector<std::pair<double, int>> events;
+  for (const auto& io : all) {
+    events.emplace_back(io.submit_us, +1);
+    events.emplace_back(io.complete_us, -1);
+  }
+  std::sort(events.begin(), events.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return a.second < b.second;
+            });
+  int outstanding = 0, peak = 0;
+  for (const auto& [time, delta] : events) {
+    outstanding += delta;
+    peak = std::max(peak, outstanding);
+  }
+  EXPECT_EQ(peak, 2);
+  EXPECT_EQ(outstanding, 0);
+}
+
+TEST(WriteAwareEngine, ChannelStatsSplitReadsAndWrites) {
+  NvmDeviceConfig cfg;
+  cfg.channels = 2;
+  NvmIoEngine engine(cfg, 11);
+  engine.submit_wave(0.0, 60);
+  engine.submit_wave(0.0, 40, nullptr, IoKind::kWrite);
+  std::uint64_t reads = 0, writes = 0;
+  double write_busy = 0.0;
+  for (unsigned c = 0; c < engine.channels(); ++c) {
+    const auto stats = engine.channel_stats(c);
+    reads += stats.ios;
+    writes += stats.writes;
+    write_busy += stats.write_busy_us;
+  }
+  EXPECT_EQ(reads, 60u);
+  EXPECT_EQ(writes, 40u);
+  EXPECT_GT(write_busy, 0.0);
+  EXPECT_EQ(engine.submitted(), 100u);
+  EXPECT_EQ(engine.completed(), 100u);
+}
+
 TEST(NvmIoEngine, WaveOnIdleEngineReturnsArrival) {
   NvmIoEngine engine(NvmDeviceConfig{}, 3);
   EXPECT_DOUBLE_EQ(engine.submit_wave(125.0, 0), 125.0);
