@@ -20,6 +20,7 @@
 #include <chrono>
 #include <deque>
 #include <future>
+#include <optional>
 #include <utility>
 
 #include "bench_common.h"
@@ -130,6 +131,16 @@ int main(int argc, char** argv) {
   //    blocks/req rising). This is what a production republish costs. ----
   const std::size_t republish_every = std::max<std::size_t>(num_requests / 10,
                                                             1);
+  // Republish now plan-diffs against storage (identical values are a
+  // no-op), so the pushes must carry genuinely retrained values: alternate
+  // between the original table and a perturbed copy — every push rewrites
+  // the full diff, like a real retraining cycle.
+  EmbeddingTable perturbed(tables[0].num_vectors(), tables[0].dim());
+  for (VectorId v = 0; v < tables[0].num_vectors(); ++v) {
+    const auto src = tables[0].vector(v);
+    auto dst = perturbed.vector(v);
+    for (std::size_t d = 0; d < src.size(); ++d) dst[d] = src[d] + 1000.0f;
+  }
   std::printf(
       "\nread-only vs mixed traffic (one republish every %zu requests, same "
       "arrival\nprocess; republish-wave latency from Store::republish):\n\n",
@@ -154,8 +165,10 @@ int main(int argc, char** argv) {
       for (std::size_t q = 0; q < num_requests; ++q) {
         store.advance_time_us(interarrival_us);
         if (mode != Mode::kReadOnly && q > 0 && q % republish_every == 0) {
-          wave_lat.add(store.republish(
-              mode == Mode::kSideTable ? side : 0, tables[0]));
+          const EmbeddingTable& push =
+              (q / republish_every) % 2 == 1 ? perturbed : tables[0];
+          wave_lat.add(store.republish(mode == Mode::kSideTable ? side : 0,
+                                       push));
         }
         const MultiGetResult res = store.multi_get(make_request(runs, q));
         lat.add(res.service_latency_us);
@@ -185,6 +198,126 @@ int main(int argc, char** argv) {
       "blocks/req rises (re-miss surge) and the tail\ngrows further. Both "
       "gaps widen as offered load approaches the knee:\nrepublishing during "
       "peak traffic costs tail latency, during troughs almost\nnothing.\n");
+
+  // ---- Part 2c: trickle-republish rate sweep (one-shot vs rate-limited).
+  // The same §2.2 retraining push, now as a first-class background
+  // process: Store::begin_trickle_republish plan-diffs the new values,
+  // writes replacement blocks at most blocks_per_interval per interval_us
+  // (open-loop kWrite waves on the shared channels), and swaps the
+  // table's mapping when the push completes. One-shot republish is the
+  // unlimited-rate endpoint; tightening the rate trades push duration for
+  // read tail latency. Same seed, same arrivals across every row. ----
+  {
+    const double interarrival_us = 100.0;
+    const std::size_t push_every = std::max<std::size_t>(num_requests / 4, 1);
+    std::printf(
+        "\ntrickle republish rate sweep at %.0f us interarrival (push of "
+        "table 0 every %zu\nrequests, alternating perturbed values so every "
+        "push rewrites the full diff):\n\n",
+        interarrival_us, push_every);
+
+    const std::uint32_t vpb = store_cfg.vectors_per_block();
+    const std::uint32_t table0_blocks =
+        (runs[0].cfg.num_vectors + vpb - 1) / vpb;
+
+    struct Row {
+      const char* mode;
+      double p99 = 0.0;
+      double blocks_per_req = 0.0;
+      std::uint64_t pushes_completed = 0;
+      std::uint64_t waves = 0;
+      double push_duration_us = 0.0;  // mean simulated begin->swap time
+    };
+    std::vector<Row> rows;
+    // blocks_per_interval: 0 = unlimited (whole diff in one wave).
+    struct Mode {
+      const char* name;
+      bool trickle;
+      std::uint32_t bpi;
+    };
+    const Mode modes[] = {
+        {"read-only", false, 0},       {"one-shot republish", false, 1},
+        {"trickle unlimited", true, 0}, {"trickle 512/itv", true, 512},
+        {"trickle 128/itv", true, 128}, {"trickle 32/itv", true, 32},
+        {"trickle 8/itv", true, 8},
+    };
+    for (const Mode& mode : modes) {
+      Store store = StoreBuilder(store_cfg).add_plan(plan, tables).build();
+      // Reserve the replacement region up front in EVERY mode (including
+      // read-only), so storage growth never perturbs the comparison.
+      store.reserve_blocks(store.storage().num_blocks() + table0_blocks);
+      RepublishConfig rate;
+      rate.blocks_per_interval = mode.bpi;
+      rate.interval_us = interarrival_us;  // one allowance per request slot
+      LatencyRecorder lat;
+      std::uint64_t blocks = 0;
+      std::uint64_t pushes = 0, waves = 0;
+      double push_duration = 0.0, push_begin = 0.0;
+      std::optional<TrickleRepublish> session;
+      const bool is_republishing = mode.trickle || mode.bpi == 1;
+      for (std::size_t q = 0; q < num_requests; ++q) {
+        store.advance_time_us(interarrival_us);
+        if (is_republishing && q > 0 && q % push_every == 0) {
+          const EmbeddingTable& next =
+              (q / push_every) % 2 == 1 ? perturbed : tables[0];
+          if (!mode.trickle) {
+            store.republish(0, next);
+            ++pushes;
+            ++waves;
+          } else if (!session || session->done()) {
+            // A push still in flight keeps going; the next one is skipped
+            // (one session per table) — the cost of a tight rate limit is
+            // push latency, and the sweep reports it.
+            session.emplace(store.begin_trickle_republish(
+                0, next, TablePlan{plan.tables[0].layout,
+                                   plan.tables[0].access_counts,
+                                   plan.tables[0].policy,
+                                   plan.tables[0].shp_train_fanout},
+                rate));
+            push_begin = store.now_us();
+          }
+        }
+        if (session && !session->done()) {
+          session->pump();
+          if (session->done()) {
+            ++pushes;
+            waves += session->waves();
+            push_duration += store.now_us() - push_begin;
+          }
+        }
+        const MultiGetResult res = store.multi_get(make_request(runs, q));
+        lat.add(res.service_latency_us);
+        blocks += res.block_reads;
+      }
+      rows.push_back({mode.name, lat.percentile(0.99),
+                      static_cast<double>(blocks) /
+                          static_cast<double>(num_requests),
+                      pushes, waves,
+                      pushes ? push_duration / static_cast<double>(pushes)
+                             : 0.0});
+    }
+    TablePrinter tr({"mode", "sim_p99_us", "p99_inflation", "blocks/req",
+                     "pushes", "waves", "mean_push_us"});
+    const double base_p99 = rows.front().p99;
+    for (const Row& row : rows) {
+      tr.add_row({row.mode, TablePrinter::fmt(row.p99, 1),
+                  TablePrinter::fmt(row.p99 / base_p99, 2),
+                  TablePrinter::fmt(row.blocks_per_req, 1),
+                  std::to_string(row.pushes_completed),
+                  std::to_string(row.waves),
+                  row.pushes_completed
+                      ? TablePrinter::fmt(row.push_duration_us, 0)
+                      : "-"});
+    }
+    tr.print();
+    std::printf(
+        "\nSame seed & arrivals. One-shot and trickle-unlimited dump the "
+        "whole diff as one\nopen-loop wave — the violent interference "
+        "spike. Tightening blocks_per_interval\nshrinks read-p99 inflation "
+        "monotonically toward the read-only baseline, at the\nprice of a "
+        "longer push (mean_push_us) — production retraining pushes pick "
+        "the\nrate that fits their tail-latency budget.\n");
+  }
 
   // Sync vs async wall-clock serving throughput (unpaced: as fast as the
   // serving path goes).

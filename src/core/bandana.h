@@ -15,6 +15,7 @@
 #include "core/config.h"            // IWYU pragma: export
 #include "core/metrics.h"           // IWYU pragma: export
 #include "core/request.h"           // IWYU pragma: export
+#include "core/retrainer.h"         // IWYU pragma: export
 #include "core/store.h"             // IWYU pragma: export
 #include "core/store_builder.h"     // IWYU pragma: export
 #include "core/trainer.h"           // IWYU pragma: export

@@ -61,6 +61,17 @@ struct StoreMetrics {
   std::uint64_t retry_blocks = 0;        ///< Deduplicated blocks fetched by
                                          ///< retry waves.
   std::uint64_t retry_waves = 0;         ///< Batched retry fetches issued.
+  std::uint64_t write_waves = 0;         ///< Publish/republish/growth write
+                                         ///< waves scheduled on the engine
+                                         ///< (including zero-length no-op
+                                         ///< republish waves).
+  std::uint64_t write_blocks = 0;        ///< Blocks carried by those waves.
+  std::uint64_t republish_skipped_blocks = 0;  ///< Blocks a republish plan
+                                               ///< diff proved unchanged and
+                                               ///< never rewrote.
+  std::uint64_t mapping_swaps = 0;       ///< Trickle republishes that
+                                         ///< completed and swapped a table's
+                                         ///< block mapping.
 
   StoreMetrics& operator+=(const StoreMetrics& o) {
     staged_blocks += o.staged_blocks;
@@ -68,6 +79,10 @@ struct StoreMetrics {
     deferred_lookups += o.deferred_lookups;
     retry_blocks += o.retry_blocks;
     retry_waves += o.retry_waves;
+    write_waves += o.write_waves;
+    write_blocks += o.write_blocks;
+    republish_skipped_blocks += o.republish_skipped_blocks;
+    mapping_swaps += o.mapping_swaps;
     return *this;
   }
 };
@@ -80,6 +95,10 @@ struct AtomicStoreMetrics {
   std::atomic<std::uint64_t> deferred_lookups{0};
   std::atomic<std::uint64_t> retry_blocks{0};
   std::atomic<std::uint64_t> retry_waves{0};
+  std::atomic<std::uint64_t> write_waves{0};
+  std::atomic<std::uint64_t> write_blocks{0};
+  std::atomic<std::uint64_t> republish_skipped_blocks{0};
+  std::atomic<std::uint64_t> mapping_swaps{0};
 
   StoreMetrics snapshot() const {
     StoreMetrics m;
@@ -89,6 +108,11 @@ struct AtomicStoreMetrics {
     m.deferred_lookups = deferred_lookups.load(std::memory_order_relaxed);
     m.retry_blocks = retry_blocks.load(std::memory_order_relaxed);
     m.retry_waves = retry_waves.load(std::memory_order_relaxed);
+    m.write_waves = write_waves.load(std::memory_order_relaxed);
+    m.write_blocks = write_blocks.load(std::memory_order_relaxed);
+    m.republish_skipped_blocks =
+        republish_skipped_blocks.load(std::memory_order_relaxed);
+    m.mapping_swaps = mapping_swaps.load(std::memory_order_relaxed);
     return m;
   }
 };

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
@@ -9,6 +11,36 @@
 #include "core/trainer.h"
 
 namespace bandana {
+
+namespace detail {
+/// One in-flight trickle republish. begin_trickle_republish claims the
+/// table under the unique storage lock, runs the whole plan diff under the
+/// shared lock (the claim freezes the old mapping) and allocates
+/// replacement blocks; pump() calls then drive the waves under `mu`. The
+/// changed blocks' images are composed up front, so the caller's values
+/// and plan may die as soon as begin returns.
+struct TrickleState {
+  TrickleState(Store* st, TableId tid, const RepublishConfig& cfg, double d)
+      : store(st), table(tid), limiter(cfg), day(d) {}
+
+  Store* store = nullptr;
+  TableId table = 0;
+  TrickleRateLimiter limiter;
+  double day = 0.0;
+  /// The mapping to install at completion (engaged unless the push was a
+  /// no-op resolved at begin).
+  std::optional<BandanaTable::RetrainedState> next;
+  std::vector<std::byte> bytes;    ///< changed-block images, contiguous
+  std::vector<BlockId> targets;    ///< their replacement storage blocks
+  std::uint64_t changed_vectors = 0;
+  std::uint64_t skipped = 0;
+  std::uint64_t written = 0;
+  std::uint64_t waves = 0;
+  bool swapped = false;
+  bool installed_mapping = false;  ///< The push replaced the table's plan.
+  mutable std::mutex mu;  ///< serializes pump/done/stat reads
+};
+}  // namespace detail
 
 namespace {
 /// Chunk size for streaming published blocks into grown storage: 16 MB of
@@ -31,6 +63,7 @@ Store::Store(StoreConfig config, BlockStorageFactory storage_factory,
     : config_(config),
       storage_factory_(std::move(storage_factory)),
       storage_mu_(std::make_unique<std::shared_mutex>()),
+      tap_(std::make_unique<std::atomic<AccessTap*>>(nullptr)),
       timing_mu_(std::make_unique<std::mutex>()),
       engine_(config.device, seed),
       endurance_(config.device.capacity_blocks * config.device.block_bytes,
@@ -130,13 +163,20 @@ TableId Store::add_table(const EmbeddingTable& values, BlockLayout layout,
       /*first_block=*/next_block_);
   ensure_capacity(std::uint64_t{next_block_} + blocks);
   table->publish(values, *storage_);
-  endurance_.record_write(std::uint64_t{blocks} * config_.block_bytes, 0.0);
+  {
+    // Endurance mutations and reads serialize on the timing lock (the
+    // trickle pump records from background threads).
+    std::lock_guard timing_lock(*timing_mu_);
+    endurance_.record_write(std::uint64_t{blocks} * config_.block_bytes, 0.0);
+  }
   // The publish wave's writes go through the engine's channel FIFOs,
   // closed loop: the table only serves once its blocks have landed, so
   // the backlog drains before the first read arrives.
   schedule_writes(blocks, /*advance_clock=*/true);
 
   tables_.push_back(std::move(table));
+  free_blocks_.emplace_back();
+  republish_in_flight_.push_back(0);
   next_block_ += blocks;
   return static_cast<TableId>(tables_.size() - 1);
 }
@@ -170,6 +210,13 @@ double Store::schedule_reads(std::uint64_t reads, LatencyRecorder& recorder,
 }
 
 double Store::schedule_writes(std::uint64_t writes, bool advance_clock) {
+  if (writes > 0) {
+    // Wave counters track real write traffic whether or not the timing
+    // model is on (the golden replay suite pins them per backend).
+    staging_metrics_->write_waves.fetch_add(1, std::memory_order_relaxed);
+    staging_metrics_->write_blocks.fetch_add(writes,
+                                             std::memory_order_relaxed);
+  }
   if (!config_.simulate_timing || writes == 0) return 0.0;
   std::lock_guard lock(*timing_mu_);
   // Publish/republish block writes are one admission wave of
@@ -223,8 +270,10 @@ void Store::serve_deferred(
         account) {
   // Blocks evicted between the staging peek and their lookup (or truncated
   // at the staging cap) are re-fetched through the same batched seam, in
-  // bounded waves. A retried lookup cannot defer again: its block is in
-  // the retry set, and lookups consume staged bytes under the shard lock.
+  // bounded waves. A retried lookup defers again only if a concurrent
+  // mapping swap retargeted its block between collecting the retry set and
+  // the lookup — it goes back on the queue and the next wave fetches the
+  // block under the new mapping (swaps are finite, so this terminates).
   while (!deferred.empty()) {
     StagedBlockReads retry;
     std::size_t taken = 0;
@@ -236,15 +285,20 @@ void Store::serve_deferred(
       ++taken;
     }
     fetch_retry_blocks(retry, taken);
+    std::vector<DeferredLookup> again;
     for (std::size_t k = 0; k < taken; ++k) {
       const DeferredLookup& d = deferred[k];
       const auto outcome = d.table->lookup(d.id, *storage_, d.out, d.epoch,
                                            &retry, /*staged_only=*/true);
-      assert(!outcome.deferred);
+      if (outcome.deferred) {
+        again.push_back(d);
+        continue;
+      }
       account(d.tag, outcome);
     }
     deferred.erase(deferred.begin(),
                    deferred.begin() + static_cast<std::ptrdiff_t>(taken));
+    deferred.insert(deferred.begin(), again.begin(), again.end());
   }
 }
 
@@ -280,6 +334,7 @@ double Store::lookup_batch(TableId t, std::span<const VectorId> ids,
                                               std::memory_order_relaxed);
   }
   std::uint64_t reads = 0;
+  std::uint64_t hits = 0;
   const std::uint64_t epoch = table.begin_batch();
   std::vector<DeferredLookup> deferred;
   for (std::size_t i = 0; i < ids.size(); ++i) {
@@ -291,12 +346,17 @@ double Store::lookup_batch(TableId t, std::span<const VectorId> ids,
       deferred.push_back({&table, ids[i], out.subspan(i * vb, vb), epoch, i});
       continue;
     }
+    if (outcome.hit) ++hits;
     if (outcome.nvm_read) ++reads;
   }
   serve_deferred(deferred,
                  [&](std::size_t, const BandanaTable::LookupOutcome& o) {
+                   if (o.hit) ++hits;
                    if (o.nvm_read) ++reads;
                  });
+  if (AccessTap* tap = tap_->load(std::memory_order_acquire)) {
+    tap->on_table_get(t, ids, hits, ids.size() - hits);
+  }
   return schedule_reads(reads, query_latency_, /*advance_clock=*/true);
 }
 
@@ -397,6 +457,15 @@ MultiGetResult Store::multi_get_impl(const MultiGetRequest& request,
     stats.misses = request.gets[g].ids.size() - stats.hits;
     result.block_reads += stats.block_reads;
   }
+  if (AccessTap* tap = tap_->load(std::memory_order_acquire)) {
+    // One tap call per table-get, after the whole request settled (the
+    // deferred retries above may still have flipped hits/misses).
+    for (std::size_t g = 0; g < request.gets.size(); ++g) {
+      const auto& stats = result.per_table[g];
+      tap->on_table_get(request.gets[g].table, request.gets[g].ids,
+                        stats.hits, stats.misses);
+    }
+  }
   result.service_latency_us =
       schedule_reads(result.block_reads, request_latency_,
                      /*advance_clock=*/false, arrival_us);
@@ -422,17 +491,312 @@ std::future<MultiGetResult> Store::multi_get_async(MultiGetRequest request,
   return future;
 }
 
+void Store::set_access_tap(AccessTap* tap) {
+  tap_->store(tap, std::memory_order_release);
+  // Quiesce: every serving path holds the storage lock (shared) across its
+  // tap invocation, so holding it uniquely for an instant guarantees that
+  // any request which loaded the previous tap pointer has finished calling
+  // it — and that requests admitted after we release observe the new
+  // pointer. Without this, detaching a tap and destroying it would race a
+  // pool thread mid-on_table_get.
+  std::unique_lock<std::shared_mutex> quiesce(*storage_mu_);
+}
+
+void Store::record_empty_write_wave() {
+  staging_metrics_->write_waves.fetch_add(1, std::memory_order_relaxed);
+  if (config_.simulate_timing) {
+    std::lock_guard lock(*timing_mu_);
+    write_latency_.add(0.0);
+  }
+}
+
 double Store::republish(TableId t, const EmbeddingTable& values, double day) {
   std::unique_lock lock(*storage_mu_);
   BandanaTable& table = checked_table(t);
-  table.republish(values, *storage_);
-  endurance_.record_write(
-      std::uint64_t{table.num_blocks()} * config_.block_bytes, day);
+  if (republish_in_flight_[t]) {
+    throw std::logic_error(
+        "republish: a trickle republish of this table is in flight");
+  }
+  const auto diff = table.republish(values, *storage_);
+  staging_metrics_->republish_skipped_blocks.fetch_add(
+      diff.skipped_blocks, std::memory_order_relaxed);
+  if (diff.written_blocks == 0) {
+    // Plan-diff early-out: identical values are a no-op — no block writes,
+    // no endurance burn, no cache flush. The zero-length wave keeps the
+    // republish cadence visible to callers watching write_latency_us().
+    record_empty_write_wave();
+    return 0.0;
+  }
+  {
+    std::lock_guard timing_lock(*timing_mu_);
+    endurance_.record_write(diff.written_blocks * config_.block_bytes, day);
+  }
   // Open loop: a live republish is background retraining traffic. Its
   // writes stay queued on the channels and in the admission gate at the
   // current clock, so concurrent read requests see the paper's
   // mixed-traffic interference (bench_fig05 read-vs-mixed sweep).
-  return schedule_writes(table.num_blocks(), /*advance_clock=*/false);
+  return schedule_writes(diff.written_blocks, /*advance_clock=*/false);
+}
+
+TrickleRepublish Store::begin_trickle_republish(
+    TableId t, const EmbeddingTable& values, TablePlan plan,
+    const RepublishConfig& republish_cfg, double day) {
+  // Brief exclusive section: validate, claim the table (one session at a
+  // time — the claim also freezes its mapping and its old blocks, since
+  // republish/swap paths check the flag) and pin the DRAM capacity.
+  {
+    std::unique_lock lock(*storage_mu_);
+    BandanaTable& table = checked_table(t);
+    if (republish_in_flight_[t]) {
+      throw std::logic_error(
+          "begin_trickle_republish: a session for this table is already "
+          "active");
+    }
+    if (values.num_vectors() != table.num_vectors() ||
+        values.vector_bytes() != config_.vector_bytes) {
+      throw std::invalid_argument(
+          "begin_trickle_republish: values shape mismatch");
+    }
+    if (plan.layout.num_vectors() != table.num_vectors() ||
+        plan.layout.vectors_per_block() != config_.vectors_per_block()) {
+      throw std::invalid_argument(
+          "begin_trickle_republish: layout shape mismatch");
+    }
+    // Online retraining re-packs and re-tunes admission; it does not
+    // re-size the table's DRAM slab.
+    plan.policy.cache_vectors = table.policy().cache_vectors;
+    republish_in_flight_[t] = 1;
+  }
+  try {
+    return begin_trickle_claimed(t, values, std::move(plan), republish_cfg,
+                                 day);
+  } catch (...) {
+    std::unique_lock lock(*storage_mu_);
+    republish_in_flight_[t] = 0;
+    throw;
+  }
+}
+
+TrickleRepublish Store::begin_trickle_claimed(
+    TableId t, const EmbeddingTable& values, TablePlan plan,
+    const RepublishConfig& republish_cfg, double day) {
+  auto s = std::make_unique<detail::TrickleState>(this, t, republish_cfg, day);
+
+  // Plan diff: compose every block of the new plan and byte-compare it
+  // with the block currently serving that local index. Unchanged blocks
+  // keep their storage block and cost no device writes. Changed blocks get
+  // replacement storage: never the old block, which must stay valid for
+  // lookups until the swap. This is O(table) real I/O, so it runs under
+  // the SHARED lock — the in_flight claim keeps the old mapping and its
+  // blocks immutable, and serving reads proceed concurrently instead of
+  // stalling behind a full-table diff.
+  BandanaTable* table = nullptr;
+  std::vector<BlockId> old_map;
+  const std::uint32_t new_blocks = plan.layout.num_blocks();
+  std::vector<BlockId> block_map(new_blocks, 0);
+  std::vector<std::uint32_t> changed;
+  std::vector<std::byte> fresh(config_.block_bytes);
+  std::vector<std::byte> current(config_.block_bytes);
+  {
+    std::shared_lock lock(*storage_mu_);
+    // The table pointer is stable for the store's lifetime (tables_ holds
+    // unique_ptrs), but the vector itself must be indexed under a lock —
+    // a concurrent add_table may reallocate it.
+    table = tables_[t].get();
+    old_map = table->block_map();
+    const auto old_blocks = static_cast<std::uint32_t>(old_map.size());
+    for (BlockId b = 0; b < new_blocks; ++b) {
+      compose_block_bytes(plan.layout, values, b, config_.vector_bytes,
+                          fresh);
+      bool same = false;
+      if (b < old_blocks) {
+        storage_->read_block(old_map[b], current);
+        same = fresh == current;
+      }
+      if (same) {
+        block_map[b] = old_map[b];
+        ++s->skipped;
+        continue;
+      }
+      changed.push_back(b);
+      s->bytes.insert(s->bytes.end(), fresh.begin(), fresh.end());
+      s->changed_vectors += plan.layout.block_members(b).size();
+    }
+  }
+
+  std::unique_lock lock(*storage_mu_);
+  if (changed.empty()) {
+    // Identical plan: nothing to write. If even the layout is unchanged
+    // the push is a complete no-op (warm cache, no swap); a byte-identical
+    // permutation still installs the new mapping. (changed.empty() implies
+    // every new block matched an old one, so a block-count mismatch always
+    // lands in count_changed_blocks.)
+    if (count_changed_blocks(table->layout(), plan.layout) != 0) {
+      const auto freed = table->swap_state(
+          {std::move(plan.layout), std::move(block_map),
+           std::move(plan.access_counts), plan.policy});
+      auto& fl = free_blocks_[t];
+      fl.insert(fl.end(), freed.begin(), freed.end());
+      staging_metrics_->mapping_swaps.fetch_add(1, std::memory_order_relaxed);
+      s->installed_mapping = true;
+    }
+    record_empty_write_wave();
+    republish_in_flight_[t] = 0;
+    s->swapped = true;
+    return TrickleRepublish(std::move(s));
+  }
+
+  // Allocate replacement blocks: recycle the table's previously retired
+  // blocks first (double buffering), then grow storage once for the rest.
+  auto& fl = free_blocks_[t];
+  const std::uint64_t deficit =
+      changed.size() > fl.size() ? changed.size() - fl.size() : 0;
+  if (deficit > 0) {
+    ensure_capacity(std::uint64_t{next_block_} + deficit);
+  }
+  s->targets.reserve(changed.size());
+  for (const std::uint32_t b : changed) {
+    BlockId g;
+    if (!fl.empty()) {
+      g = fl.back();
+      fl.pop_back();
+    } else {
+      g = next_block_++;
+    }
+    s->targets.push_back(g);
+    block_map[b] = g;
+  }
+  s->next.emplace(BandanaTable::RetrainedState{
+      std::move(plan.layout), std::move(block_map),
+      std::move(plan.access_counts), plan.policy});
+  return TrickleRepublish(std::move(s));
+}
+
+std::size_t Store::pump_trickle(detail::TrickleState& s) {
+  std::lock_guard session_lock(s.mu);
+  if (s.swapped) return 0;
+  const std::uint64_t total = s.targets.size();
+  std::uint64_t n = 0;
+  if (s.written < total) {
+    const double now = now_us();
+    n = std::min<std::uint64_t>(s.limiter.allowance(now), total - s.written);
+    if (n == 0) return 0;
+    {
+      // Shared lock: the wave writes only blocks no current mapping
+      // references, so it runs concurrently with serving reads — the only
+      // contention is the one the device model charges for (the write
+      // events below on the shared channel FIFOs).
+      std::shared_lock storage_lock(*storage_mu_);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        const std::uint64_t k = s.written + i;
+        const auto block = std::span<const std::byte>(s.bytes).subspan(
+            k * config_.block_bytes, config_.block_bytes);
+        storage_->write_block(s.targets[k], block);
+      }
+      // Endurance mutations and reads all serialize on the timing lock
+      // (pumps of different tables run concurrently under the shared
+      // storage lock, and endurance() may be polled at any time).
+      std::lock_guard timing_lock(*timing_mu_);
+      endurance_.record_write(n * config_.block_bytes, s.day);
+    }
+    s.limiter.consume(now, n);
+    schedule_writes(n, /*advance_clock=*/false);
+    s.written += n;
+    ++s.waves;
+  }
+  if (s.written == total) finish_trickle(s);
+  return static_cast<std::size_t>(n);
+}
+
+void Store::finish_trickle(detail::TrickleState& s) {
+  // Shared lock: the swap itself synchronizes with lookups through the
+  // table's shard locks; we only need to exclude storage-map mutators.
+  std::shared_lock storage_lock(*storage_mu_);
+  BandanaTable& table = *tables_[s.table];
+  auto freed = table.swap_state(std::move(*s.next));
+  s.next.reset();
+  table.note_republished(s.changed_vectors);
+  auto& fl = free_blocks_[s.table];
+  fl.insert(fl.end(), freed.begin(), freed.end());
+  staging_metrics_->mapping_swaps.fetch_add(1, std::memory_order_relaxed);
+  republish_in_flight_[s.table] = 0;
+  s.installed_mapping = true;
+  s.swapped = true;
+}
+
+void Store::abandon_trickle(detail::TrickleState& s) noexcept {
+  try {
+    std::lock_guard session_lock(s.mu);
+    if (s.swapped) return;
+    std::unique_lock lock(*storage_mu_);
+    // The replacement blocks were written (or reserved) but never became
+    // reachable: recycle them and leave the table on the old plan.
+    auto& fl = free_blocks_[s.table];
+    fl.insert(fl.end(), s.targets.begin(), s.targets.end());
+    republish_in_flight_[s.table] = 0;
+    s.swapped = true;
+  } catch (...) {
+    // Destructor context: losing the recycled blocks is survivable
+    // (storage grows a little on the next push); crashing is not.
+  }
+}
+
+TrickleRepublish::TrickleRepublish(std::unique_ptr<detail::TrickleState> state)
+    : state_(std::move(state)) {}
+
+TrickleRepublish::TrickleRepublish(TrickleRepublish&& other) noexcept = default;
+
+TrickleRepublish& TrickleRepublish::operator=(
+    TrickleRepublish&& other) noexcept {
+  if (this != &other) {
+    if (state_) state_->store->abandon_trickle(*state_);
+    state_ = std::move(other.state_);
+  }
+  return *this;
+}
+
+TrickleRepublish::~TrickleRepublish() {
+  if (state_) state_->store->abandon_trickle(*state_);
+}
+
+std::size_t TrickleRepublish::pump() {
+  return state_ ? state_->store->pump_trickle(*state_) : 0;
+}
+
+bool TrickleRepublish::done() const {
+  if (!state_) return true;
+  std::lock_guard lock(state_->mu);
+  return state_->swapped;
+}
+
+bool TrickleRepublish::mapping_swapped() const {
+  if (!state_) return false;
+  std::lock_guard lock(state_->mu);
+  return state_->installed_mapping;
+}
+
+TableId TrickleRepublish::table() const {
+  return state_ ? state_->table : TableId{0};
+}
+
+std::uint64_t TrickleRepublish::total_blocks() const {
+  return state_ ? state_->targets.size() : 0;
+}
+
+std::uint64_t TrickleRepublish::written_blocks() const {
+  if (!state_) return 0;
+  std::lock_guard lock(state_->mu);
+  return state_->written;
+}
+
+std::uint64_t TrickleRepublish::skipped_blocks() const {
+  return state_ ? state_->skipped : 0;
+}
+
+std::uint64_t TrickleRepublish::waves() const {
+  if (!state_) return 0;
+  std::lock_guard lock(state_->mu);
+  return state_->waves;
 }
 
 TableMetrics Store::table_metrics(TableId t) const {
@@ -462,6 +826,11 @@ LatencyRecorder Store::request_latency_us() const {
 LatencyRecorder Store::write_latency_us() const {
   std::lock_guard lock(*timing_mu_);
   return write_latency_;
+}
+
+EnduranceTracker Store::endurance() const {
+  std::lock_guard lock(*timing_mu_);
+  return endurance_;
 }
 
 void Store::advance_time_us(double delta) {

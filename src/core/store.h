@@ -61,6 +61,26 @@
 namespace bandana {
 
 struct StorePlan;  // trainer.h
+struct TablePlan;  // trainer.h
+class TrickleRepublish;
+
+namespace detail {
+struct TrickleState;  // store.cpp
+}  // namespace detail
+
+/// Serving-path hook: when attached (Store::set_access_tap), the store
+/// invokes the tap once per served table-get — after multi_get finishes a
+/// request, and after each lookup_batch — with the id list and its
+/// hit/miss split. The OnlineRetrainer's TrafficSampler implements this to
+/// reservoir-sample live traffic (core/retrainer.h). Implementations must
+/// be thread-safe (multi_get_async serves from many pool threads) and
+/// must not call back into the store.
+class AccessTap {
+ public:
+  virtual ~AccessTap() = default;
+  virtual void on_table_get(TableId table, std::span<const VectorId> ids,
+                            std::uint64_t hits, std::uint64_t misses) = 0;
+};
 
 class Store {
  public:
@@ -127,15 +147,58 @@ class Store {
   /// Convenience single lookup.
   double lookup(TableId t, VectorId v, std::span<std::byte> out);
 
-  /// Re-publish a table after retraining (§2.2); counts endurance writes.
-  /// The block writes are enqueued on the NVM channel FIFOs at the current
-  /// simulated clock WITHOUT advancing it (open-loop, like multi_get):
-  /// a live republish leaves write backlog on the channels and in the
-  /// admission gate, so concurrent read traffic sees the paper's
-  /// mixed-traffic interference (bench_fig05's read-vs-mixed sweep). It
-  /// also drops the table's cached entries (bytes are stale). Returns the
-  /// simulated latency of the write wave (0 when timing is off).
+  /// Re-publish a table after retraining (§2.2), in place and in one shot;
+  /// counts endurance writes. The new values are plan-diffed against the
+  /// bytes already in storage: only changed blocks are rewritten (and only
+  /// their members' cached entries dropped — unchanged blocks keep serving
+  /// warm), and identical values are a complete no-op that records a
+  /// zero-length write wave. The block writes are enqueued on the NVM
+  /// channel FIFOs at the current simulated clock WITHOUT advancing it
+  /// (open-loop, like multi_get): a live republish leaves write backlog on
+  /// the channels and in the admission gate, so concurrent read traffic
+  /// sees the paper's mixed-traffic interference (bench_fig05's
+  /// read-vs-mixed sweep). Returns the simulated latency of the write wave
+  /// (0 when timing is off). This is the unlimited-rate endpoint of the
+  /// trickle below: same diff, but the whole wave lands at once.
   double republish(TableId t, const EmbeddingTable& values, double day = 0.0);
+
+  /// Begin a rate-limited trickle republish of table `t` — the production
+  /// §2.2 retraining push as a first-class background process. The plan
+  /// (typically `Trainer::train` output on freshly sampled traffic; see
+  /// core/retrainer.h) may carry a *new layout*: at begin, every block of
+  /// the new plan is byte-diffed against the table's current storage,
+  /// changed blocks get replacement storage blocks (recycled from the
+  /// table's previous republish when possible, else freshly grown — old
+  /// blocks are never overwritten), and unchanged blocks are skipped
+  /// entirely. Each `TrickleRepublish::pump()` then writes at most the
+  /// rate limit's current allowance (`republish_cfg.blocks_per_interval`
+  /// per `interval_us` of simulated time) as one IoKind::kWrite wave on
+  /// the shared channel FIFOs, open loop, interleaved with serving reads.
+  /// When the last wave lands, the table's mapping is swapped atomically
+  /// (BandanaTable::swap_state): lookups are always served from a
+  /// consistent mapping — entirely old-plan until the swap, entirely
+  /// new-plan after — never a mix.
+  ///
+  /// The plan's cache_vectors is overridden to the table's current DRAM
+  /// capacity (online retraining re-packs; it does not re-size DRAM). One
+  /// session per table at a time (throws std::logic_error otherwise); the
+  /// session must not outlive the store, and an abandoned (destroyed,
+  /// unfinished) session returns its replacement blocks for reuse and
+  /// leaves the table serving the old plan. A plan identical to what is
+  /// already stored completes immediately as a no-op (zero-length wave,
+  /// cache kept warm).
+  TrickleRepublish begin_trickle_republish(TableId t,
+                                           const EmbeddingTable& values,
+                                           TablePlan plan,
+                                           const RepublishConfig& republish_cfg,
+                                           double day = 0.0);
+
+  /// Attach (or with nullptr detach) the serving-path access tap. Safe to
+  /// flip while serving is live: after the call returns, no in-flight
+  /// request can still invoke the PREVIOUS tap (the store quiesces on its
+  /// serving lock), so the caller may destroy it immediately
+  /// (~OnlineRetrainer relies on this).
+  void set_access_tap(AccessTap* tap);
 
   /// Metrics accessors are lock-free snapshots of per-shard counters
   /// (aggregated on read), so polling them never stalls in-flight
@@ -151,7 +214,9 @@ class Store {
   /// Per-wave service latency of publish/republish/growth write waves
   /// through the engine (empty when timing is off).
   LatencyRecorder write_latency_us() const;
-  const EnduranceTracker& endurance() const { return endurance_; }
+  /// Snapshot of the endurance accounting (copy taken under the timing
+  /// lock — a background trickle may be recording writes concurrently).
+  EnduranceTracker endurance() const;
   const StoreConfig& config() const { return config_; }
   const BandanaTable& table(TableId t) const;
   /// The backing storage (memory or file). Valid once a table exists or
@@ -163,6 +228,8 @@ class Store {
   double now_us() const;
 
  private:
+  friend class TrickleRepublish;
+
   /// Grow storage to `total_blocks` via the factory, streaming published
   /// blocks across in bounded chunks (file factories keep their existing
   /// contents on re-creation, so old and new storage coexist).
@@ -227,13 +294,42 @@ class Store {
   MultiGetResult multi_get_impl(const MultiGetRequest& request,
                                 double arrival_us);
 
+  // Trickle-session plumbing (called by TrickleRepublish on its state).
+  /// Diff + arm phase of begin_trickle_republish, entered with the table
+  /// already claimed (republish_in_flight_[t] set): the O(table) byte diff
+  /// runs under the shared lock, then a brief unique section allocates
+  /// replacement blocks. On throw the caller releases the claim.
+  TrickleRepublish begin_trickle_claimed(TableId t,
+                                         const EmbeddingTable& values,
+                                         TablePlan plan,
+                                         const RepublishConfig& republish_cfg,
+                                         double day);
+  std::size_t pump_trickle(detail::TrickleState& s);
+  void finish_trickle(detail::TrickleState& s);
+  void abandon_trickle(detail::TrickleState& s) noexcept;
+  /// Record a zero-length republish write wave (no-op diff): the cadence
+  /// stays visible in write_latency_us() and the wave counters.
+  void record_empty_write_wave();
+
   StoreConfig config_;
   BlockStorageFactory storage_factory_;
   std::unique_ptr<BlockStorage> storage_;
-  /// Unique: add_table / republish (storage mutation). Shared: serving.
+  /// Unique: add_table / republish / trickle begin+abandon (storage-map
+  /// mutation). Shared: serving and trickle write waves (they write only
+  /// blocks no current mapping references).
   std::unique_ptr<std::shared_mutex> storage_mu_;
   std::vector<std::unique_ptr<BandanaTable>> tables_;
   BlockId next_block_ = 0;
+  /// Per-table storage blocks retired by completed trickle swaps, reused
+  /// by the table's next republish (double buffering: storage stabilizes
+  /// near 2x the changed footprint instead of growing per push). Entry t
+  /// is touched under the unique lock (begin/abandon) or by table t's
+  /// single active session (finish, under the shared lock).
+  std::vector<std::vector<BlockId>> free_blocks_;
+  /// Per-table flag: a trickle session is mid-flight (one per table).
+  std::vector<std::uint8_t> republish_in_flight_;
+  /// Serving-path access tap (behind a pointer so the Store stays movable).
+  std::unique_ptr<std::atomic<AccessTap*>> tap_;
 
   std::unique_ptr<std::mutex> timing_mu_;  ///< Clock, engine, recorders.
   /// Event-driven per-channel device model; all of a request's reads form
@@ -248,6 +344,48 @@ class Store {
   /// Staged-read-pipeline counters (relaxed atomics behind a pointer so
   /// the Store stays movable).
   std::unique_ptr<AtomicStoreMetrics> staging_metrics_;
+};
+
+/// Handle on one in-flight trickle republish (Store::begin_trickle_republish).
+/// pump() is thread-safe against concurrent serving and against pumps of
+/// other tables' sessions; calls on one session serialize internally, so a
+/// background retrainer thread and a test driver can share it. The session
+/// holds a pointer to its store: it must not outlive the store, and the
+/// store must not be moved while sessions exist. Destroying an unfinished
+/// session abandons the push (replacement blocks are recycled; the table
+/// keeps serving the old plan).
+class TrickleRepublish {
+ public:
+  TrickleRepublish(TrickleRepublish&& other) noexcept;
+  TrickleRepublish& operator=(TrickleRepublish&& other) noexcept;
+  ~TrickleRepublish();
+
+  /// Write up to the rate limit's allowance at the store's current
+  /// simulated clock as one open-loop IoKind::kWrite wave; on the final
+  /// wave, swap the table's mapping. Returns blocks written by this call
+  /// (0 when the interval's allowance is exhausted or the session is done).
+  std::size_t pump();
+
+  /// True once the mapping swap happened (or the plan was a no-op).
+  bool done() const;
+
+  /// True if this push installed a new mapping (cold-started the cache) —
+  /// false only for a complete no-op (identical layout AND bytes).
+  bool mapping_swapped() const;
+
+  TableId table() const;
+  /// Blocks the plan diff must write (changed blocks only).
+  std::uint64_t total_blocks() const;
+  std::uint64_t written_blocks() const;
+  /// Blocks the diff proved unchanged (they keep their storage blocks).
+  std::uint64_t skipped_blocks() const;
+  /// Write waves issued so far.
+  std::uint64_t waves() const;
+
+ private:
+  friend class Store;
+  explicit TrickleRepublish(std::unique_ptr<detail::TrickleState> state);
+  std::unique_ptr<detail::TrickleState> state_;
 };
 
 }  // namespace bandana

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstring>
 #include <stdexcept>
+#include <unordered_set>
 
 namespace bandana {
 
@@ -17,82 +18,128 @@ std::vector<double> insertion_points_for(const TablePolicy& policy) {
   return {0.0};
 }
 
-/// Builds the table's cache: one shard per hardware thread by default, but
+/// Shard count for the table: one per hardware thread by default, but
 /// never more shards than blocks (vectors are striped by block, keeping
 /// prefetch admission shard-local) or cache entries (every shard needs at
-/// least one slot without inflating the DRAM budget).
-ShardedInsertionLru make_cache(const StoreConfig& cfg,
-                               const TablePolicy& policy,
-                               const BlockLayout& layout) {
+/// least one slot without inflating the DRAM budget). Fixed at
+/// construction: layout swaps keep num_blocks and capacity, so the clamp
+/// is invariant.
+std::uint32_t shard_count_for(const StoreConfig& cfg,
+                              const TablePolicy& policy,
+                              const BlockLayout& layout) {
   const std::uint64_t capacity =
       std::max<std::uint64_t>(1, policy.cache_vectors);
-  const auto num_shards = static_cast<std::uint32_t>(std::max<std::uint64_t>(
+  return static_cast<std::uint32_t>(std::max<std::uint64_t>(
       1, std::min({static_cast<std::uint64_t>(cfg.resolved_cache_shards()),
                    static_cast<std::uint64_t>(layout.num_blocks()),
                    capacity})));
-  std::vector<std::uint32_t> shard_of(layout.num_vectors());
-  for (VectorId v = 0; v < layout.num_vectors(); ++v) {
-    shard_of[v] = layout.block_of(v) % num_shards;
-  }
-  return {layout.num_vectors(), capacity, insertion_points_for(policy),
-          std::move(shard_of), num_shards};
 }
 }  // namespace
+
+std::unique_ptr<BandanaTable::State> BandanaTable::make_state(
+    TablePolicy policy, BlockLayout layout,
+    std::vector<std::uint32_t> access_counts,
+    std::vector<BlockId> block_map) const {
+  if (layout.num_vectors() != num_vectors_ ||
+      layout.vectors_per_block() != vectors_per_block_) {
+    throw std::invalid_argument("table state: layout shape mismatch");
+  }
+  if (block_map.size() != layout.num_blocks()) {
+    throw std::invalid_argument("table state: block map size mismatch");
+  }
+  if (policy.policy == PrefetchPolicy::kThreshold &&
+      access_counts.size() != layout.num_vectors()) {
+    throw std::invalid_argument("kThreshold requires per-vector access counts");
+  }
+  const std::uint64_t capacity =
+      std::max<std::uint64_t>(1, policy.cache_vectors);
+  std::vector<std::uint32_t> shard_of(layout.num_vectors());
+  for (VectorId v = 0; v < layout.num_vectors(); ++v) {
+    shard_of[v] = layout.block_of(v) % num_shards_;
+  }
+  ShardedInsertionLru cache{layout.num_vectors(), capacity,
+                            insertion_points_for(policy), std::move(shard_of),
+                            num_shards_};
+
+  auto st = std::make_unique<State>(std::move(layout), std::move(block_map),
+                                    std::move(access_counts), policy,
+                                    std::move(cache));
+  st->low_point = st->cache.num_insertion_points() - 1;
+  st->slot_of.assign(num_vectors_, 0);
+  st->prefetched.assign(num_vectors_, 0);
+  st->block_epochs.assign(st->layout.num_blocks(), 0);
+
+  // Slab slots are partitioned by shard: shard s owns the contiguous range
+  // starting at the sum of earlier shard capacities. Free lists pop in
+  // ascending slot order within each shard (matching the seed's fill order).
+  st->free_slots.resize(num_shards_);
+  std::uint64_t slot_base = 0;
+  for (std::uint32_t s = 0; s < num_shards_; ++s) {
+    const std::uint64_t cap = st->cache.shard_capacity(s);
+    auto& free_slots = st->free_slots[s];
+    free_slots.reserve(cap);
+    for (std::uint64_t i = cap; i > 0; --i) {
+      free_slots.push_back(static_cast<std::uint32_t>(slot_base + i - 1));
+    }
+    slot_base += cap;
+  }
+
+  if (policy.policy == PrefetchPolicy::kShadow ||
+      policy.policy == PrefetchPolicy::kShadowPosition) {
+    const auto shadow_cap = std::max<std::uint64_t>(
+        1,
+        static_cast<std::uint64_t>(static_cast<double>(st->cache.capacity()) *
+                                   policy.shadow_multiplier));
+    st->shadow = std::make_unique<ShardedInsertionLru>(
+        num_vectors_, shadow_cap, std::vector<double>{0.0},
+        st->cache.assignment(), num_shards_);
+  }
+  return st;
+}
 
 BandanaTable::BandanaTable(const StoreConfig& store_cfg, TablePolicy policy,
                            BlockLayout layout,
                            std::vector<std::uint32_t> access_counts,
                            BlockId first_block)
-    : policy_(policy),
-      layout_(std::move(layout)),
-      access_counts_(std::move(access_counts)),
+    : num_vectors_(layout.num_vectors()),
+      num_blocks_(layout.num_blocks()),
       first_block_(first_block),
       vector_bytes_(store_cfg.vector_bytes),
       block_bytes_(store_cfg.block_bytes),
       vectors_per_block_(store_cfg.vectors_per_block()),
-      cache_(make_cache(store_cfg, policy, layout_)),
-      slot_of_(layout_.num_vectors(), 0),
-      prefetched_(layout_.num_vectors(), 0),
-      block_epochs_(layout_.num_blocks(), 0) {
+      num_shards_(shard_count_for(store_cfg, policy, layout)) {
   if (store_cfg.block_bytes % store_cfg.vector_bytes != 0) {
     throw std::invalid_argument("vector_bytes must divide block_bytes");
   }
-  if (layout_.vectors_per_block() != vectors_per_block_) {
+  if (layout.vectors_per_block() != vectors_per_block_) {
     throw std::invalid_argument("layout block size mismatch");
   }
-  if (policy_.policy == PrefetchPolicy::kThreshold &&
-      access_counts_.size() != layout_.num_vectors()) {
-    throw std::invalid_argument("kThreshold requires per-vector access counts");
+  std::vector<BlockId> block_map(layout.num_blocks());
+  for (BlockId b = 0; b < block_map.size(); ++b) {
+    block_map[b] = first_block_ + b;
   }
-  low_point_ = cache_.num_insertion_points() - 1;
-  slab_.resize(cache_.capacity() * vector_bytes_);
+  state_owner_ = make_state(policy, std::move(layout),
+                            std::move(access_counts), std::move(block_map));
+  state_.store(state_owner_.get(), std::memory_order_release);
 
-  // Slab slots are partitioned by shard: shard s owns the contiguous range
-  // starting at the sum of earlier shard capacities. Free lists pop in
-  // ascending slot order within each shard (matching the seed's fill order).
-  shards_.reserve(cache_.num_shards());
-  std::uint64_t slot_base = 0;
-  for (std::uint32_t s = 0; s < cache_.num_shards(); ++s) {
+  slab_.resize(state_owner_->cache.capacity() * vector_bytes_);
+  shards_.reserve(num_shards_);
+  for (std::uint32_t s = 0; s < num_shards_; ++s) {
     auto shard = std::make_unique<Shard>();
-    const std::uint64_t cap = cache_.shard_capacity(s);
-    shard->free_slots.reserve(cap);
-    for (std::uint64_t i = cap; i > 0; --i) {
-      shard->free_slots.push_back(
-          static_cast<std::uint32_t>(slot_base + i - 1));
-    }
     shard->block_buf.resize(block_bytes_);
     shards_.push_back(std::move(shard));
-    slot_base += cap;
   }
+}
 
-  if (policy_.policy == PrefetchPolicy::kShadow ||
-      policy_.policy == PrefetchPolicy::kShadowPosition) {
-    const auto shadow_cap = std::max<std::uint64_t>(
-        1, static_cast<std::uint64_t>(static_cast<double>(cache_.capacity()) *
-                                      policy_.shadow_multiplier));
-    shadow_ = std::make_unique<ShardedInsertionLru>(
-        layout_.num_vectors(), shadow_cap, std::vector<double>{0.0},
-        cache_.assignment(), cache_.num_shards());
+void compose_block_bytes(const BlockLayout& layout,
+                         const EmbeddingTable& values, BlockId b,
+                         std::size_t vector_bytes,
+                         std::span<std::byte> block) {
+  std::memset(block.data(), 0, block.size());
+  const auto members = layout.block_members(b);
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    const auto src = values.vector_bytes_view(members[i]);
+    std::memcpy(block.data() + i * vector_bytes, src.data(), vector_bytes);
   }
 }
 
@@ -102,86 +149,148 @@ std::span<std::byte> BandanaTable::slot_bytes(std::uint32_t slot) {
 
 void BandanaTable::publish(const EmbeddingTable& values,
                            BlockStorage& storage) {
-  if (values.num_vectors() != layout_.num_vectors() ||
+  State& st = *state_owner_;
+  if (values.num_vectors() != num_vectors_ ||
       values.vector_bytes() != vector_bytes_) {
     throw std::invalid_argument("publish: shape mismatch with layout");
   }
   std::vector<std::byte> block(block_bytes_);
-  for (BlockId b = 0; b < layout_.num_blocks(); ++b) {
-    std::memset(block.data(), 0, block.size());
-    const auto members = layout_.block_members(b);
-    for (std::size_t i = 0; i < members.size(); ++i) {
-      const auto src = values.vector_bytes_view(members[i]);
-      std::memcpy(block.data() + i * vector_bytes_, src.data(), vector_bytes_);
-    }
-    storage.write_block(first_block_ + b, block);
+  for (BlockId b = 0; b < st.layout.num_blocks(); ++b) {
+    compose_block_bytes(st.layout, values, b, vector_bytes_, block);
+    storage.write_block(st.block_map[b], block);
   }
 }
 
-void BandanaTable::republish(const EmbeddingTable& values,
-                             BlockStorage& storage) {
-  publish(values, storage);
-  // Cached bytes are stale: drop everything (the ids and the learned layout
-  // stay valid — that is SHP's advantage over K-means, §4.2.2). The caller
-  // excludes lookups, so no shard locks are needed here.
-  for (VectorId v = 0; v < layout_.num_vectors(); ++v) {
-    if (cache_.contains(v)) {
-      cache_.erase(v);
-      shards_[cache_.shard_of(v)]->free_slots.push_back(slot_of_[v]);
-      prefetched_[v] = 0;
+BandanaTable::RepublishDiff BandanaTable::republish(
+    const EmbeddingTable& values, BlockStorage& storage) {
+  State& st = *state_owner_;
+  if (values.num_vectors() != num_vectors_ ||
+      values.vector_bytes() != vector_bytes_) {
+    throw std::invalid_argument("republish: shape mismatch with layout");
+  }
+  RepublishDiff diff;
+  std::vector<std::byte> fresh(block_bytes_);
+  std::vector<std::byte> current(block_bytes_);
+  for (BlockId b = 0; b < st.layout.num_blocks(); ++b) {
+    compose_block_bytes(st.layout, values, b, vector_bytes_, fresh);
+    storage.read_block(st.block_map[b], current);
+    if (fresh == current) {
+      // Plan-diff early-out: the block's bytes are already what the new
+      // values say — no write, and its members' cached entries stay warm.
+      ++diff.skipped_blocks;
+      continue;
+    }
+    storage.write_block(st.block_map[b], fresh);
+    ++diff.written_blocks;
+    // Cached bytes of this block's members are stale: drop them (the ids
+    // and the learned layout stay valid — that is SHP's advantage over
+    // K-means, §4.2.2). The caller excludes lookups, so no shard locks are
+    // needed here.
+    for (const VectorId v : st.layout.block_members(b)) {
+      ++diff.written_vectors;
+      if (st.cache.contains(v)) {
+        st.cache.erase(v);
+        st.free_slots[st.cache.shard_of(v)].push_back(st.slot_of[v]);
+        st.prefetched[v] = 0;
+      }
     }
   }
-  metrics_.republish_writes.fetch_add(layout_.num_vectors(),
+  metrics_.republish_writes.fetch_add(diff.written_vectors,
                                       std::memory_order_relaxed);
+  return diff;
 }
 
-void BandanaTable::cache_vector(Shard& shard, VectorId v,
+std::vector<BlockId> BandanaTable::swap_state(RetrainedState next) {
+  State& cur = *state_owner_;
+  if (next.policy.cache_vectors != cur.policy.cache_vectors) {
+    throw std::invalid_argument(
+        "swap_state: online retraining must keep the table's DRAM capacity "
+        "(the slab is fixed at construction)");
+  }
+  auto fresh =
+      make_state(next.policy, std::move(next.layout),
+                 std::move(next.access_counts), std::move(next.block_map));
+
+  // Global blocks only the old mapping referenced become reusable by the
+  // next republish once the new state is visible.
+  std::unordered_set<BlockId> kept(fresh->block_map.begin(),
+                                   fresh->block_map.end());
+  std::vector<BlockId> freed;
+  for (const BlockId g : cur.block_map) {
+    if (kept.find(g) == kept.end()) freed.push_back(g);
+  }
+
+  // Install under every shard lock (index order; lookups hold exactly one
+  // shard lock, so no ordering hazard). A lookup that loaded the old state
+  // pointer re-validates it under its shard lock and retries — it never
+  // mutates the retired state.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (auto& shard : shards_) locks.emplace_back(shard->mu);
+  const std::size_t slab_needed = fresh->cache.capacity() * vector_bytes_;
+  if (slab_needed > slab_.size()) slab_.resize(slab_needed);
+  retired_.push_back(std::move(state_owner_));
+  state_owner_ = std::move(fresh);
+  state_.store(state_owner_.get(), std::memory_order_release);
+  return freed;
+}
+
+std::vector<BlockId> BandanaTable::block_map() const {
+  const State* st = state_.load(std::memory_order_acquire);
+  return st->block_map;
+}
+
+void BandanaTable::cache_vector(State& st, std::uint32_t shard_idx, VectorId v,
                                 std::span<const std::byte> bytes,
                                 std::size_t point, bool is_prefetch) {
-  const VectorId evicted = cache_.insert(v, point);
+  const VectorId evicted = st.cache.insert(v, point);
   std::uint32_t slot;
   if (evicted != kInvalidVector) {
-    slot = slot_of_[evicted];  // same shard: eviction is shard-local
+    slot = st.slot_of[evicted];  // same shard: eviction is shard-local
   } else {
-    assert(!shard.free_slots.empty());
-    slot = shard.free_slots.back();
-    shard.free_slots.pop_back();
+    auto& free_slots = st.free_slots[shard_idx];
+    assert(!free_slots.empty());
+    slot = free_slots.back();
+    free_slots.pop_back();
   }
-  slot_of_[v] = slot;
+  st.slot_of[v] = slot;
   std::memcpy(slot_bytes(slot).data(), bytes.data(), vector_bytes_);
-  prefetched_[v] = is_prefetch ? 1 : 0;
+  st.prefetched[v] = is_prefetch ? 1 : 0;
   if (is_prefetch) {
     metrics_.prefetch_inserted.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
-void BandanaTable::admit_prefetches(Shard& shard, BlockId local_block,
+void BandanaTable::admit_prefetches(State& st, std::uint32_t shard_idx,
+                                    BlockId local_block,
                                     std::span<const std::byte> block) {
-  const auto members = layout_.block_members(local_block);
+  const auto members = st.layout.block_members(local_block);
   for (std::size_t i = 0; i < members.size(); ++i) {
     const VectorId u = members[i];
-    if (cache_.contains(u)) continue;
+    if (st.cache.contains(u)) continue;
     const std::span<const std::byte> bytes{block.data() + i * vector_bytes_,
                                            vector_bytes_};
-    switch (policy_.policy) {
+    switch (st.policy.policy) {
       case PrefetchPolicy::kNone:
         return;
       case PrefetchPolicy::kAll:
-        cache_vector(shard, u, bytes, 0, /*is_prefetch=*/true);
+        cache_vector(st, shard_idx, u, bytes, 0, /*is_prefetch=*/true);
         break;
       case PrefetchPolicy::kPosition:
-        cache_vector(shard, u, bytes, low_point_, true);
+        cache_vector(st, shard_idx, u, bytes, st.low_point, true);
         break;
       case PrefetchPolicy::kShadow:
-        if (shadow_->contains(u)) cache_vector(shard, u, bytes, 0, true);
+        if (st.shadow->contains(u)) {
+          cache_vector(st, shard_idx, u, bytes, 0, true);
+        }
         break;
       case PrefetchPolicy::kShadowPosition:
-        cache_vector(shard, u, bytes, shadow_->contains(u) ? 0 : low_point_,
-                     true);
+        cache_vector(st, shard_idx, u, bytes,
+                     st.shadow->contains(u) ? 0 : st.low_point, true);
         break;
       case PrefetchPolicy::kThreshold:
-        if (access_counts_[u] > policy_.access_threshold) {
-          cache_vector(shard, u, bytes, 0, true);
+        if (st.access_counts[u] > st.policy.access_threshold) {
+          cache_vector(st, shard_idx, u, bytes, 0, true);
         }
         break;
     }
@@ -189,28 +298,57 @@ void BandanaTable::admit_prefetches(Shard& shard, BlockId local_block,
 }
 
 bool BandanaTable::is_cached(VectorId v) const {
-  assert(v < layout_.num_vectors());
-  std::lock_guard lock(shards_[cache_.shard_of(v)]->mu);
-  return cache_.contains(v);
+  assert(v < num_vectors_);
+  // Read-only peek: a state retired between the load and the lock is never
+  // mutated again, so its answer is merely stale (the staged_only lookup
+  // pipeline re-checks under the lock and defers on any disagreement).
+  const State* st = state_.load(std::memory_order_acquire);
+  std::lock_guard lock(shards_[st->cache.shard_of(v)]->mu);
+  return st->cache.contains(v);
 }
 
 BandanaTable::LookupOutcome BandanaTable::lookup(
     VectorId v, BlockStorage& storage, std::span<std::byte> out,
     std::uint64_t epoch, const StagedBlockReads* staged, bool staged_only) {
-  assert(v < layout_.num_vectors());
+  assert(v < num_vectors_);
   assert(out.size() >= vector_bytes_);
+  State* st = state_.load(std::memory_order_acquire);
+  for (;;) {
+    // Everything a lookup touches — the cache entry, the block, its other
+    // members, the shadow entry, the slab slots — lives in the one shard
+    // the state's layout assigns v to.
+    Shard& shard = *shards_[st->cache.shard_of(v)];
+    std::lock_guard lock(shard.mu);
+    // Re-validate under the lock: swap_state publishes the new state while
+    // holding every shard lock, so a stale pointer here means the swap
+    // fully completed — retry against the new mapping (which may stripe v
+    // to a different shard). Nothing was mutated yet.
+    State* cur = state_.load(std::memory_order_acquire);
+    if (cur != st) {
+      st = cur;
+      continue;
+    }
+    return lookup_locked(*st, st->cache.shard_of(v), v, storage, out, epoch,
+                         staged, staged_only);
+  }
+}
+
+BandanaTable::LookupOutcome BandanaTable::lookup_locked(
+    State& st, std::uint32_t shard_idx, VectorId v, BlockStorage& storage,
+    std::span<std::byte> out, std::uint64_t epoch,
+    const StagedBlockReads* staged, bool staged_only) {
   LookupOutcome outcome;
-  // Everything a lookup touches — the cache entry, the block, its other
-  // members, the shadow entry, the slab slots — lives in this one shard.
-  Shard& shard = *shards_[cache_.shard_of(v)];
-  std::lock_guard lock(shard.mu);
+  Shard& shard = *shards_[shard_idx];
   // Airtight staged mode: if this lookup would miss and its block was not
-  // staged (evicted between the request's peek and now, or truncated at
-  // the staging cap), defer it before mutating ANY state — same shard
-  // lock, so the contains() peek and the access() below cannot disagree.
-  // The caller re-runs the lookup after a batched retry fetch.
-  if (staged_only && staged != nullptr && !cache_.contains(v) &&
-      staged->find(global_block_of(v)).empty()) {
+  // staged (evicted between the request's peek and now, truncated at the
+  // staging cap, or retargeted by a mapping swap since the peek), defer it
+  // before mutating ANY state — same shard lock, so the contains() peek
+  // and the access() below cannot disagree. The caller re-runs the lookup
+  // after a batched retry fetch.
+  const BlockId local_b = st.layout.block_of(v);
+  const BlockId global_b = st.block_map[local_b];
+  if (staged_only && staged != nullptr && !st.cache.contains(v) &&
+      staged->find(global_b).empty()) {
     outcome.deferred = true;
     return outcome;
   }
@@ -218,80 +356,81 @@ BandanaTable::LookupOutcome BandanaTable::lookup(
   metrics_.app_bytes_served.fetch_add(vector_bytes_,
                                       std::memory_order_relaxed);
 
-  if (shadow_) {
-    if (!shadow_->access(v)) shadow_->insert(v);
+  if (st.shadow) {
+    if (!st.shadow->access(v)) st.shadow->insert(v);
   }
 
-  if (cache_.access(v)) {
+  if (st.cache.access(v)) {
     metrics_.hits.fetch_add(1, std::memory_order_relaxed);
     outcome.hit = true;
-    if (prefetched_[v]) {
+    if (st.prefetched[v]) {
       metrics_.prefetch_hits.fetch_add(1, std::memory_order_relaxed);
-      prefetched_[v] = 0;
+      st.prefetched[v] = 0;
     }
-    std::memcpy(out.data(), slot_bytes(slot_of_[v]).data(), vector_bytes_);
+    std::memcpy(out.data(), slot_bytes(st.slot_of[v]).data(), vector_bytes_);
     return outcome;
   }
 
   // Miss: fetch the block (the epoch mark is shard-local because blocks
   // never span shards). ">=" rather than "==": a mark left by a *newer*
   // concurrent scope means the block was just fetched, so this scope's
-  // read coalesces with it instead of re-counting (and re-admitting).
-  const BlockId local_b = layout_.block_of(v);
+  // read coalesces with it instead of being re-counted (and re-admitted).
   metrics_.miss_bytes.fetch_add(vector_bytes_, std::memory_order_relaxed);
-  const bool already_read = block_epochs_[local_b] >= epoch;
+  const bool already_read = st.block_epochs[local_b] >= epoch;
   // The request's staging pass may already hold this block's bytes (one
   // batched overlapped read for the whole request). Store's staged_only
   // pipeline guarantees the block is staged by the time we get here; the
   // inline fallback below only serves callers running without staging.
   std::span<const std::byte> block_bytes;
   if (staged != nullptr) {
-    block_bytes = staged->find(first_block_ + local_b);
+    block_bytes = staged->find(global_b);
   }
   if (block_bytes.empty()) {
-    storage.read_block(first_block_ + local_b, shard.block_buf);
+    storage.read_block(global_b, shard.block_buf);
     block_bytes = shard.block_buf;
   }
   if (!already_read) {
-    block_epochs_[local_b] = epoch;
+    st.block_epochs[local_b] = epoch;
     metrics_.nvm_block_reads.fetch_add(1, std::memory_order_relaxed);
     metrics_.nvm_bytes_read.fetch_add(block_bytes_,
                                       std::memory_order_relaxed);
     outcome.nvm_read = true;
-    outcome.block_read = first_block_ + local_b;
+    outcome.block_read = global_b;
   }
 
   const std::uint32_t pos_in_block =
-      layout_.position_of(v) % vectors_per_block_;
+      st.layout.position_of(v) % vectors_per_block_;
   const std::span<const std::byte> vector_view =
       block_bytes.subspan(std::size_t{pos_in_block} * vector_bytes_,
                           vector_bytes_);
   std::memcpy(out.data(), vector_view.data(), vector_bytes_);
-  cache_vector(shard, v, vector_view, 0, /*is_prefetch=*/false);
-  if (!already_read && policy_.policy != PrefetchPolicy::kNone) {
-    admit_prefetches(shard, local_b, block_bytes);
+  cache_vector(st, shard_idx, v, vector_view, 0, /*is_prefetch=*/false);
+  if (!already_read && st.policy.policy != PrefetchPolicy::kNone) {
+    admit_prefetches(st, shard_idx, local_b, block_bytes);
   }
   return outcome;
 }
 
 CacheShardStats BandanaTable::shard_stats(std::uint32_t s) const {
+  const State* st = state_.load(std::memory_order_acquire);
   std::lock_guard lock(shards_[s]->mu);
-  return cache_.shard_stats(s);
+  return st->cache.shard_stats(s);
 }
 
 CacheShardStats BandanaTable::cache_stats() const {
   CacheShardStats total;
-  for (std::uint32_t s = 0; s < cache_.num_shards(); ++s) {
+  for (std::uint32_t s = 0; s < num_shards_; ++s) {
     total += shard_stats(s);
   }
   return total;
 }
 
 std::vector<VectorId> BandanaTable::cache_contents() const {
+  const State* st = state_.load(std::memory_order_acquire);
   std::vector<VectorId> out;
-  for (std::uint32_t s = 0; s < cache_.num_shards(); ++s) {
+  for (std::uint32_t s = 0; s < num_shards_; ++s) {
     std::lock_guard lock(shards_[s]->mu);
-    const auto shard = cache_.shard_contents(s);
+    const auto shard = st->cache.shard_contents(s);
     out.insert(out.end(), shard.begin(), shard.end());
   }
   return out;

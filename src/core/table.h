@@ -9,8 +9,22 @@
 // Metrics are relaxed atomics (lock-free snapshot); block-read dedup
 // epochs are per-block and therefore shard-local too.
 //
-// publish/republish mutate NVM storage and require external exclusion
-// against lookups (Store holds its storage mutex uniquely around them).
+// Online retraining (§2.2) swaps the whole layout-dependent state — the
+// block layout, the local-block -> global-block map, the cache/shadow
+// structures and the shard striping derived from the layout — as one unit:
+// everything layout-dependent lives in an immutable-once-published State
+// behind an atomic pointer. A lookup loads the pointer, locks the shard
+// the state assigns its vector to, and re-validates the pointer under the
+// lock; swap_state() installs a fresh State while holding every shard
+// lock, so a lookup either completes entirely against the old state (whose
+// storage blocks stay valid — a trickle republish writes replacement
+// blocks elsewhere) or retries and completes entirely against the new one.
+// No lookup ever observes a half-swapped mapping.
+//
+// publish/republish mutate NVM storage in place and require external
+// exclusion against lookups (Store holds its storage mutex uniquely around
+// them). swap_state only requires exclusion against other swaps/publishes
+// (Store's shared storage lock + one trickle session per table).
 #pragma once
 
 #include <atomic>
@@ -29,22 +43,41 @@
 
 namespace bandana {
 
+/// Compose local block `b`'s bytes under `layout` from `values`
+/// (zero-padded tail for a partial last block). The single definition of
+/// block composition: publish, in-place republish and the trickle plan
+/// diff must all agree byte-for-byte or the diff would mis-classify
+/// blocks.
+void compose_block_bytes(const BlockLayout& layout,
+                         const EmbeddingTable& values, BlockId b,
+                         std::size_t vector_bytes, std::span<std::byte> block);
+
 /// Internal to Store. Owns the cache state of one table; block data lives in
-/// the store-wide BlockStorage starting at `first_block`.
+/// the store-wide BlockStorage at the blocks named by the table's current
+/// block map (initially the contiguous range starting at `first_block`).
 class BandanaTable {
  public:
   BandanaTable(const StoreConfig& store_cfg, TablePolicy policy,
                BlockLayout layout, std::vector<std::uint32_t> access_counts,
                BlockId first_block);
 
-  /// Write all vectors of `values` into NVM blocks per the layout.
-  /// Requires external exclusion against lookups.
+  /// Write all vectors of `values` into NVM blocks per the current layout
+  /// and block map. Requires external exclusion against lookups.
   void publish(const EmbeddingTable& values, BlockStorage& storage);
 
-  /// Re-publish updated values (retraining, §2.2): rewrites every block and
-  /// keeps the cache contents (ids stay valid; bytes are refreshed lazily by
-  /// invalidating cached entries). Requires external exclusion.
-  void republish(const EmbeddingTable& values, BlockStorage& storage);
+  /// What an in-place republish actually rewrote after the plan diff.
+  struct RepublishDiff {
+    std::uint64_t written_blocks = 0;  ///< Blocks whose bytes changed.
+    std::uint64_t skipped_blocks = 0;  ///< Blocks proven byte-identical.
+    std::uint64_t written_vectors = 0; ///< Members of the written blocks.
+  };
+
+  /// Re-publish updated values in place (retraining with an unchanged
+  /// layout, §4.2.2): diffs each block's new bytes against storage, writes
+  /// only the blocks that changed, and drops only those blocks' members
+  /// from the cache (unchanged blocks keep serving their warm entries).
+  /// Identical values are a complete no-op. Requires external exclusion.
+  RepublishDiff republish(const EmbeddingTable& values, BlockStorage& storage);
 
   struct LookupOutcome {
     bool hit = false;
@@ -67,10 +100,12 @@ class BandanaTable {
   }
 
   /// Serve one vector. Thread-safe: locks the vector's cache shard for the
-  /// duration. On miss, consumes the block's bytes from `staged` when the
-  /// request pre-fetched them (Store's batched read pipeline), otherwise
-  /// reads the block from `storage` inline; either way the caller accounts
-  /// device timing. Admits prefetches per policy and caches the vector.
+  /// duration (re-validating the state pointer under the lock, so a
+  /// concurrent swap_state makes it retry against the new mapping). On
+  /// miss, consumes the block's bytes from `staged` when the request
+  /// pre-fetched them (Store's batched read pipeline), otherwise reads the
+  /// block from `storage` inline; either way the caller accounts device
+  /// timing. Admits prefetches per policy and caches the vector.
   ///
   /// With `staged_only` (Store's airtight batched pipeline) an unstaged
   /// miss never falls back to an inline read: the lookup returns
@@ -78,8 +113,8 @@ class BandanaTable {
   /// so the caller can fetch the block through a batched retry wave and
   /// re-run the lookup as if this call never happened. The deferral check
   /// and the subsequent cache access run under one shard lock, so a block
-  /// evicted between the request's staging peek and this lookup is always
-  /// caught.
+  /// evicted between the request's staging peek and this lookup — or a
+  /// mapping swapped under the request's feet — is always caught.
   LookupOutcome lookup(VectorId v, BlockStorage& storage,
                        std::span<std::byte> out, std::uint64_t epoch,
                        const StagedBlockReads* staged = nullptr,
@@ -90,19 +125,65 @@ class BandanaTable {
   /// collect the blocks a request will miss on.
   bool is_cached(VectorId v) const;
 
-  /// Store-wide block id that serves vector v.
+  /// Store-wide block id that serves vector v under the current mapping.
+  /// Lock-free snapshot: a concurrent swap may retarget v immediately
+  /// after — the staged_only lookup pipeline re-checks under the shard
+  /// lock and defers on any disagreement.
   BlockId global_block_of(VectorId v) const {
-    return first_block_ + layout_.block_of(v);
+    const State* st = state_.load(std::memory_order_acquire);
+    return st->block_map[st->layout.block_of(v)];
   }
 
-  std::uint32_t num_vectors() const { return layout_.num_vectors(); }
-  std::uint32_t num_blocks() const { return layout_.num_blocks(); }
+  /// A retrained table mapping, installable via swap_state: the new layout,
+  /// the storage block backing each local block (unchanged blocks keep
+  /// their old global block; changed blocks point at freshly written
+  /// replacements), the refreshed per-vector access counts, and the
+  /// (re-tuned) policy. The policy's cache_vectors must equal the current
+  /// capacity — online retraining re-ranks and re-packs, it does not
+  /// re-size DRAM (the slab is fixed at construction).
+  struct RetrainedState {
+    BlockLayout layout;
+    std::vector<BlockId> block_map;
+    std::vector<std::uint32_t> access_counts;
+    TablePolicy policy;
+  };
+
+  /// Atomically install a retrained mapping. Builds the fresh
+  /// layout-dependent state off to the side, then takes every shard lock,
+  /// publishes the new state pointer and retires the old one (kept alive
+  /// for stragglers that loaded the pointer before the swap — they retry
+  /// under their shard lock and never mutate it). The cache starts cold:
+  /// cached bytes predate the new values. Concurrent lookups are safe; the
+  /// caller must exclude concurrent publish/republish/swap_state of this
+  /// table (Store: one trickle session per table). Returns the old
+  /// mapping's global blocks the new mapping no longer references, for
+  /// reuse by the next republish (double buffering).
+  std::vector<BlockId> swap_state(RetrainedState next);
+
+  /// Snapshot of the current local-block -> global-block mapping.
+  std::vector<BlockId> block_map() const;
+
+  /// Count vectors rewritten by an external republish path (the trickle
+  /// session, which writes blocks itself and swaps at completion).
+  void note_republished(std::uint64_t vectors) {
+    metrics_.republish_writes.fetch_add(vectors, std::memory_order_relaxed);
+  }
+
+  std::uint32_t num_vectors() const { return num_vectors_; }
+  std::uint32_t num_blocks() const { return num_blocks_; }
   BlockId first_block() const { return first_block_; }
-  const BlockLayout& layout() const { return layout_; }
-  const TablePolicy& policy() const { return policy_; }
+  /// Current layout / policy / access counts. References into the current
+  /// state: valid for the table's lifetime (retired states are kept), but
+  /// a concurrent swap makes them describe the *previous* mapping.
+  const BlockLayout& layout() const {
+    return state_.load(std::memory_order_acquire)->layout;
+  }
+  const TablePolicy& policy() const {
+    return state_.load(std::memory_order_acquire)->policy;
+  }
   std::size_t vector_bytes() const { return vector_bytes_; }
 
-  std::uint32_t num_shards() const { return cache_.num_shards(); }
+  std::uint32_t num_shards() const { return num_shards_; }
 
   /// Lock-free snapshot of the per-shard counters, aggregated on read.
   TableMetrics metrics() const { return metrics_.snapshot(); }
@@ -117,37 +198,75 @@ class BandanaTable {
   std::vector<VectorId> cache_contents() const;
 
  private:
-  /// Per-shard mutable state; slab slots [slot_base, slot_base + capacity)
-  /// belong to this shard, so eviction and reuse never cross shards.
+  /// Everything derived from one (layout, block map, policy) triple.
+  /// Published at a whole-struct granularity: built, then installed with
+  /// an atomic pointer store under all shard locks; never mutated except
+  /// through a shard lock of the *current* state. Retired states stay
+  /// allocated so a reader that loaded the pointer just before a swap can
+  /// still dereference it (it will fail the under-lock re-validation and
+  /// retry — it never writes through a retired state).
+  struct State {
+    BlockLayout layout;
+    std::vector<BlockId> block_map;   ///< local block -> storage block
+    std::vector<std::uint32_t> access_counts;
+    TablePolicy policy;
+    ShardedInsertionLru cache;
+    std::unique_ptr<ShardedInsertionLru> shadow;
+    std::size_t low_point = 0;  ///< Insertion point for cold prefetches.
+    std::vector<std::uint32_t> slot_of;   ///< vector -> DRAM slot
+    std::vector<std::uint8_t> prefetched;
+    std::vector<std::uint64_t> block_epochs;  ///< per-block dedup marks
+    std::vector<std::vector<std::uint32_t>> free_slots;  ///< per shard
+
+    State(BlockLayout l, std::vector<BlockId> bm,
+          std::vector<std::uint32_t> ac, TablePolicy p,
+          ShardedInsertionLru c)
+        : layout(std::move(l)),
+          block_map(std::move(bm)),
+          access_counts(std::move(ac)),
+          policy(p),
+          cache(std::move(c)) {}
+  };
+
+  /// Per-shard lock + scratch. The mutex array is fixed for the table's
+  /// lifetime (states swap underneath it).
   struct Shard {
     std::mutex mu;
-    std::vector<std::uint32_t> free_slots;
     std::vector<std::byte> block_buf;  ///< scratch for block reads
   };
 
+  std::unique_ptr<State> make_state(TablePolicy policy, BlockLayout layout,
+                                    std::vector<std::uint32_t> access_counts,
+                                    std::vector<BlockId> block_map) const;
+  LookupOutcome lookup_locked(State& st, std::uint32_t shard_idx, VectorId v,
+                              BlockStorage& storage, std::span<std::byte> out,
+                              std::uint64_t epoch,
+                              const StagedBlockReads* staged, bool staged_only);
   std::span<std::byte> slot_bytes(std::uint32_t slot);
-  void cache_vector(Shard& shard, VectorId v, std::span<const std::byte> bytes,
-                    std::size_t point, bool is_prefetch);
-  void admit_prefetches(Shard& shard, BlockId local_block,
-                        std::span<const std::byte> block);
+  void cache_vector(State& st, std::uint32_t shard_idx, VectorId v,
+                    std::span<const std::byte> bytes, std::size_t point,
+                    bool is_prefetch);
+  void admit_prefetches(State& st, std::uint32_t shard_idx,
+                        BlockId local_block, std::span<const std::byte> block);
 
-  TablePolicy policy_;
-  BlockLayout layout_;
-  std::vector<std::uint32_t> access_counts_;
+  std::uint32_t num_vectors_;
+  std::uint32_t num_blocks_;
   BlockId first_block_;
   std::size_t vector_bytes_;
   std::size_t block_bytes_;
   std::uint32_t vectors_per_block_;
+  std::uint32_t num_shards_;
 
-  ShardedInsertionLru cache_;
-  std::size_t low_point_ = 0;  ///< Insertion point index for cold prefetches.
-  std::unique_ptr<ShardedInsertionLru> shadow_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::vector<std::uint32_t> slot_of_;  ///< vector -> DRAM slot
-  std::vector<std::byte> slab_;         ///< cache capacity * vector_bytes
-  std::vector<std::uint8_t> prefetched_;
-  std::vector<std::uint64_t> block_epochs_;  ///< per-block dedup marks
+  std::vector<std::byte> slab_;  ///< cache capacity * vector_bytes
   std::atomic<std::uint64_t> epoch_{0};
+
+  std::unique_ptr<State> state_owner_;
+  std::atomic<State*> state_;
+  /// States replaced by swap_state, kept alive for straggling readers.
+  /// One entry per completed republish — bounded by retrain cadence, not
+  /// by traffic.
+  std::vector<std::unique_ptr<State>> retired_;
 
   AtomicTableMetrics metrics_;
 };

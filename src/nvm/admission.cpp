@@ -1,8 +1,42 @@
 #include "nvm/admission.h"
 
 #include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
 
 namespace bandana {
+
+TrickleRateLimiter::TrickleRateLimiter(const RepublishConfig& cfg)
+    : cfg_(cfg) {
+  if (cfg_.blocks_per_interval > 0 && !(cfg_.interval_us > 0.0)) {
+    throw std::invalid_argument(
+        "TrickleRateLimiter: interval_us must be positive when "
+        "blocks_per_interval > 0");
+  }
+}
+
+std::int64_t TrickleRateLimiter::interval_of(double now_us) const {
+  return static_cast<std::int64_t>(std::floor(now_us / cfg_.interval_us));
+}
+
+std::uint64_t TrickleRateLimiter::allowance(double now_us) const {
+  if (unlimited()) return std::numeric_limits<std::uint64_t>::max();
+  if (interval_of(now_us) != interval_) return cfg_.blocks_per_interval;
+  return cfg_.blocks_per_interval - used_;
+}
+
+void TrickleRateLimiter::consume(double now_us, std::uint64_t blocks) {
+  if (unlimited()) return;
+  const std::int64_t interval = interval_of(now_us);
+  if (interval != interval_) {
+    interval_ = interval;
+    used_ = 0;
+  }
+  assert(blocks <= cfg_.blocks_per_interval - used_);
+  used_ += blocks;
+}
 
 double submit_reads(const NvmLatencyModel& model, double arrival_us,
                     std::uint64_t count, std::vector<double>& channel_free_us,

@@ -86,4 +86,38 @@ double submit_reads(const NvmLatencyModel& model, double arrival_us,
                     std::uint64_t count, std::vector<double>& channel_free_us,
                     AdmissionController& admission, Rng& rng);
 
+/// Token bucket over simulated-time intervals for trickle republish
+/// (Store::begin_trickle_republish): interval k is
+/// [k * interval_us, (k+1) * interval_us), and at most
+/// `blocks_per_interval` block writes may be admitted inside any one
+/// interval. Unused allowance does NOT roll over — a stalled pump cannot
+/// save up a burst that defeats the rate limit. Like AdmissionController
+/// this is simulated-time bookkeeping: the owner serializes calls (the
+/// trickle session holds its own mutex).
+class TrickleRateLimiter {
+ public:
+  /// Throws std::invalid_argument when rate-limited (blocks_per_interval
+  /// > 0) with a non-positive interval_us.
+  explicit TrickleRateLimiter(const RepublishConfig& cfg);
+
+  bool unlimited() const { return cfg_.blocks_per_interval == 0; }
+  const RepublishConfig& config() const { return cfg_; }
+
+  /// Blocks admissible at simulated time `now_us` (UINT64_MAX when
+  /// unlimited). now_us may repeat or move backwards within an interval;
+  /// consumption is tracked per interval index.
+  std::uint64_t allowance(double now_us) const;
+
+  /// Consume `blocks` of the interval containing `now_us`. `blocks` must
+  /// not exceed allowance(now_us).
+  void consume(double now_us, std::uint64_t blocks);
+
+ private:
+  std::int64_t interval_of(double now_us) const;
+
+  RepublishConfig cfg_;
+  std::int64_t interval_ = -1;  ///< Interval index last consumed in.
+  std::uint64_t used_ = 0;      ///< Blocks consumed in that interval.
+};
+
 }  // namespace bandana

@@ -66,4 +66,20 @@ struct NvmDeviceConfig {
   double peak_bandwidth_bytes_per_s() const;
 };
 
+/// Rate limit of a trickle republish (Store::begin_trickle_republish): the
+/// §2.2 retraining push is modeled as a background process that writes at
+/// most `blocks_per_interval` blocks per `interval_us` of simulated time,
+/// instead of dumping the whole retrained table onto the channel queues as
+/// one open-loop wave. Tightening the rate trades republish duration for
+/// read tail latency (bench_fig05's trickle sweep).
+struct RepublishConfig {
+  /// Blocks admitted per interval; 0 = unlimited (the one-shot endpoint:
+  /// the entire plan diff goes out as a single write wave).
+  std::uint32_t blocks_per_interval = 0;
+
+  /// Length of one rate-limit interval in simulated microseconds. Must be
+  /// positive when blocks_per_interval > 0.
+  double interval_us = 1000.0;
+};
+
 }  // namespace bandana

@@ -1,5 +1,6 @@
 #include "partition/layout.h"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -48,6 +49,28 @@ std::span<const VectorId> BlockLayout::block_members(BlockId b) const {
   const std::size_t end =
       std::min<std::size_t>(order_.size(), begin + vectors_per_block_);
   return {order_.data() + begin, end - begin};
+}
+
+std::vector<std::uint8_t> changed_blocks(const BlockLayout& from,
+                                         const BlockLayout& to) {
+  const std::uint32_t common = std::min(from.num_blocks(), to.num_blocks());
+  const std::uint32_t total = std::max(from.num_blocks(), to.num_blocks());
+  std::vector<std::uint8_t> changed(total, 1);
+  for (BlockId b = 0; b < common; ++b) {
+    const auto a = from.block_members(b);
+    const auto z = to.block_members(b);
+    changed[b] = !(a.size() == z.size() &&
+                   std::equal(a.begin(), a.end(), z.begin()));
+  }
+  return changed;
+}
+
+std::uint64_t count_changed_blocks(const BlockLayout& from,
+                                   const BlockLayout& to) {
+  const auto changed = changed_blocks(from, to);
+  std::uint64_t n = 0;
+  for (const std::uint8_t c : changed) n += c;
+  return n;
 }
 
 }  // namespace bandana

@@ -53,4 +53,19 @@ class BlockLayout {
   std::uint32_t vectors_per_block_;
 };
 
+/// Per-block diff of two layouts over the same vector universe: entry b is
+/// nonzero iff block b's member list (the exact position order within the
+/// block) differs between `from` and `to`, or exists in only one of them.
+/// A retrained plan usually leaves many blocks untouched — SHP refinement
+/// moves a minority of vectors — and a trickle republish skips unchanged
+/// blocks entirely (they keep serving from their existing storage).
+/// Sized to max(from.num_blocks(), to.num_blocks()).
+std::vector<std::uint8_t> changed_blocks(const BlockLayout& from,
+                                         const BlockLayout& to);
+
+/// Number of nonzero entries of changed_blocks(from, to); 0 means the two
+/// layouts place every vector identically (republish can no-op).
+std::uint64_t count_changed_blocks(const BlockLayout& from,
+                                   const BlockLayout& to);
+
 }  // namespace bandana

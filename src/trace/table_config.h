@@ -62,6 +62,17 @@ struct TableWorkloadConfig {
   /// Gaussian noise added around the community centroid.
   double embedding_noise = 0.15;
 
+  /// Traffic-drift defaults (TraceGenerator::apply_drift): production
+  /// traffic shifts continuously — user interests move and yesterday's hot
+  /// vectors cool off (paper §2.2: models are retrained and re-pushed
+  /// because of exactly this). One drift event re-draws this fraction of
+  /// the profile pool (new member sets, possibly new home communities, so
+  /// the learned co-access layout goes stale)...
+  double drift_profile_fraction = 0.5;
+  /// ...and re-ranks this fraction of the popularity head (previously-cold
+  /// vectors become hot).
+  double drift_popularity_fraction = 0.25;
+
   std::size_t vector_bytes() const { return std::size_t{dim} * sizeof(float); }
   std::uint32_t num_communities() const {
     return (num_vectors + community_size - 1) / community_size;

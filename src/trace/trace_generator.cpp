@@ -68,20 +68,49 @@ TraceGenerator::TraceGenerator(TableWorkloadConfig config, std::uint64_t seed)
   ZipfSampler comm_pick(num_comm, 0.3);
   profiles_.resize(config_.num_profiles);
   for (auto& members : profiles_) {
-    const auto c = static_cast<std::uint32_t>(comm_pick(rng_));
-    const std::uint32_t lo = c * config_.community_size;
-    const std::uint32_t hi =
-        std::min<std::uint32_t>(n, lo + config_.community_size);
-    members.reserve(config_.profile_size);
-    for (std::uint32_t m = 0; m < config_.profile_size; ++m) {
-      VectorId v;
-      if (rng_.next_bernoulli(config_.semantic_strength)) {
-        v = latent_order_[lo + rng_.next_below(hi - lo)];
-      } else {
-        v = pop_order_[popularity_(rng_)];
-      }
-      members.push_back(v);
+    fill_profile(members, static_cast<std::uint32_t>(comm_pick(rng_)));
+  }
+}
+
+void TraceGenerator::fill_profile(std::vector<VectorId>& members,
+                                  std::uint32_t home_community) {
+  const std::uint32_t n = config_.num_vectors;
+  const std::uint32_t lo = home_community * config_.community_size;
+  const std::uint32_t hi =
+      std::min<std::uint32_t>(n, lo + config_.community_size);
+  members.clear();
+  members.reserve(config_.profile_size);
+  for (std::uint32_t m = 0; m < config_.profile_size; ++m) {
+    VectorId v;
+    if (rng_.next_bernoulli(config_.semantic_strength)) {
+      v = latent_order_[lo + rng_.next_below(hi - lo)];
+    } else {
+      v = pop_order_[popularity_(rng_)];
     }
+    members.push_back(v);
+  }
+}
+
+void TraceGenerator::apply_drift(double profile_fraction,
+                                 double popularity_fraction) {
+  const std::uint32_t n = config_.num_vectors;
+  // Popularity shift: swap the head ranks with uniformly random ranks, so
+  // part of the hot set is replaced by previously-cold vectors (they were
+  // never profile members, so the old layout scattered them).
+  const auto head = static_cast<std::uint32_t>(
+      popularity_fraction * static_cast<double>(n));
+  for (std::uint32_t i = 0; i < head; ++i) {
+    std::swap(pop_order_[i], pop_order_[rng_.next_below(n)]);
+  }
+  // Interest shift: a fraction of the profile pool is re-drawn wholesale
+  // (new home community, new members). Queries that land on a re-drawn
+  // profile now co-access vector sets the trained layout never packed
+  // together — the signal an online retrainer must pick up from sampled
+  // traffic.
+  ZipfSampler comm_pick(config_.num_communities(), 0.3);
+  for (auto& members : profiles_) {
+    if (!rng_.next_bernoulli(profile_fraction)) continue;
+    fill_profile(members, static_cast<std::uint32_t>(comm_pick(rng_)));
   }
 }
 

@@ -29,6 +29,22 @@ class TraceGenerator {
   /// Generate the next `num_queries` queries of the stream.
   Trace generate(std::size_t num_queries);
 
+  /// Shift the workload (production traffic drift, §2.2): re-draws
+  /// `profile_fraction` of the profile pool — new member sets, possibly
+  /// from new home communities, so a layout trained on earlier traffic
+  /// stops matching the co-access structure — and swaps
+  /// `popularity_fraction` of the popularity head with random ranks, so
+  /// previously-cold vectors become hot. Subsequent generate() calls
+  /// sample the shifted stream. Deterministic (advances the generator's
+  /// own rng stream); a generator that never calls this is bit-identical
+  /// to before this method existed. The no-argument overload uses the
+  /// config's drift_* fractions.
+  void apply_drift(double profile_fraction, double popularity_fraction);
+  void apply_drift() {
+    apply_drift(config_.drift_profile_fraction,
+                config_.drift_popularity_fraction);
+  }
+
   /// Materialize embedding values consistent with the latent communities
   /// (community centroid + Gaussian noise). Deterministic per seed.
   EmbeddingTable make_embeddings() const;
@@ -37,6 +53,8 @@ class TraceGenerator {
   std::uint32_t community_of(VectorId v) const;
 
  private:
+  void fill_profile(std::vector<VectorId>& members,
+                    std::uint32_t home_community);
   VectorId draw_lookup(Rng& rng, std::uint32_t profile);
   VectorId draw_fresh(Rng& rng);
   VectorId draw_popular(Rng& rng);
