@@ -1,0 +1,65 @@
+// Configuration of the distributed serving tier (cluster/store_cluster.h).
+//
+// A production DLRM deployment spreads its embedding tables across many
+// Bandana nodes and replicates the popularity head so skewed traffic does
+// not melt one machine. ClusterConfig describes that topology: node count,
+// replication degree of the hot tables, how tables are placed onto nodes
+// (hashed whole-table placement, or plan-aware placement that range-splits
+// huge tables by vector id), and how reads are balanced across replicas.
+#pragma once
+
+#include <cstdint>
+
+#include "core/config.h"
+
+namespace bandana {
+
+/// How logical tables map onto nodes (cluster/placement.h).
+enum class PlacementKind {
+  /// Every table lives whole on splitmix64(seed, table) % nodes.
+  kHash,
+  /// Tables with at least split_min_vectors vectors are split into
+  /// contiguous vector-id ranges (one per node, each with its own
+  /// SHP-derived sub-layout); smaller tables are greedily bin-packed onto
+  /// the least-loaded node by block count.
+  kPlanAware,
+};
+
+/// How a replicated (table, range) picks the replica serving a request.
+enum class ReadBalance {
+  /// Rotate through the replica set with a per-range counter.
+  kRoundRobin,
+  /// Pick the replica whose node has the fewest router-outstanding
+  /// sub-requests (admission-gate style back-pressure), rotating on ties.
+  kLeastOutstanding,
+};
+
+struct ClusterConfig {
+  /// Serving nodes; each owns a full Store (own NvmIoEngine, DRAM cache,
+  /// block storage).
+  std::uint32_t nodes = 1;
+
+  /// Replicas per hot (popularity-head) table, clamped to `nodes`.
+  /// Non-hot tables always have exactly one replica.
+  std::uint32_t replicas = 1;
+
+  /// Top-K tables by plan access mass (sum of SHP access counts, ties by
+  /// table id) that get `replicas`-way replication. 0 = no replication.
+  std::uint32_t hot_tables = 0;
+
+  PlacementKind placement = PlacementKind::kHash;
+  ReadBalance read_balance = ReadBalance::kRoundRobin;
+
+  /// kPlanAware: tables at least this big are range-split across nodes.
+  std::uint32_t split_min_vectors = 1u << 20;
+
+  /// Cluster seed; node n's store is seeded with seed + n, so node 0 of a
+  /// 1-node cluster is bit-identical to a bare Store built with `seed`.
+  std::uint64_t seed = 42;
+
+  /// Per-node store configuration (block geometry, device model, cache
+  /// sharding) — identical on every node.
+  StoreConfig store;
+};
+
+}  // namespace bandana

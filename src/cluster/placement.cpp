@@ -1,0 +1,228 @@
+#include "cluster/placement.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+
+#include "cluster/cluster_config.h"
+#include "common/rng.h"
+
+namespace bandana {
+
+namespace {
+
+/// Deterministic node hash for table t: independent of iteration order and
+/// stable across runs for a given seed.
+std::uint32_t hashed_node(std::uint64_t seed, TableId t, std::uint32_t nodes) {
+  return static_cast<std::uint32_t>(
+      splitmix64(seed + 0x9E3779B97F4A7C15ULL * (std::uint64_t{t} + 1)) %
+      nodes);
+}
+
+/// Replica set for a range: r distinct nodes starting at `primary`,
+/// wrapping around the ring.
+std::vector<std::uint32_t> replica_ring(std::uint32_t primary,
+                                        std::uint32_t replicas,
+                                        std::uint32_t nodes) {
+  const std::uint32_t r = std::min(std::max(1u, replicas), nodes);
+  std::vector<std::uint32_t> out;
+  out.reserve(r);
+  for (std::uint32_t k = 0; k < r; ++k) out.push_back((primary + k) % nodes);
+  return out;
+}
+
+std::uint32_t blocks_for(std::uint32_t num_vectors,
+                         std::uint32_t vectors_per_block) {
+  return (num_vectors + vectors_per_block - 1) / vectors_per_block;
+}
+
+}  // namespace
+
+const PlacementMap::Range& PlacementMap::range_of(TableId t,
+                                                  VectorId v) const {
+  return tables[t][range_index_of(t, v)];
+}
+
+std::size_t PlacementMap::range_index_of(TableId t, VectorId v) const {
+  const auto& ranges = tables[t];
+  // Last range whose lo <= v (ranges are sorted, contiguous, gap-free).
+  const auto it = std::upper_bound(
+      ranges.begin(), ranges.end(), v,
+      [](VectorId id, const Range& r) { return id < r.lo; });
+  if (it == ranges.begin()) {
+    throw std::out_of_range("placement: vector below first range");
+  }
+  return static_cast<std::size_t>(it - ranges.begin()) - 1;
+}
+
+std::vector<std::uint8_t> hot_table_flags(const StorePlan& plan,
+                                          std::uint32_t hot_tables) {
+  const std::size_t n = plan.tables.size();
+  std::vector<std::uint8_t> hot(n, 0);
+  if (hot_tables == 0) return hot;
+  std::vector<std::uint64_t> mass(n, 0);
+  for (std::size_t t = 0; t < n; ++t) {
+    mass[t] = std::accumulate(plan.tables[t].access_counts.begin(),
+                              plan.tables[t].access_counts.end(),
+                              std::uint64_t{0});
+  }
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (mass[a] != mass[b]) return mass[a] > mass[b];
+    return a < b;
+  });
+  for (std::size_t k = 0; k < std::min<std::size_t>(hot_tables, n); ++k) {
+    hot[order[k]] = 1;
+  }
+  return hot;
+}
+
+TablePlan slice_table_plan(const TablePlan& plan, VectorId lo, VectorId hi,
+                           std::uint32_t vectors_per_block) {
+  const std::uint32_t nv = plan.layout.num_vectors();
+  if (lo >= hi || hi > nv) {
+    throw std::invalid_argument("slice_table_plan: bad range");
+  }
+  if (lo == 0 && hi == nv) return plan;  // whole table: the plan verbatim
+
+  // Filter the trained order to the range's members and re-base to local
+  // ids: vectors SHP co-located stay co-located inside the slice.
+  std::vector<VectorId> order;
+  order.reserve(hi - lo);
+  for (const VectorId v : plan.layout.order()) {
+    if (v >= lo && v < hi) order.push_back(v - lo);
+  }
+  TablePlan out{BlockLayout::from_order(std::move(order), vectors_per_block),
+                {},
+                plan.policy,
+                plan.shp_train_fanout};
+  if (plan.access_counts.size() == nv) {
+    out.access_counts.assign(plan.access_counts.begin() + lo,
+                             plan.access_counts.begin() + hi);
+  }
+  if (plan.policy.cache_vectors > 0) {
+    // Proportional DRAM split, at least one vector per shard.
+    out.policy.cache_vectors = std::max<std::uint64_t>(
+        1, plan.policy.cache_vectors * (hi - lo) / nv);
+  }
+  return out;
+}
+
+EmbeddingTable slice_embedding_table(const EmbeddingTable& values, VectorId lo,
+                                     VectorId hi) {
+  if (lo >= hi || hi > values.num_vectors()) {
+    throw std::invalid_argument("slice_embedding_table: bad range");
+  }
+  EmbeddingTable out(hi - lo, values.dim());
+  for (VectorId v = lo; v < hi; ++v) {
+    const auto src = values.vector(v);
+    std::memcpy(out.vector(v - lo).data(), src.data(),
+                src.size() * sizeof(float));
+  }
+  return out;
+}
+
+PlacementMap HashPlacement::place(const StorePlan& plan,
+                                  std::span<const EmbeddingTable> tables,
+                                  const ClusterConfig& cfg) const {
+  (void)tables;
+  const auto hot = hot_table_flags(plan, cfg.hot_tables);
+  PlacementMap map;
+  map.tables.resize(plan.tables.size());
+  for (std::size_t t = 0; t < plan.tables.size(); ++t) {
+    const std::uint32_t primary =
+        hashed_node(cfg.seed, static_cast<TableId>(t), cfg.nodes);
+    PlacementMap::Range range;
+    range.lo = 0;
+    range.hi = plan.tables[t].layout.num_vectors();
+    range.nodes =
+        replica_ring(primary, hot[t] ? cfg.replicas : 1, cfg.nodes);
+    map.tables[t].push_back(std::move(range));
+  }
+  return map;
+}
+
+PlacementMap PlanAwarePlacement::place(const StorePlan& plan,
+                                       std::span<const EmbeddingTable> tables,
+                                       const ClusterConfig& cfg) const {
+  (void)tables;
+  const auto hot = hot_table_flags(plan, cfg.hot_tables);
+  const std::uint32_t vpb = cfg.store.vectors_per_block();
+  PlacementMap map;
+  map.tables.resize(plan.tables.size());
+
+  // Running per-node block load; range-split tables and every replica
+  // charge the nodes they land on, so the bin-packing below sees them.
+  std::vector<std::uint64_t> load(cfg.nodes, 0);
+  const auto charge = [&](const std::vector<std::uint32_t>& nodes,
+                          std::uint64_t blocks) {
+    for (const std::uint32_t n : nodes) load[n] += blocks;
+  };
+
+  // Pass 1: range-split the huge tables — one contiguous vector-id range
+  // per node, ring-offset by the table hash so table heads do not all pile
+  // onto node 0.
+  std::vector<std::size_t> small;
+  for (std::size_t t = 0; t < plan.tables.size(); ++t) {
+    const std::uint32_t nv = plan.tables[t].layout.num_vectors();
+    if (cfg.nodes < 2 || nv < cfg.split_min_vectors || nv < cfg.nodes) {
+      small.push_back(t);
+      continue;
+    }
+    const std::uint32_t start =
+        hashed_node(cfg.seed, static_cast<TableId>(t), cfg.nodes);
+    const std::uint32_t parts = cfg.nodes;
+    const std::uint32_t base = nv / parts;
+    const std::uint32_t rem = nv % parts;
+    VectorId lo = 0;
+    for (std::uint32_t j = 0; j < parts; ++j) {
+      const std::uint32_t len = base + (j < rem ? 1 : 0);
+      PlacementMap::Range range;
+      range.lo = lo;
+      range.hi = lo + len;
+      range.nodes = replica_ring((start + j) % cfg.nodes,
+                                 hot[t] ? cfg.replicas : 1, cfg.nodes);
+      charge(range.nodes, blocks_for(len, vpb));
+      map.tables[t].push_back(std::move(range));
+      lo += len;
+    }
+  }
+
+  // Pass 2: greedy bin-packing of the remaining tables, biggest first
+  // (ties by table id so the pack is deterministic), each onto the
+  // least-loaded node at its turn.
+  std::sort(small.begin(), small.end(), [&](std::size_t a, std::size_t b) {
+    const std::uint32_t ba = plan.tables[a].layout.num_blocks();
+    const std::uint32_t bb = plan.tables[b].layout.num_blocks();
+    if (ba != bb) return ba > bb;
+    return a < b;
+  });
+  for (const std::size_t t : small) {
+    std::uint32_t best = 0;
+    for (std::uint32_t n = 1; n < cfg.nodes; ++n) {
+      if (load[n] < load[best]) best = n;
+    }
+    PlacementMap::Range range;
+    range.lo = 0;
+    range.hi = plan.tables[t].layout.num_vectors();
+    range.nodes = replica_ring(best, hot[t] ? cfg.replicas : 1, cfg.nodes);
+    charge(range.nodes, plan.tables[t].layout.num_blocks());
+    map.tables[t].push_back(std::move(range));
+  }
+  return map;
+}
+
+std::unique_ptr<PlacementPolicy> make_placement_policy(
+    const ClusterConfig& cfg) {
+  switch (cfg.placement) {
+    case PlacementKind::kHash:
+      return std::make_unique<HashPlacement>();
+    case PlacementKind::kPlanAware:
+      return std::make_unique<PlanAwarePlacement>();
+  }
+  throw std::invalid_argument("unknown placement kind");
+}
+
+}  // namespace bandana

@@ -1,0 +1,109 @@
+// Table -> node placement for the distributed serving tier.
+//
+// A PlacementMap assigns every logical table a list of contiguous vector-id
+// ranges; each range names the replica nodes serving it (primary first) and
+// the node-local table id the range's values occupy inside each replica's
+// Store. The map is a pure function of (plan, tables, ClusterConfig) — the
+// determinism tests pin that: same seed + config, same map.
+//
+// Two policies live behind the PlacementPolicy seam:
+//  - HashPlacement: every table whole on splitmix64(seed, table) % nodes.
+//  - PlanAwarePlacement: huge tables (>= split_min_vectors) are split into
+//    one contiguous range per node, each range carrying a sub-layout
+//    filtered out of the table's trained SHP order (so intra-block locality
+//    survives the split); the remaining tables are greedily bin-packed onto
+//    the least-loaded node by block count.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "core/trainer.h"
+#include "trace/embedding_table.h"
+
+namespace bandana {
+
+struct ClusterConfig;  // cluster_config.h
+
+struct PlacementMap {
+  /// One contiguous slice [lo, hi) of a logical table, served by
+  /// `nodes[r]` as that node's local table `local_ids[r]`.
+  struct Range {
+    VectorId lo = 0;
+    VectorId hi = 0;
+    std::vector<std::uint32_t> nodes;  ///< Replica nodes, primary first.
+    std::vector<TableId> local_ids;    ///< Per replica: node-local table id.
+
+    bool operator==(const Range&) const = default;
+    std::uint32_t replicas() const {
+      return static_cast<std::uint32_t>(nodes.size());
+    }
+  };
+
+  /// tables[t] = table t's ranges, sorted by lo, covering [0, num_vectors)
+  /// without gaps or overlap.
+  std::vector<std::vector<Range>> tables;
+
+  bool operator==(const PlacementMap&) const = default;
+
+  /// The range serving vector v of table t.
+  const Range& range_of(TableId t, VectorId v) const;
+  /// Index into tables[t] of that range.
+  std::size_t range_index_of(TableId t, VectorId v) const;
+};
+
+/// Placement seam: maps a trained plan onto a cluster topology. place()
+/// fills every Range's [lo, hi) and nodes; the local ids are assigned by
+/// StoreCluster as it registers the ranges with each node's builder (in
+/// deterministic table/range/replica order).
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+  virtual PlacementMap place(const StorePlan& plan,
+                             std::span<const EmbeddingTable> tables,
+                             const ClusterConfig& cfg) const = 0;
+  virtual const char* name() const = 0;
+};
+
+class HashPlacement : public PlacementPolicy {
+ public:
+  PlacementMap place(const StorePlan& plan,
+                     std::span<const EmbeddingTable> tables,
+                     const ClusterConfig& cfg) const override;
+  const char* name() const override { return "hash"; }
+};
+
+class PlanAwarePlacement : public PlacementPolicy {
+ public:
+  PlacementMap place(const StorePlan& plan,
+                     std::span<const EmbeddingTable> tables,
+                     const ClusterConfig& cfg) const override;
+  const char* name() const override { return "plan-aware"; }
+};
+
+/// The policy a ClusterConfig asks for (cfg.placement).
+std::unique_ptr<PlacementPolicy> make_placement_policy(
+    const ClusterConfig& cfg);
+
+/// The top-K tables by plan access mass (sum of access counts, ties broken
+/// by lower table id), as a per-table hot flag. K = cfg.hot_tables.
+std::vector<std::uint8_t> hot_table_flags(const StorePlan& plan,
+                                          std::uint32_t hot_tables);
+
+/// Slice a table's plan to the vector range [lo, hi): the layout order is
+/// filtered to the range's members and re-based to local ids (v - lo), so
+/// SHP's co-access grouping survives; access counts are sliced; the DRAM
+/// budget is split proportionally to the range's share of the table (at
+/// least 1 vector). A full-range slice returns the plan unchanged — that
+/// is what makes a 1-node cluster bit-identical to a bare Store.
+TablePlan slice_table_plan(const TablePlan& plan, VectorId lo, VectorId hi,
+                           std::uint32_t vectors_per_block);
+
+/// Row-copy values for [lo, hi) (local id v maps to source row lo + v).
+EmbeddingTable slice_embedding_table(const EmbeddingTable& values, VectorId lo,
+                                     VectorId hi);
+
+}  // namespace bandana

@@ -1,0 +1,335 @@
+#include "cluster/router.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <utility>
+
+namespace bandana {
+
+ClusterRouter::ClusterRouter(StoreCluster& cluster) : cluster_(cluster) {
+  std::size_t total = 0;
+  range_offset_.reserve(cluster_.placement_.tables.size());
+  for (const auto& ranges : cluster_.placement_.tables) {
+    range_offset_.push_back(total);
+    total += ranges.size();
+  }
+  rr_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+      std::max<std::size_t>(1, total));
+  for (std::size_t i = 0; i < total; ++i) {
+    rr_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+std::int32_t ClusterRouter::pick_replica(TableId t, std::size_t range_idx,
+                                         const PlacementMap::Range& range,
+                                         bool& failover) {
+  failover = false;
+  const std::uint32_t r = range.replicas();
+  // The rotation ticket advances per routing decision (across requests);
+  // within one request the caller caches the choice per (table, range),
+  // which is what keeps a request's repeated keys on one node.
+  const std::uint64_t ticket = rr_[range_offset_[t] + range_idx].fetch_add(
+      1, std::memory_order_relaxed);
+  const std::uint32_t start = static_cast<std::uint32_t>(ticket % r);
+
+  // The balancer's preferred pick, liveness ignored: round-robin takes the
+  // rotation slot; least-outstanding takes the replica whose node carries
+  // the fewest router-outstanding sub-requests (ties resolved in rotation
+  // order, so idle replicas still alternate).
+  std::uint32_t pref = start;
+  if (cluster_.cfg_.read_balance == ReadBalance::kLeastOutstanding) {
+    std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+    for (std::uint32_t i = 0; i < r; ++i) {
+      const std::uint32_t k = (start + i) % r;
+      const std::uint64_t out =
+          cluster_.nodes_[range.nodes[k]]->outstanding.load(
+              std::memory_order_relaxed);
+      if (out < best) {
+        best = out;
+        pref = k;
+      }
+    }
+  }
+  // Serve from the preferred replica, or fail over to the next alive one.
+  for (std::uint32_t i = 0; i < r; ++i) {
+    const std::uint32_t k = (pref + i) % r;
+    const std::uint32_t n = range.nodes[k];
+    if (!cluster_.nodes_[n]->down.load(std::memory_order_acquire)) {
+      failover = i > 0;
+      return static_cast<std::int32_t>(n);
+    }
+  }
+  return -1;  // every replica down
+}
+
+ClusterRouter::Scatter ClusterRouter::scatter(const MultiGetRequest& request) {
+  const PlacementMap& pm = cluster_.placement_;
+  // Validate the whole request before routing mutates anything (the
+  // Store::multi_get contract: throw before any part is served).
+  for (const auto& get : request.gets) {
+    if (get.table >= cluster_.num_tables()) {
+      throw std::out_of_range("cluster multi_get: bad table id " +
+                              std::to_string(get.table));
+    }
+    const std::uint32_t nv = cluster_.table_vectors_[get.table];
+    for (const VectorId v : get.ids) {
+      if (v >= nv) {
+        throw std::out_of_range("cluster multi_get: bad vector id " +
+                                std::to_string(v) + " for table " +
+                                std::to_string(get.table));
+      }
+    }
+  }
+
+  Scatter sc;
+  sc.slots.resize(request.gets.size());
+  // node -> index into sc.subs (one sub-request per contacted node: the
+  // node-local Store dedups block reads across its whole sub-request).
+  std::vector<std::int32_t> node_sub(cluster_.num_nodes(), -1);
+  // Replica choice per (table, range), made once per request.
+  constexpr std::int32_t kUnrouted = -2;
+  std::vector<std::pair<std::size_t, std::int32_t>> choices;
+  for (std::size_t g = 0; g < request.gets.size(); ++g) {
+    const auto& get = request.gets[g];
+    sc.slots[g].resize(get.ids.size());
+    // (node, local table) -> entry in that node's sub-request, for THIS
+    // get: each original get maps to its own sub-request entries, so the
+    // merged result keeps the request's shape.
+    std::vector<std::tuple<std::int32_t, TableId, std::uint32_t>> entries;
+    for (std::size_t i = 0; i < get.ids.size(); ++i) {
+      const VectorId v = get.ids[i];
+      const std::size_t ri = pm.range_index_of(get.table, v);
+      const PlacementMap::Range& range = pm.tables[get.table][ri];
+      const std::size_t flat = range_offset_[get.table] + ri;
+
+      std::int32_t chosen = kUnrouted;
+      for (const auto& c : choices) {
+        if (c.first == flat) {
+          chosen = c.second;
+          break;
+        }
+      }
+      if (chosen == kUnrouted) {
+        bool failover = false;
+        chosen = pick_replica(get.table, ri, range, failover);
+        if (failover) ++sc.failovers;
+        if (chosen < 0) ++sc.failed_sub_requests;  // counted once per range
+        choices.emplace_back(flat, chosen);
+      }
+      if (chosen < 0) {
+        ++sc.failed_lookups;  // slot stays sub = -1: zero-filled at merge
+        continue;
+      }
+
+      const auto rep =
+          std::find(range.nodes.begin(), range.nodes.end(),
+                    static_cast<std::uint32_t>(chosen)) -
+          range.nodes.begin();
+      const TableId local = range.local_ids[static_cast<std::size_t>(rep)];
+      if (node_sub[chosen] < 0) {
+        node_sub[chosen] = static_cast<std::int32_t>(sc.subs.size());
+        sc.subs.push_back({static_cast<std::uint32_t>(chosen), {}, {}});
+      }
+      SubRequest& sub = sc.subs[static_cast<std::size_t>(node_sub[chosen])];
+
+      std::int32_t entry = -1;
+      for (const auto& [en, el, ei] : entries) {
+        if (en == chosen && el == local) {
+          entry = static_cast<std::int32_t>(ei);
+          break;
+        }
+      }
+      if (entry < 0) {
+        entry = static_cast<std::int32_t>(sub.req.gets.size());
+        sub.req.gets.push_back({local, {}});
+        sub.entry_get.push_back(g);
+        entries.emplace_back(chosen, local,
+                             static_cast<std::uint32_t>(entry));
+      }
+      auto& ids = sub.req.gets[static_cast<std::size_t>(entry)].ids;
+      sc.slots[g][i] = {node_sub[chosen], static_cast<std::uint32_t>(entry),
+                        static_cast<std::uint32_t>(ids.size())};
+      ids.push_back(v - range.lo);
+    }
+  }
+  return sc;
+}
+
+ClusterMultiGetResult ClusterRouter::merge(
+    const MultiGetRequest& request, Scatter&& sc,
+    std::vector<MultiGetResult>&& sub_results) {
+  const std::size_t vb = cluster_.cfg_.store.vector_bytes;
+  ClusterMultiGetResult out;
+  out.sub_requests = sc.subs.size();
+  out.failed_sub_requests = sc.failed_sub_requests;
+  out.failed_lookups = sc.failed_lookups;
+  out.failovers = sc.failovers;
+
+  MultiGetResult& res = out.result;
+  res.vectors.resize(request.gets.size());
+  res.per_table.resize(request.gets.size());
+  for (std::size_t g = 0; g < request.gets.size(); ++g) {
+    // Zero-filled: ids lost to a down node keep deterministic bytes.
+    res.vectors[g].assign(request.gets[g].ids.size() * vb, std::byte{0});
+  }
+
+  for (std::size_t s = 0; s < sc.subs.size(); ++s) {
+    const MultiGetResult& sub_res = sub_results[s];
+    // A degraded node inflates its sub-request's service latency; the
+    // merged request completes with its slowest sub-request, so one slow
+    // node drags the whole request's tail.
+    const double scaled = sub_res.service_latency_us *
+                          cluster_.node_degrade(sc.subs[s].node);
+    res.service_latency_us = std::max(res.service_latency_us, scaled);
+    res.block_reads += sub_res.block_reads;
+    for (std::size_t e = 0; e < sub_res.per_table.size(); ++e) {
+      auto& stats = res.per_table[sc.subs[s].entry_get[e]];
+      stats.hits += sub_res.per_table[e].hits;
+      stats.block_reads += sub_res.per_table[e].block_reads;
+    }
+  }
+  for (std::size_t g = 0; g < request.gets.size(); ++g) {
+    for (std::size_t i = 0; i < request.gets[g].ids.size(); ++i) {
+      const IdSlot& slot = sc.slots[g][i];
+      if (slot.sub < 0) continue;
+      const auto& src =
+          sub_results[static_cast<std::size_t>(slot.sub)].vectors[slot.entry];
+      std::memcpy(res.vectors[g].data() + i * vb,
+                  src.data() + std::size_t{slot.offset} * vb, vb);
+    }
+    // Lost ids count as misses: they were not served from DRAM (the
+    // failed_lookups counter is the authoritative loss report).
+    res.per_table[g].misses =
+        request.gets[g].ids.size() - res.per_table[g].hits;
+  }
+  return out;
+}
+
+namespace {
+void bump(std::atomic<std::uint64_t>& c, std::uint64_t v) {
+  if (v) c.fetch_add(v, std::memory_order_relaxed);
+}
+}  // namespace
+
+ClusterMultiGetResult ClusterRouter::multi_get(const MultiGetRequest& request) {
+  Scatter sc = scatter(request);
+  std::vector<MultiGetResult> sub_results(sc.subs.size());
+  for (std::size_t s = 0; s < sc.subs.size(); ++s) {
+    auto& node = *cluster_.nodes_[sc.subs[s].node];
+    node.outstanding.fetch_add(1, std::memory_order_relaxed);
+    sub_results[s] = node.store->multi_get(sc.subs[s].req);
+    node.outstanding.fetch_sub(1, std::memory_order_relaxed);
+  }
+  ClusterMultiGetResult out =
+      merge(request, std::move(sc), std::move(sub_results));
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  bump(sub_requests_, out.sub_requests);
+  bump(failed_sub_requests_, out.failed_sub_requests);
+  bump(failed_lookups_, out.failed_lookups);
+  bump(failovers_, out.failovers);
+  {
+    std::lock_guard lock(latency_mu_);
+    request_latency_.add(out.result.service_latency_us);
+  }
+  return out;
+}
+
+std::future<ClusterMultiGetResult> ClusterRouter::multi_get_async(
+    MultiGetRequest request, ThreadPool& pool) {
+  struct AsyncState {
+    MultiGetRequest request;
+    Scatter sc;
+    std::vector<MultiGetResult> sub_results;
+    std::vector<double> arrivals;
+    std::atomic<std::size_t> remaining{0};
+    std::mutex error_mu;
+    std::exception_ptr error;
+    std::promise<ClusterMultiGetResult> promise;
+  };
+  auto state = std::make_shared<AsyncState>();
+  state->request = std::move(request);
+  state->sc = scatter(state->request);  // bad requests throw here, inline
+  auto future = state->promise.get_future();
+
+  const std::size_t n_subs = state->sc.subs.size();
+  const auto finish = [this, state] {
+    {
+      std::lock_guard lock(state->error_mu);
+      if (state->error) {
+        state->promise.set_exception(state->error);
+        return;
+      }
+    }
+    ClusterMultiGetResult out =
+        merge(state->request, std::move(state->sc),
+              std::move(state->sub_results));
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    bump(sub_requests_, out.sub_requests);
+    bump(failed_sub_requests_, out.failed_sub_requests);
+    bump(failed_lookups_, out.failed_lookups);
+    bump(failovers_, out.failovers);
+    {
+      std::lock_guard lock(latency_mu_);
+      request_latency_.add(out.result.service_latency_us);
+    }
+    state->promise.set_value(std::move(out));
+  };
+  if (n_subs == 0) {
+    // Nothing routable (empty request, or everything down): settle now.
+    finish();
+    return future;
+  }
+
+  state->sub_results.resize(n_subs);
+  state->arrivals.resize(n_subs);
+  state->remaining.store(n_subs, std::memory_order_relaxed);
+  for (std::size_t s = 0; s < n_subs; ++s) {
+    auto& node = *cluster_.nodes_[state->sc.subs[s].node];
+    // Arrival stamped at submission (each node's own clock), and the
+    // outstanding count raised before the task queues — a concurrent
+    // least-outstanding pick must see queued-but-unserved work.
+    state->arrivals[s] = node.store->now_us();
+    node.outstanding.fetch_add(1, std::memory_order_relaxed);
+  }
+  for (std::size_t s = 0; s < n_subs; ++s) {
+    // Tasks call the node store synchronously and count down; the last one
+    // merges. No task ever waits on another, so any pool size progresses.
+    pool.submit([this, state, s, finish] {
+      auto& node = *cluster_.nodes_[state->sc.subs[s].node];
+      try {
+        state->sub_results[s] =
+            node.store->multi_get(state->sc.subs[s].req, state->arrivals[s]);
+      } catch (...) {
+        std::lock_guard lock(state->error_mu);
+        if (!state->error) state->error = std::current_exception();
+      }
+      node.outstanding.fetch_sub(1, std::memory_order_relaxed);
+      if (state->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        finish();
+      }
+    });
+  }
+  return future;
+}
+
+RouterMetrics ClusterRouter::metrics() const {
+  RouterMetrics m;
+  m.requests = requests_.load(std::memory_order_relaxed);
+  m.sub_requests = sub_requests_.load(std::memory_order_relaxed);
+  m.failed_sub_requests =
+      failed_sub_requests_.load(std::memory_order_relaxed);
+  m.failed_lookups = failed_lookups_.load(std::memory_order_relaxed);
+  m.failovers = failovers_.load(std::memory_order_relaxed);
+  return m;
+}
+
+LatencyRecorder ClusterRouter::request_latency_us() const {
+  std::lock_guard lock(latency_mu_);
+  return request_latency_;
+}
+
+}  // namespace bandana

@@ -1,0 +1,198 @@
+// bandana::StoreCluster — the distributed serving tier: N node-local
+// Stores (each with its own NvmIoEngine, DRAM cache, and block-storage
+// backend) behind a placement policy, with R-way replication of the
+// popularity-head tables and per-node fault injection.
+//
+// Construction mirrors Store::from_plan, plus the topology:
+//
+//   ClusterConfig ccfg;
+//   ccfg.nodes = 4; ccfg.replicas = 2; ccfg.hot_tables = 2;
+//   ccfg.placement = PlacementKind::kPlanAware;
+//   ccfg.store = cfg;                      // per-node StoreConfig
+//   StoreCluster cluster(ccfg, plan, tables);
+//   ClusterMultiGetResult res = cluster.router().multi_get(req);
+//
+// Requests address LOGICAL tables (the plan's numbering); the router
+// scatters them into per-node sub-requests against each node's local
+// table ids (cluster/router.h) and merges the results byte-identically
+// with the single-node path: a cluster with nodes=1, replicas=1 returns
+// the same bytes, the same metrics counters, and the same latencies as a
+// bare Store built from the same plan and seed.
+//
+// Fault injection: a node can be marked down (its replicas stop being
+// routable — lookups fail over to alive replicas, and ids with no alive
+// replica are zero-filled and counted in the per-request partial-failure
+// report) or degraded (a latency multiplier applied to its sub-request
+// service latency at merge — a simple tail-inflation model of a busy or
+// throttled node). Fault injection models the SERVING path only: the
+// republish paths below still write to down nodes, so data is never lost
+// and a node marked back up serves fresh bytes.
+//
+// Retraining pushes go through the cluster, not a single store: republish
+// and begin_trickle_republish fan a new plan out to every replica of
+// every range of the changed table (slicing the plan and values per range
+// for split tables).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "cluster/cluster_config.h"
+#include "cluster/placement.h"
+#include "core/metrics.h"
+#include "core/store.h"
+#include "core/trainer.h"
+#include "nvm/block_storage.h"
+#include "trace/embedding_table.h"
+
+namespace bandana {
+
+class ClusterRouter;  // cluster/router.h
+
+/// Router-side counters: requests routed, sub-requests dispatched and
+/// lost, lookups zero-filled, and replica failovers.
+struct RouterMetrics {
+  std::uint64_t requests = 0;          ///< Cluster multi_gets served.
+  std::uint64_t sub_requests = 0;      ///< Per-node requests dispatched.
+  std::uint64_t failed_sub_requests = 0;  ///< Per-request (table, range)
+                                          ///< groups with no alive replica.
+  std::uint64_t failed_lookups = 0;    ///< Ids zero-filled by those losses.
+  std::uint64_t failovers = 0;         ///< Routing decisions pushed off the
+                                       ///< balancer's pick by a down node.
+
+  RouterMetrics& merge(const RouterMetrics& o) {
+    requests += o.requests;
+    sub_requests += o.sub_requests;
+    failed_sub_requests += o.failed_sub_requests;
+    failed_lookups += o.failed_lookups;
+    failovers += o.failovers;
+    return *this;
+  }
+  RouterMetrics& operator+=(const RouterMetrics& o) { return merge(o); }
+};
+
+/// Cluster-wide rollup: every node's TableMetrics and StoreMetrics merged
+/// (core/metrics.h merge()), the router counters, and the per-node
+/// snapshots the rollup was built from. A 1-node cluster's rollup equals
+/// the bare store's snapshots field for field.
+struct ClusterMetrics {
+  TableMetrics tables;
+  StoreMetrics store;
+  RouterMetrics router;
+  std::vector<TableMetrics> per_node_tables;
+  std::vector<StoreMetrics> per_node_store;
+};
+
+/// One cluster-wide trickle republish: a per-replica TrickleRepublish
+/// session for every (range, replica) of the table. pump() pumps every
+/// session (each node's rate limiter gates its own writes); done() once
+/// every replica swapped. Destroying it unfinished abandons every
+/// outstanding session (those replicas keep serving the old plan).
+class ClusterRepublish {
+ public:
+  /// Pump every session once; returns blocks written across the cluster.
+  std::size_t pump();
+  /// True once every replica's session completed.
+  bool done() const;
+  /// True if any replica installed a new mapping.
+  bool mapping_swapped() const;
+
+  TableId table() const { return table_; }
+  std::size_t sessions() const { return sessions_.size(); }
+  std::uint64_t total_blocks() const;
+  std::uint64_t written_blocks() const;
+  std::uint64_t skipped_blocks() const;
+
+ private:
+  friend class StoreCluster;
+  explicit ClusterRepublish(TableId t) : table_(t) {}
+  TableId table_;
+  std::vector<TrickleRepublish> sessions_;
+};
+
+class StoreCluster {
+ public:
+  /// Build the cluster from a trained plan. `tables[i]` holds the values
+  /// for `plan.tables[i]`; node n's store is seeded cfg.seed + n. The
+  /// storage factory (default: heap memory) is invoked once per node — a
+  /// file-backed cluster needs a factory that derives a distinct path per
+  /// invocation. `placement` overrides the policy cfg.placement names.
+  StoreCluster(ClusterConfig cfg, const StorePlan& plan,
+               std::span<const EmbeddingTable> tables,
+               BlockStorageFactory storage_factory = nullptr,
+               const PlacementPolicy* placement = nullptr);
+  ~StoreCluster();
+
+  StoreCluster(const StoreCluster&) = delete;
+  StoreCluster& operator=(const StoreCluster&) = delete;
+
+  std::uint32_t num_nodes() const {
+    return static_cast<std::uint32_t>(nodes_.size());
+  }
+  /// Logical tables (the plan's numbering, which requests address).
+  std::size_t num_tables() const { return table_vectors_.size(); }
+  std::uint32_t table_vectors(TableId t) const { return table_vectors_[t]; }
+  const PlacementMap& placement() const { return placement_; }
+  const ClusterConfig& config() const { return cfg_; }
+
+  Store& node(std::uint32_t n) { return *nodes_[n]->store; }
+  const Store& node(std::uint32_t n) const { return *nodes_[n]->store; }
+
+  /// The scatter-gather serving front end (cluster/router.h).
+  ClusterRouter& router() { return *router_; }
+
+  // --- Fault injection (serving path only; see file comment) ---
+  void set_node_down(std::uint32_t n, bool down);
+  void set_node_degraded(std::uint32_t n, double latency_multiplier);
+  bool node_down(std::uint32_t n) const;
+  double node_degrade(std::uint32_t n) const;
+
+  // --- Metrics ---
+  /// Cluster-wide rollup (per-node snapshots merged + router counters).
+  ClusterMetrics metrics() const;
+  /// Logical table t's counters, merged over its ranges and replicas.
+  TableMetrics table_metrics(TableId t) const;
+
+  // --- Retraining pushes (fan out to every replica of the table) ---
+  /// One-shot in-place republish on every replica; returns the slowest
+  /// replica's write-wave latency.
+  double republish(TableId t, const EmbeddingTable& values, double day = 0.0);
+  /// Rate-limited trickle republish on every replica (one session per
+  /// (range, replica); split tables get per-range plan/value slices).
+  ClusterRepublish begin_trickle_republish(TableId t,
+                                           const EmbeddingTable& values,
+                                           const TablePlan& plan,
+                                           const RepublishConfig& republish_cfg,
+                                           double day = 0.0);
+
+  /// Advance every node's simulated clock (arrival pacing).
+  void advance_time_us(double delta);
+  /// Node 0's clock (all nodes advance in lockstep through the cluster).
+  double now_us() const;
+
+  /// Epoch-reclaim pass on every table of every node; returns states freed.
+  std::size_t reclaim_retired_states();
+  std::size_t retired_states() const;
+
+ private:
+  friend class ClusterRouter;
+
+  struct Node {
+    std::unique_ptr<Store> store;
+    std::atomic<bool> down{false};
+    std::atomic<double> degrade{1.0};
+    /// Router-outstanding sub-requests (the kLeastOutstanding signal).
+    std::atomic<std::uint64_t> outstanding{0};
+  };
+
+  ClusterConfig cfg_;
+  PlacementMap placement_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::uint32_t> table_vectors_;
+  std::unique_ptr<ClusterRouter> router_;
+};
+
+}  // namespace bandana

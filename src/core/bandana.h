@@ -12,6 +12,8 @@
 #include "cache/lru_cache.h"        // IWYU pragma: export
 #include "cache/mini_cache.h"       // IWYU pragma: export
 #include "cache/sharded_lru.h"      // IWYU pragma: export
+#include "cluster/router.h"         // IWYU pragma: export
+#include "cluster/store_cluster.h"  // IWYU pragma: export
 #include "core/config.h"            // IWYU pragma: export
 #include "core/metrics.h"           // IWYU pragma: export
 #include "core/request.h"           // IWYU pragma: export

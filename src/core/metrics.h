@@ -30,7 +30,11 @@ struct TableMetrics {
                           : 0.0;
   }
 
-  TableMetrics& operator+=(const TableMetrics& o) {
+  /// Snapshot aggregation: fold another table's (or node's) counters into
+  /// this rollup. The per-table rollups (Store::total_metrics, the bench
+  /// sweeps) and the cluster-wide rollup (cluster/store_cluster.h) all go
+  /// through here.
+  TableMetrics& merge(const TableMetrics& o) {
     lookups += o.lookups;
     hits += o.hits;
     nvm_block_reads += o.nvm_block_reads;
@@ -42,6 +46,8 @@ struct TableMetrics {
     republish_writes += o.republish_writes;
     return *this;
   }
+
+  TableMetrics& operator+=(const TableMetrics& o) { return merge(o); }
 };
 
 /// Store-wide counters of the staged (batched real-I/O) read pipeline.
@@ -73,7 +79,11 @@ struct StoreMetrics {
                                          ///< completed and swapped a table's
                                          ///< block mapping.
 
-  StoreMetrics& operator+=(const StoreMetrics& o) {
+  /// Snapshot aggregation: fold another store's counters into this rollup
+  /// (the cluster tier merges every node's snapshot into one
+  /// ClusterMetrics; a 1-node cluster's merged rollup is field-identical
+  /// to the bare store's snapshot).
+  StoreMetrics& merge(const StoreMetrics& o) {
     staged_blocks += o.staged_blocks;
     stage_truncated_blocks += o.stage_truncated_blocks;
     deferred_lookups += o.deferred_lookups;
@@ -85,6 +95,8 @@ struct StoreMetrics {
     mapping_swaps += o.mapping_swaps;
     return *this;
   }
+
+  StoreMetrics& operator+=(const StoreMetrics& o) { return merge(o); }
 };
 
 /// Write side of StoreMetrics: bumped from concurrent request streams with

@@ -143,7 +143,9 @@ std::size_t OnlineRetrainer::retrain_impl() {
       chosen.push_back(table_id);
       traces.push_back(std::move(trace));
       sizes.push_back(store_.table(table_id).num_vectors());
-      capacity_sum += store_.table(table_id).policy().cache_vectors;
+      // Snapshot, not a reference: a pump on another thread may swap (and
+      // reclaim) this table's state while we read its policy.
+      capacity_sum += store_.table(table_id).policy_snapshot().cache_vectors;
     }
     if (chosen.empty()) return 0;
     ++stats_.retrains;

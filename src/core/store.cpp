@@ -370,6 +370,12 @@ MultiGetResult Store::multi_get(const MultiGetRequest& request) {
   return multi_get_impl(request, /*arrival_us=*/-1.0);
 }
 
+MultiGetResult Store::multi_get(const MultiGetRequest& request,
+                                double arrival_us) {
+  std::shared_lock storage_lock(*storage_mu_);
+  return multi_get_impl(request, arrival_us);
+}
+
 MultiGetResult Store::multi_get_impl(const MultiGetRequest& request,
                                      double arrival_us) {
   const std::size_t vb = config_.vector_bytes;
@@ -809,7 +815,7 @@ const BandanaTable& Store::table(TableId t) const {
 
 TableMetrics Store::total_metrics() const {
   TableMetrics total;
-  for (const auto& table : tables_) total += table->metrics();
+  for (const auto& table : tables_) total.merge(table->metrics());
   return total;
 }
 
@@ -831,6 +837,20 @@ LatencyRecorder Store::write_latency_us() const {
 EnduranceTracker Store::endurance() const {
   std::lock_guard lock(*timing_mu_);
   return endurance_;
+}
+
+std::size_t Store::reclaim_retired_states() {
+  std::shared_lock lock(*storage_mu_);
+  std::size_t freed = 0;
+  for (const auto& table : tables_) freed += table->reclaim_retired();
+  return freed;
+}
+
+std::size_t Store::retired_states() const {
+  std::shared_lock lock(*storage_mu_);
+  std::size_t n = 0;
+  for (const auto& table : tables_) n += table->retired_count();
+  return n;
 }
 
 void Store::advance_time_us(double delta) {

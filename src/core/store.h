@@ -129,6 +129,13 @@ class Store {
   /// table or vector id, before any part of the request is served.
   MultiGetResult multi_get(const MultiGetRequest& request);
 
+  /// multi_get with an explicit simulated arrival timestamp (negative =
+  /// current clock). The cluster router stamps every node sub-request with
+  /// the request's arrival at scatter time, so sub-requests served later
+  /// (async gather) keep their true arrival order — the same contract
+  /// multi_get_async implements internally.
+  MultiGetResult multi_get(const MultiGetRequest& request, double arrival_us);
+
   /// Asynchronous multi_get on `pool`. The request is moved onto the task;
   /// per-shard cache locks let concurrent requests proceed in parallel,
   /// even within one table.
@@ -222,6 +229,14 @@ class Store {
   /// The backing storage (memory or file). Valid once a table exists or
   /// reserve_blocks ran.
   const BlockStorage& storage() const { return *storage_; }
+
+  /// Force one epoch-reclaim pass on every table, freeing retired swap
+  /// states no straggling lookup can still reference. Each completed
+  /// trickle swap already runs a pass on its table; long-lived serving
+  /// loops call this to drain stragglers. Returns states freed.
+  std::size_t reclaim_retired_states();
+  /// Retired table states still awaiting reclamation, summed over tables.
+  std::size_t retired_states() const;
 
   /// Advance the simulated clock (e.g. between request arrivals).
   void advance_time_us(double delta);

@@ -224,19 +224,86 @@ std::vector<BlockId> BandanaTable::swap_state(RetrainedState next) {
   // shard lock, so no ordering hazard). A lookup that loaded the old state
   // pointer re-validates it under its shard lock and retries — it never
   // mutates the retired state.
-  std::vector<std::unique_lock<std::mutex>> locks;
-  locks.reserve(shards_.size());
-  for (auto& shard : shards_) locks.emplace_back(shard->mu);
-  const std::size_t slab_needed = fresh->cache.capacity() * vector_bytes_;
-  if (slab_needed > slab_.size()) slab_.resize(slab_needed);
-  retired_.push_back(std::move(state_owner_));
-  state_owner_ = std::move(fresh);
-  state_.store(state_owner_.get(), std::memory_order_release);
+  std::unique_ptr<State> old;
+  {
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(shards_.size());
+    for (auto& shard : shards_) locks.emplace_back(shard->mu);
+    const std::size_t slab_needed = fresh->cache.capacity() * vector_bytes_;
+    if (slab_needed > slab_.size()) slab_.resize(slab_needed);
+    old = std::move(state_owner_);
+    state_owner_ = std::move(fresh);
+    // seq_cst pairs with the reader guards' enter + state load: a reader
+    // the reclaim pass does not observe entered is ordered after this
+    // store and therefore loads the NEW state, never the one retired here.
+    state_.store(state_owner_.get(), std::memory_order_seq_cst);
+  }
+  // Retire outside the shard locks (readers never take reclaim_mu_) and
+  // immediately run a reclaim pass: with no straggling readers the old
+  // state is freed right here, and under load it goes once both banks
+  // drain on later passes.
+  {
+    std::lock_guard reclaim_lock(reclaim_mu_);
+    retired_.push_back({std::move(old), ++retire_seq_});
+    reclaim_retired_locked();
+  }
   return freed;
 }
 
+bool BandanaTable::bank_drained(std::uint32_t bank) const {
+  for (std::uint32_t s = 0; s < kReaderSlots; ++s) {
+    const ReaderSlot& slot = reader_banks_[bank][s];
+    // Load exited BEFORE entered: both are monotone and an exit is always
+    // preceded by its enter, so exited(t1) == entered(t2) with t1 < t2
+    // forces entered(t1) == exited(t1) (nobody inside at t1) and
+    // entered(t2) == entered(t1) (nobody entered since) — the slot held no
+    // reader that predates this check.
+    const std::uint64_t exited = slot.exited.load(std::memory_order_seq_cst);
+    const std::uint64_t entered = slot.entered.load(std::memory_order_seq_cst);
+    if (entered != exited) return false;
+  }
+  return true;
+}
+
+std::size_t BandanaTable::reclaim_retired_locked() {
+  if (retired_.empty()) return 0;
+  // Everything retired so far predates the bank observations below (both
+  // happen under reclaim_mu_), so a drained bank covers retire_seq_.
+  const std::uint64_t seq = retire_seq_;
+  // Flip first: new readers move to the other bank, so the bank the
+  // previous pass left busy gets its chance to drain by the next pass
+  // even under a continuous read stream.
+  reader_gen_.fetch_add(1, std::memory_order_seq_cst);
+  for (std::uint32_t bank = 0; bank < 2; ++bank) {
+    if (bank_drained(bank)) bank_drained_seq_[bank] = seq;
+  }
+  const std::uint64_t safe =
+      std::min(bank_drained_seq_[0], bank_drained_seq_[1]);
+  std::size_t freed = 0;
+  for (auto it = retired_.begin(); it != retired_.end();) {
+    if (it->seq <= safe) {
+      it = retired_.erase(it);
+      ++freed;
+    } else {
+      ++it;
+    }
+  }
+  return freed;
+}
+
+std::size_t BandanaTable::reclaim_retired() {
+  std::lock_guard lock(reclaim_mu_);
+  return reclaim_retired_locked();
+}
+
+std::size_t BandanaTable::retired_count() const {
+  std::lock_guard lock(reclaim_mu_);
+  return retired_.size();
+}
+
 std::vector<BlockId> BandanaTable::block_map() const {
-  const State* st = state_.load(std::memory_order_acquire);
+  ReadGuard guard(*this);
+  const State* st = state_.load(std::memory_order_seq_cst);
   return st->block_map;
 }
 
@@ -302,7 +369,9 @@ bool BandanaTable::is_cached(VectorId v) const {
   // Read-only peek: a state retired between the load and the lock is never
   // mutated again, so its answer is merely stale (the staged_only lookup
   // pipeline re-checks under the lock and defers on any disagreement).
-  const State* st = state_.load(std::memory_order_acquire);
+  // The guard keeps a just-retired state alive across the deref.
+  ReadGuard guard(*this);
+  const State* st = state_.load(std::memory_order_seq_cst);
   std::lock_guard lock(shards_[st->cache.shard_of(v)]->mu);
   return st->cache.contains(v);
 }
@@ -312,7 +381,11 @@ BandanaTable::LookupOutcome BandanaTable::lookup(
     std::uint64_t epoch, const StagedBlockReads* staged, bool staged_only) {
   assert(v < num_vectors_);
   assert(out.size() >= vector_bytes_);
-  State* st = state_.load(std::memory_order_acquire);
+  // The guard spans the whole retry loop: every state pointer loaded below
+  // stays alive until we return, even if a concurrent swap retires it and
+  // a reclaim pass runs before we reach the shard lock.
+  ReadGuard guard(*this);
+  State* st = state_.load(std::memory_order_seq_cst);
   for (;;) {
     // Everything a lookup touches — the cache entry, the block, its other
     // members, the shadow entry, the slab slots — lives in the one shard
@@ -412,7 +485,8 @@ BandanaTable::LookupOutcome BandanaTable::lookup_locked(
 }
 
 CacheShardStats BandanaTable::shard_stats(std::uint32_t s) const {
-  const State* st = state_.load(std::memory_order_acquire);
+  ReadGuard guard(*this);
+  const State* st = state_.load(std::memory_order_seq_cst);
   std::lock_guard lock(shards_[s]->mu);
   return st->cache.shard_stats(s);
 }
@@ -426,7 +500,8 @@ CacheShardStats BandanaTable::cache_stats() const {
 }
 
 std::vector<VectorId> BandanaTable::cache_contents() const {
-  const State* st = state_.load(std::memory_order_acquire);
+  ReadGuard guard(*this);
+  const State* st = state_.load(std::memory_order_seq_cst);
   std::vector<VectorId> out;
   for (std::uint32_t s = 0; s < num_shards_; ++s) {
     std::lock_guard lock(shards_[s]->mu);

@@ -25,6 +25,23 @@
 // exclusion against lookups (Store holds its storage mutex uniquely around
 // them). swap_state only requires exclusion against other swaps/publishes
 // (Store's shared storage lock + one trickle session per table).
+//
+// Retired states are reclaimed with a two-bank epoch scheme instead of
+// being kept for the table's lifetime: every state-dereferencing reader
+// enters a striped reader bank (selected by the current generation parity)
+// before loading the state pointer and exits it when done. A reclaim pass
+// (run by every swap_state, and on demand via reclaim_retired) flips the
+// generation so new readers land on the other bank, then observes each
+// bank's per-slot entered/exited counters: a bank whose slots all read
+// exited == entered (exited loaded first — both counters are monotone, so
+// equality proves the slot was empty at the first load and stayed
+// untouched until the second) holds no reader that predates the pass. A
+// retired state is freed once BOTH banks have been observed drained after
+// its retirement, so a straggler that loaded the old pointer just before
+// the swap always keeps it alive until it exits. Under a continuous read
+// stream each pass drains the bank the previous pass flipped away from,
+// so the retired list stays bounded by a couple of retrain cycles rather
+// than growing with every push.
 #pragma once
 
 #include <atomic>
@@ -130,7 +147,8 @@ class BandanaTable {
   /// after — the staged_only lookup pipeline re-checks under the shard
   /// lock and defers on any disagreement.
   BlockId global_block_of(VectorId v) const {
-    const State* st = state_.load(std::memory_order_acquire);
+    ReadGuard guard(*this);
+    const State* st = state_.load(std::memory_order_seq_cst);
     return st->block_map[st->layout.block_of(v)];
   }
 
@@ -172,14 +190,22 @@ class BandanaTable {
   std::uint32_t num_vectors() const { return num_vectors_; }
   std::uint32_t num_blocks() const { return num_blocks_; }
   BlockId first_block() const { return first_block_; }
-  /// Current layout / policy / access counts. References into the current
-  /// state: valid for the table's lifetime (retired states are kept), but
-  /// a concurrent swap makes them describe the *previous* mapping.
+  /// Current layout / policy. References into the current state: the
+  /// caller must hold exclusion against swap_state of this table (Store's
+  /// unique storage lock, or the table's trickle claim) — a swapped-out
+  /// state is reclaimed once no reader epoch can still hold it, so an
+  /// unexcluded reference may dangle. Unlocked callers that only need the
+  /// policy use policy_snapshot().
   const BlockLayout& layout() const {
     return state_.load(std::memory_order_acquire)->layout;
   }
   const TablePolicy& policy() const {
     return state_.load(std::memory_order_acquire)->policy;
+  }
+  /// By-value policy read, safe against concurrent swap + reclamation.
+  TablePolicy policy_snapshot() const {
+    ReadGuard guard(*this);
+    return state_.load(std::memory_order_seq_cst)->policy;
   }
   std::size_t vector_bytes() const { return vector_bytes_; }
 
@@ -196,6 +222,16 @@ class BandanaTable {
   /// Cached ids, shard by shard, each MRU->LRU (test/diagnostic; takes the
   /// shard locks). With one shard this is the exact LRU eviction order.
   std::vector<VectorId> cache_contents() const;
+
+  /// Run one reclaim pass: flip the reader generation, observe both banks,
+  /// and free every retired state whose retirement is covered by a drain
+  /// observation of each bank. Returns states freed. swap_state runs a
+  /// pass automatically; long-lived serving loops (or tests) call this to
+  /// drain stragglers from earlier swaps.
+  std::size_t reclaim_retired();
+
+  /// Retired states still awaiting reclamation (diagnostic).
+  std::size_t retired_count() const;
 
  private:
   /// Everything derived from one (layout, block map, policy) triple.
@@ -235,6 +271,56 @@ class BandanaTable {
     std::vector<std::byte> block_buf;  ///< scratch for block reads
   };
 
+  /// Reader-epoch machinery. A reader enters one striped slot of the bank
+  /// named by the generation's parity, loads the state pointer (both with
+  /// seq_cst, so a reclaim pass that reads the counters and misses the
+  /// enter is globally ordered before it — and the reader's state load
+  /// then sees the post-swap pointer, never the retired state), and exits
+  /// the same slot on destruction. Slots are thread-striped to keep the
+  /// hot-path RMW on a mostly-private cache line.
+  static constexpr std::uint32_t kReaderSlots = 16;
+  struct alignas(64) ReaderSlot {
+    std::atomic<std::uint64_t> entered{0};
+    std::atomic<std::uint64_t> exited{0};
+  };
+  static std::uint32_t reader_slot() {
+    static std::atomic<std::uint32_t> next{0};
+    thread_local const std::uint32_t slot =
+        next.fetch_add(1, std::memory_order_relaxed) % kReaderSlots;
+    return slot;
+  }
+  class ReadGuard {
+   public:
+    explicit ReadGuard(const BandanaTable& t)
+        : t_(&t),
+          bank_(static_cast<std::uint32_t>(
+              t.reader_gen_.load(std::memory_order_relaxed) & 1)),
+          slot_(reader_slot()) {
+      t_->reader_banks_[bank_][slot_].entered.fetch_add(
+          1, std::memory_order_seq_cst);
+    }
+    ReadGuard(const ReadGuard&) = delete;
+    ReadGuard& operator=(const ReadGuard&) = delete;
+    ~ReadGuard() {
+      t_->reader_banks_[bank_][slot_].exited.fetch_add(
+          1, std::memory_order_release);
+    }
+
+   private:
+    const BandanaTable* t_;
+    std::uint32_t bank_;
+    std::uint32_t slot_;
+  };
+  /// One retired state plus the retirement sequence it must outlive.
+  struct RetiredState {
+    std::unique_ptr<State> state;
+    std::uint64_t seq = 0;
+  };
+  /// exited-then-entered per-slot equality check (see class comment).
+  bool bank_drained(std::uint32_t bank) const;
+  /// The reclaim pass body; caller holds reclaim_mu_.
+  std::size_t reclaim_retired_locked();
+
   std::unique_ptr<State> make_state(TablePolicy policy, BlockLayout layout,
                                     std::vector<std::uint32_t> access_counts,
                                     std::vector<BlockId> block_map) const;
@@ -263,10 +349,20 @@ class BandanaTable {
 
   std::unique_ptr<State> state_owner_;
   std::atomic<State*> state_;
-  /// States replaced by swap_state, kept alive for straggling readers.
-  /// One entry per completed republish — bounded by retrain cadence, not
-  /// by traffic.
-  std::vector<std::unique_ptr<State>> retired_;
+
+  /// Reader epochs: two banks of striped enter/exit counters; the
+  /// generation's parity names the bank new readers enter. Mutable — read
+  /// paths on const tables still register.
+  mutable ReaderSlot reader_banks_[2][kReaderSlots];
+  std::atomic<std::uint64_t> reader_gen_{0};
+  /// Guards the retirement bookkeeping below (swap_state's push and
+  /// concurrent reclaim passes). Never taken by readers.
+  mutable std::mutex reclaim_mu_;
+  std::uint64_t retire_seq_ = 0;                ///< Tags handed to retires.
+  std::uint64_t bank_drained_seq_[2] = {0, 0};  ///< Latest covered retire.
+  /// States replaced by swap_state, kept alive until both reader banks
+  /// have been observed drained after their retirement.
+  std::vector<RetiredState> retired_;
 
   AtomicTableMetrics metrics_;
 };

@@ -1,0 +1,168 @@
+// Placement-layer unit tests: plan slicing, hot-table selection, range
+// lookup, and the two placement policies' shapes (replica rings, range
+// splits, bin-packing balance, determinism).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "cluster/cluster_config.h"
+#include "cluster/placement.h"
+#include "trace/trace_generator.h"
+
+namespace bandana {
+namespace {
+
+TablePlan make_plan(std::uint32_t vectors, std::uint64_t layout_seed,
+                    std::vector<std::uint32_t> counts = {},
+                    std::uint64_t cache_vectors = 0) {
+  TablePolicy policy;
+  policy.cache_vectors = cache_vectors;
+  policy.policy = PrefetchPolicy::kNone;
+  return TablePlan{layout_seed == 0
+                       ? BlockLayout::identity(vectors, 32)
+                       : BlockLayout::random(vectors, 32, layout_seed),
+                   std::move(counts), policy, 0.0};
+}
+
+TEST(SliceTablePlan, FullRangeIsTheIdentity) {
+  const TablePlan plan = make_plan(256, 5, std::vector<std::uint32_t>(256, 1),
+                                   /*cache_vectors=*/64);
+  const TablePlan sliced = slice_table_plan(plan, 0, 256, 32);
+  EXPECT_EQ(sliced.layout.order(), plan.layout.order());
+  EXPECT_EQ(sliced.access_counts, plan.access_counts);
+  EXPECT_EQ(sliced.policy.cache_vectors, plan.policy.cache_vectors);
+}
+
+TEST(SliceTablePlan, RebasesAndPreservesTrainedOrder) {
+  const TablePlan plan = make_plan(256, 5);
+  const TablePlan sliced = slice_table_plan(plan, 64, 192, 32);
+  // The slice's order is the trained order filtered to [64, 192), each id
+  // re-based by -64 — SHP co-location survives the split.
+  std::vector<VectorId> want;
+  for (const VectorId v : plan.layout.order()) {
+    if (v >= 64 && v < 192) want.push_back(v - 64);
+  }
+  EXPECT_EQ(sliced.layout.order(), want);
+  EXPECT_EQ(sliced.layout.num_vectors(), 128u);
+}
+
+TEST(SliceTablePlan, SlicesCountsAndSplitsCacheProportionally) {
+  std::vector<std::uint32_t> counts(256);
+  std::iota(counts.begin(), counts.end(), 0);
+  const TablePlan plan = make_plan(256, 0, counts, /*cache_vectors=*/100);
+  const TablePlan sliced = slice_table_plan(plan, 32, 96, 32);
+  ASSERT_EQ(sliced.access_counts.size(), 64u);
+  EXPECT_EQ(sliced.access_counts.front(), 32u);
+  EXPECT_EQ(sliced.access_counts.back(), 95u);
+  EXPECT_EQ(sliced.policy.cache_vectors, 100u * 64 / 256);
+  // A tiny slice of a tiny budget still gets one vector of DRAM.
+  EXPECT_EQ(slice_table_plan(plan, 0, 1, 32).policy.cache_vectors, 1u);
+  // A zero budget stays zero (no cache materializes out of thin air).
+  const TablePlan uncached = make_plan(256, 0);
+  EXPECT_EQ(slice_table_plan(uncached, 0, 128, 32).policy.cache_vectors, 0u);
+
+  EXPECT_THROW(slice_table_plan(plan, 96, 32, 32), std::invalid_argument);
+  EXPECT_THROW(slice_table_plan(plan, 0, 999, 32), std::invalid_argument);
+}
+
+TEST(SliceEmbeddingTable, CopiesTheRows) {
+  TableWorkloadConfig cfg;
+  cfg.num_vectors = 64;
+  cfg.dim = 8;
+  const EmbeddingTable values = TraceGenerator(cfg, 3).make_embeddings();
+  const EmbeddingTable sliced = slice_embedding_table(values, 16, 40);
+  ASSERT_EQ(sliced.num_vectors(), 24u);
+  ASSERT_EQ(sliced.dim(), 8u);
+  for (VectorId v = 0; v < 24; ++v) {
+    const auto got = sliced.vector(v);
+    const auto want = values.vector(16 + v);
+    EXPECT_TRUE(std::equal(got.begin(), got.end(), want.begin()));
+  }
+}
+
+TEST(HotTableFlags, PicksTopMassWithLowIdTieBreak) {
+  StorePlan plan;
+  plan.tables.push_back(make_plan(64, 0, std::vector<std::uint32_t>(64, 2)));
+  plan.tables.push_back(make_plan(64, 0, std::vector<std::uint32_t>(64, 9)));
+  plan.tables.push_back(make_plan(64, 0, std::vector<std::uint32_t>(64, 2)));
+  plan.tables.push_back(make_plan(64, 0, std::vector<std::uint32_t>(64, 5)));
+  EXPECT_EQ(hot_table_flags(plan, 0), (std::vector<std::uint8_t>{0, 0, 0, 0}));
+  EXPECT_EQ(hot_table_flags(plan, 2), (std::vector<std::uint8_t>{0, 1, 0, 1}));
+  // The 2-vs-2 tie goes to the lower table id.
+  EXPECT_EQ(hot_table_flags(plan, 3), (std::vector<std::uint8_t>{1, 1, 0, 1}));
+  EXPECT_EQ(hot_table_flags(plan, 99),
+            (std::vector<std::uint8_t>{1, 1, 1, 1}));
+}
+
+TEST(PlacementMap, RangeLookupFindsTheOwningRange) {
+  PlacementMap map;
+  map.tables.resize(1);
+  map.tables[0].push_back({0, 100, {0}, {0}});
+  map.tables[0].push_back({100, 150, {1}, {0}});
+  map.tables[0].push_back({150, 400, {2}, {0}});
+  EXPECT_EQ(map.range_index_of(0, 0), 0u);
+  EXPECT_EQ(map.range_index_of(0, 99), 0u);
+  EXPECT_EQ(map.range_index_of(0, 100), 1u);
+  EXPECT_EQ(map.range_index_of(0, 149), 1u);
+  EXPECT_EQ(map.range_index_of(0, 399), 2u);
+  EXPECT_EQ(map.range_of(0, 150).nodes[0], 2u);
+}
+
+ClusterConfig topo(std::uint32_t nodes, std::uint32_t replicas,
+                   std::uint32_t hot_tables, PlacementKind kind) {
+  ClusterConfig cfg;
+  cfg.nodes = nodes;
+  cfg.replicas = replicas;
+  cfg.hot_tables = hot_tables;
+  cfg.placement = kind;
+  return cfg;
+}
+
+TEST(HashPlacement, ReplicatesHotTablesOnDistinctNodes) {
+  StorePlan plan;
+  plan.tables.push_back(make_plan(64, 0, std::vector<std::uint32_t>(64, 9)));
+  plan.tables.push_back(make_plan(64, 0, std::vector<std::uint32_t>(64, 1)));
+  // replicas > nodes clamps to the node count; replicas are distinct.
+  const ClusterConfig cfg = topo(3, 5, 1, PlacementKind::kHash);
+  const PlacementMap map = HashPlacement().place(plan, {}, cfg);
+  ASSERT_EQ(map.tables[0].size(), 1u);
+  const auto& hot = map.tables[0][0];
+  ASSERT_EQ(hot.nodes.size(), 3u);
+  EXPECT_NE(hot.nodes[0], hot.nodes[1]);
+  EXPECT_NE(hot.nodes[1], hot.nodes[2]);
+  EXPECT_NE(hot.nodes[0], hot.nodes[2]);
+  // The cold table stays single-copy.
+  EXPECT_EQ(map.tables[1][0].nodes.size(), 1u);
+}
+
+TEST(PlanAwarePlacement, BinPacksSmallTablesEvenly) {
+  StorePlan plan;
+  for (int t = 0; t < 12; ++t) plan.tables.push_back(make_plan(64, 0));
+  const ClusterConfig cfg = topo(4, 1, 0, PlacementKind::kPlanAware);
+  const PlacementMap map = PlanAwarePlacement().place(plan, {}, cfg);
+  std::vector<int> tables_on(4, 0);
+  for (const auto& ranges : map.tables) {
+    ASSERT_EQ(ranges.size(), 1u);  // under split_min_vectors: whole table
+    ++tables_on[ranges[0].nodes[0]];
+  }
+  // 12 equal tables over 4 nodes: the greedy pack lands 3 on each.
+  for (int n = 0; n < 4; ++n) EXPECT_EQ(tables_on[n], 3);
+}
+
+TEST(PlacementPolicies, PlaceIsDeterministic) {
+  StorePlan plan;
+  std::vector<std::uint32_t> counts(2048, 1);
+  for (int t = 0; t < 6; ++t) plan.tables.push_back(make_plan(2048, t, counts));
+  for (const PlacementKind kind :
+       {PlacementKind::kHash, PlacementKind::kPlanAware}) {
+    ClusterConfig cfg = topo(4, 2, 2, kind);
+    cfg.split_min_vectors = 512;
+    const auto policy = make_placement_policy(cfg);
+    EXPECT_EQ(policy->place(plan, {}, cfg), policy->place(plan, {}, cfg));
+  }
+}
+
+}  // namespace
+}  // namespace bandana
