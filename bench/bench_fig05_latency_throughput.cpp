@@ -20,6 +20,7 @@
 #include <chrono>
 #include <deque>
 #include <future>
+#include <memory>
 #include <optional>
 #include <utility>
 
@@ -37,6 +38,45 @@ MultiGetRequest make_request(const std::vector<TableRun>& runs,
     req.add(static_cast<TableId>(i), runs[i].eval.query(q));
   }
   return req;
+}
+
+/// Forwards everything to the wrapped backend EXCEPT the batched write
+/// entry point, which falls back to the base class's per-block loop (and
+/// no wave-buffer pool) — the pre-write_blocks write path, as a bench
+/// baseline against genuinely batched writes on the same file.
+class PerBlockWriteStorage final : public BlockStorage {
+ public:
+  explicit PerBlockWriteStorage(std::unique_ptr<BlockStorage> inner)
+      : inner_(std::move(inner)) {}
+  std::size_t block_bytes() const override { return inner_->block_bytes(); }
+  std::uint64_t num_blocks() const override { return inner_->num_blocks(); }
+  void read_block(BlockId b, std::span<std::byte> out) const override {
+    inner_->read_block(b, out);
+  }
+  void write_block(BlockId b, std::span<const std::byte> in) override {
+    inner_->write_block(b, in);
+  }
+  void read_blocks(std::span<const BlockReadOp> ops) const override {
+    inner_->read_blocks(ops);
+  }
+  bool prefers_batched_reads() const override {
+    return inner_->prefers_batched_reads();
+  }
+  bool same_backing(const BlockStorage& other) const override {
+    const auto* peer = dynamic_cast<const PerBlockWriteStorage*>(&other);
+    return inner_->same_backing(peer ? *peer->inner_ : other);
+  }
+
+ private:
+  std::unique_ptr<BlockStorage> inner_;
+};
+
+BlockStorageFactory per_block_write_factory(BlockStorageFactory inner) {
+  return [inner = std::move(inner)](std::uint64_t num_blocks,
+                                    std::size_t block_bytes) {
+    return std::make_unique<PerBlockWriteStorage>(
+        inner(num_blocks, block_bytes));
+  };
 }
 
 }  // namespace
@@ -489,5 +529,97 @@ int main(int argc, char** argv) {
   std::remove(sync_path.c_str());
   std::remove(async_path.c_str());
   std::remove(pool_path.c_str());
+
+  // ---- Part 5: real-file trickle republish — batched write_blocks vs the
+  // per-block write path, serving reads throughout. Both modes run the
+  // SAME rate limit, the same arrivals and the same diff on the same async
+  // read backend; the only difference is whether each admitted wave goes
+  // out as one batched write_blocks submission (composed in a leased,
+  // io_uring-registered wave buffer) or as one pwrite per block. The
+  // session's peak composed-image footprint (peak_wave_bytes) is the
+  // bounded-memory claim of the lazy trickle: one wave, not one push. ----
+  std::printf(
+      "\nreal-file trickle republish: batched write_blocks vs per-block "
+      "writes\n(same rate limit and arrivals; serving wall-clock p99 per "
+      "request alongside;\ntiming model off)\n\n");
+  {
+    EmbeddingTable sperturbed(svalues.num_vectors(), svalues.dim());
+    for (VectorId v = 0; v < svalues.num_vectors(); ++v) {
+      const auto src = svalues.vector(v);
+      auto dst = sperturbed.vector(v);
+      for (std::size_t d = 0; d < src.size(); ++d) dst[d] = src[d] + 5.0f;
+    }
+    const std::string batched_path = "/tmp/bandana_fig05_wbatch.bin";
+    const std::string perblock_path = "/tmp/bandana_fig05_wblock.bin";
+    TablePrinter wp({"write path", "push_wall_ms", "republish_kblk/s",
+                     "serve_p99_us", "peak_wave_KiB", "wave_bound_KiB"});
+    const auto trickle_bench = [&](const char* name,
+                                   BlockStorageFactory factory) {
+      StoreConfig sc;
+      sc.simulate_timing = false;
+      sc.cache_shards = 1;
+      StoreBuilder sb(sc);
+      sb.storage(std::move(factory));
+      sb.add_table(svalues, TablePlan{slayout, {}, spolicy, 0.0});
+      Store store = sb.build();
+      // Replacement region up front so growth never lands mid-measurement.
+      store.reserve_blocks(2 * store.storage().num_blocks());
+      RepublishConfig rate;
+      rate.blocks_per_interval = 256;
+      rate.interval_us = 50.0;
+      TrickleRepublish session = store.begin_trickle_republish(
+          0, sperturbed, TablePlan{slayout, {}, spolicy, 0.0}, rate);
+      LatencyRecorder serve_us;
+      double pump_s = 0.0;
+      std::size_t q = 0;
+      const std::size_t nq = strace.num_queries();
+      while (!session.done() || q < nq) {
+        store.advance_time_us(rate.interval_us);
+        if (!session.done()) {
+          WallTimer wt;
+          session.pump();
+          pump_s += wt.seconds();
+        }
+        MultiGetRequest req;
+        req.add(0, strace.query(q % nq));
+        WallTimer st;
+        store.multi_get(req);
+        serve_us.add(st.seconds() * 1e6);
+        ++q;
+      }
+      const std::uint64_t written = session.written_blocks();
+      const std::uint64_t wave_bound =
+          std::uint64_t{sc.device.queue_depth} * sc.device.channels *
+          sc.block_bytes;
+      wp.add_row({name, TablePrinter::fmt(pump_s * 1e3, 1),
+                  TablePrinter::fmt(pump_s > 0.0
+                                        ? static_cast<double>(written) /
+                                              pump_s / 1e3
+                                        : 0.0,
+                                    1),
+                  TablePrinter::fmt(serve_us.percentile(0.99), 1),
+                  TablePrinter::fmt(
+                      static_cast<double>(session.peak_wave_bytes()) / 1024.0,
+                      0),
+                  TablePrinter::fmt(static_cast<double>(wave_bound) / 1024.0,
+                                    0)});
+    };
+    trickle_bench("batched write_blocks",
+                  async_file_storage_factory(batched_path));
+    trickle_bench(
+        "per-block writes",
+        per_block_write_factory(async_file_storage_factory(perblock_path)));
+    wp.print();
+    std::printf(
+        "\nSame diff, same admission schedule. The batched rows submit each "
+        "admitted wave\nas one write_blocks call (one io_uring submission, "
+        "WRITE_FIXED from a leased\nregistered buffer); the per-block rows "
+        "pay one pwrite syscall per block. Both\nkeep peak_wave_KiB <= "
+        "wave_bound_KiB: the trickle composes lazily per wave, so\npush DRAM "
+        "is bounded by the admission wave no matter how large the diff "
+        "is.\n");
+    std::remove(batched_path.c_str());
+    std::remove(perblock_path.c_str());
+  }
   return 0;
 }

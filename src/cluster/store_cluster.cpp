@@ -175,18 +175,24 @@ ClusterRepublish StoreCluster::begin_trickle_republish(
   }
   const std::uint32_t vpb = cfg_.store.vectors_per_block();
   ClusterRepublish push(t);
-  // The node sessions compose their changed-block images at begin, so the
-  // per-range slices may die when this function returns.
+  // The node sessions compose their block images lazily per wave, so each
+  // per-range slice must live as long as its sessions: the push owns them
+  // (owned_values_ outlives sessions_ by member order). Whole-table ranges
+  // read the caller's `values` directly, which the single-store contract
+  // already requires to outlive the sessions.
   for (const auto& range : placement_.tables[t]) {
     const bool whole = range.lo == 0 && range.hi == table_vectors_[t];
     TablePlan sub_plan = slice_table_plan(plan, range.lo, range.hi, vpb);
-    EmbeddingTable sliced(1, 1);
-    if (!whole) sliced = slice_embedding_table(values, range.lo, range.hi);
-    const EmbeddingTable& vals = whole ? values : sliced;
+    const EmbeddingTable* vals = &values;
+    if (!whole) {
+      push.owned_values_.push_back(std::make_unique<EmbeddingTable>(
+          slice_embedding_table(values, range.lo, range.hi)));
+      vals = push.owned_values_.back().get();
+    }
     for (std::size_t r = 0; r < range.nodes.size(); ++r) {
       push.sessions_.push_back(
           nodes_[range.nodes[r]]->store->begin_trickle_republish(
-              range.local_ids[r], vals, sub_plan, republish_cfg, day));
+              range.local_ids[r], *vals, sub_plan, republish_cfg, day));
     }
   }
   return push;

@@ -91,6 +91,11 @@ struct ClusterMetrics {
 /// session (each node's rate limiter gates its own writes); done() once
 /// every replica swapped. Destroying it unfinished abandons every
 /// outstanding session (those replicas keep serving the old plan).
+///
+/// The sessions compose their block images lazily per wave, so the push
+/// owns the per-range value slices it was built from (owned_values_); the
+/// caller's whole-table `values` must outlive the push, like the
+/// single-store contract (core/store.h).
 class ClusterRepublish {
  public:
   /// Pump every session once; returns blocks written across the cluster.
@@ -110,6 +115,9 @@ class ClusterRepublish {
   friend class StoreCluster;
   explicit ClusterRepublish(TableId t) : table_(t) {}
   TableId table_;
+  /// Sliced values the sessions read from; declared before sessions_ so
+  /// the sessions are abandoned before their slices die.
+  std::vector<std::unique_ptr<EmbeddingTable>> owned_values_;
   std::vector<TrickleRepublish> sessions_;
 };
 
@@ -161,7 +169,9 @@ class StoreCluster {
   /// replica's write-wave latency.
   double republish(TableId t, const EmbeddingTable& values, double day = 0.0);
   /// Rate-limited trickle republish on every replica (one session per
-  /// (range, replica); split tables get per-range plan/value slices).
+  /// (range, replica); split tables get per-range plan/value slices, which
+  /// the returned push owns). `values` must stay valid until the push is
+  /// done or destroyed — the sessions read from it lazily per wave.
   ClusterRepublish begin_trickle_republish(TableId t,
                                            const EmbeddingTable& values,
                                            const TablePlan& plan,

@@ -72,12 +72,25 @@ struct StoreMetrics {
                                          ///< (including zero-length no-op
                                          ///< republish waves).
   std::uint64_t write_blocks = 0;        ///< Blocks carried by those waves.
+  std::uint64_t write_batches = 0;       ///< Batched write_blocks() calls the
+                                         ///< store's write paths issued
+                                         ///< (publish/republish/growth/
+                                         ///< trickle waves). Chunking is
+                                         ///< decided by the store, so the
+                                         ///< count is backend-identical.
+  std::uint64_t write_short_resubmits = 0;  ///< Partial device writes the
+                                            ///< async backend resubmitted for
+                                            ///< the remaining byte range
+                                            ///< (0 on inline backends).
   std::uint64_t republish_skipped_blocks = 0;  ///< Blocks a republish plan
                                                ///< diff proved unchanged and
                                                ///< never rewrote.
   std::uint64_t mapping_swaps = 0;       ///< Trickle republishes that
                                          ///< completed and swapped a table's
                                          ///< block mapping.
+  bool registered_buffers_active = false;  ///< The backend carries waves on
+                                           ///< an io_uring registered-buffer
+                                           ///< pool (zero-copy FIXED ops).
 
   /// Snapshot aggregation: fold another store's counters into this rollup
   /// (the cluster tier merges every node's snapshot into one
@@ -91,8 +104,13 @@ struct StoreMetrics {
     retry_waves += o.retry_waves;
     write_waves += o.write_waves;
     write_blocks += o.write_blocks;
+    write_batches += o.write_batches;
+    write_short_resubmits += o.write_short_resubmits;
     republish_skipped_blocks += o.republish_skipped_blocks;
     mapping_swaps += o.mapping_swaps;
+    // A rollup is "registered" when any node carries its waves zero-copy.
+    registered_buffers_active = registered_buffers_active ||
+                                o.registered_buffers_active;
     return *this;
   }
 
@@ -109,8 +127,12 @@ struct AtomicStoreMetrics {
   std::atomic<std::uint64_t> retry_waves{0};
   std::atomic<std::uint64_t> write_waves{0};
   std::atomic<std::uint64_t> write_blocks{0};
+  std::atomic<std::uint64_t> write_batches{0};
   std::atomic<std::uint64_t> republish_skipped_blocks{0};
   std::atomic<std::uint64_t> mapping_swaps{0};
+  // write_short_resubmits and registered_buffers_active live in the
+  // storage backend (BlockStorage::write_stats); Store::store_metrics()
+  // samples them into the snapshot.
 
   StoreMetrics snapshot() const {
     StoreMetrics m;
@@ -122,6 +144,7 @@ struct AtomicStoreMetrics {
     m.retry_waves = retry_waves.load(std::memory_order_relaxed);
     m.write_waves = write_waves.load(std::memory_order_relaxed);
     m.write_blocks = write_blocks.load(std::memory_order_relaxed);
+    m.write_batches = write_batches.load(std::memory_order_relaxed);
     m.republish_skipped_blocks =
         republish_skipped_blocks.load(std::memory_order_relaxed);
     m.mapping_swaps = mapping_swaps.load(std::memory_order_relaxed);

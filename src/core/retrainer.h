@@ -163,8 +163,12 @@ struct RetrainerStats {
 /// not be moved while the retrainer exists. `values(t)` supplies the
 /// embedding bytes to push for table t — in production the freshly
 /// retrained values; it is called from whichever thread retrains, and the
-/// returned reference only needs to live until begin_trickle_republish
-/// returns (block images are composed eagerly).
+/// returned reference must stay valid until that push's trickle session
+/// completes (block images are composed lazily per wave, so the session
+/// reads from the values for its whole lifetime — the retrainer pumps
+/// every session it opens to completion before it returns or retrains
+/// again, so a provider whose referents outlive the retrainer satisfies
+/// this automatically).
 class OnlineRetrainer {
  public:
   using ValuesProvider = std::function<const EmbeddingTable&(TableId)>;

@@ -16,9 +16,12 @@ namespace detail {
 /// One in-flight trickle republish. begin_trickle_republish claims the
 /// table under the unique storage lock, runs the whole plan diff under the
 /// shared lock (the claim freezes the old mapping) and allocates
-/// replacement blocks; pump() calls then drive the waves under `mu`. The
-/// changed blocks' images are composed up front, so the caller's values
-/// and plan may die as soon as begin returns.
+/// replacement blocks; pump() calls then drive the waves under `mu`.
+/// Changed-block images are NOT buffered here: each pump composes its
+/// wave's images lazily from `values` into a wave-sized buffer, so the
+/// session's DRAM overhead is O(wave) while the push may be O(table). The
+/// caller's values must therefore stay valid until the session is done or
+/// destroyed (the plan's layout is owned by `next`).
 struct TrickleState {
   TrickleState(Store* st, TableId tid, const RepublishConfig& cfg, double d)
       : store(st), table(tid), limiter(cfg), day(d) {}
@@ -28,14 +31,17 @@ struct TrickleState {
   TrickleRateLimiter limiter;
   double day = 0.0;
   /// The mapping to install at completion (engaged unless the push was a
-  /// no-op resolved at begin).
+  /// no-op resolved at begin). Its layout also drives the lazy per-wave
+  /// composition until then.
   std::optional<BandanaTable::RetrainedState> next;
-  std::vector<std::byte> bytes;    ///< changed-block images, contiguous
+  const EmbeddingTable* values = nullptr;  ///< caller-owned retrained values
+  std::vector<BlockId> changed;    ///< changed local block ids, diff order
   std::vector<BlockId> targets;    ///< their replacement storage blocks
   std::uint64_t changed_vectors = 0;
   std::uint64_t skipped = 0;
   std::uint64_t written = 0;
   std::uint64_t waves = 0;
+  std::uint64_t peak_wave_bytes = 0;  ///< largest compose buffer filled
   bool swapped = false;
   bool installed_mapping = false;  ///< The push replaced the table's plan.
   mutable std::mutex mu;  ///< serializes pump/done/stat reads
@@ -117,14 +123,24 @@ void Store::ensure_capacity(std::uint64_t total_blocks) {
       // memory. (Same-backing growth resized in place; nothing to copy.)
       const std::uint64_t chunk_blocks = std::min(used, kGrowthChunkBlocks);
       std::vector<std::byte> buf(chunk_blocks * config_.block_bytes);
+      std::vector<BlockReadOp> reads(chunk_blocks);
+      std::vector<BlockWriteOp> writes(chunk_blocks);
       for (std::uint64_t b0 = 0; b0 < used; b0 += chunk_blocks) {
         const std::uint64_t n = std::min(chunk_blocks, used - b0);
         for (std::uint64_t i = 0; i < n; ++i) {
           const auto block = std::span<std::byte>(buf).subspan(
               i * config_.block_bytes, config_.block_bytes);
-          storage_->read_block(static_cast<BlockId>(b0 + i), block);
-          grown->write_block(static_cast<BlockId>(b0 + i), block);
+          reads[i] = {static_cast<BlockId>(b0 + i), block};
+          writes[i] = {static_cast<BlockId>(b0 + i), block};
         }
+        // Batched chunk copy: both backends overlap their halves when they
+        // can (the old storage's reads, the grown storage's writes).
+        storage_->read_blocks(
+            std::span<const BlockReadOp>(reads).first(n));
+        grown->write_blocks(
+            std::span<const BlockWriteOp>(writes).first(n));
+        staging_metrics_->write_batches.fetch_add(1,
+                                                  std::memory_order_relaxed);
       }
       // Growth migration rewrites every published block: those writes
       // occupy the device channels like any other write traffic. Closed
@@ -162,7 +178,9 @@ TableId Store::add_table(const EmbeddingTable& values, BlockLayout layout,
       config_, policy, std::move(layout), std::move(access_counts),
       /*first_block=*/next_block_);
   ensure_capacity(std::uint64_t{next_block_} + blocks);
-  table->publish(values, *storage_);
+  staging_metrics_->write_batches.fetch_add(
+      table->publish(values, *storage_, real_write_wave_blocks()),
+      std::memory_order_relaxed);
   {
     // Endurance mutations and reads serialize on the timing lock (the
     // trickle pump records from background threads).
@@ -304,6 +322,22 @@ void Store::serve_deferred(
 
 std::uint64_t Store::real_read_wave_blocks() const {
   return std::uint64_t{config_.device.queue_depth} * config_.device.channels;
+}
+
+std::uint64_t Store::real_write_wave_blocks() const {
+  const std::uint64_t wave = real_read_wave_blocks();
+  return wave == 0 ? kGrowthChunkBlocks : wave;
+}
+
+StoreMetrics Store::store_metrics() const {
+  StoreMetrics m = staging_metrics_->snapshot();
+  std::shared_lock lock(*storage_mu_);
+  if (storage_) {
+    const BlockStorageWriteStats ws = storage_->write_stats();
+    m.write_short_resubmits = ws.short_resubmits;
+    m.registered_buffers_active = ws.registered_buffers_active;
+  }
+  return m;
 }
 
 double Store::lookup_batch(TableId t, std::span<const VectorId> ids,
@@ -523,9 +557,12 @@ double Store::republish(TableId t, const EmbeddingTable& values, double day) {
     throw std::logic_error(
         "republish: a trickle republish of this table is in flight");
   }
-  const auto diff = table.republish(values, *storage_);
+  const auto diff =
+      table.republish(values, *storage_, real_write_wave_blocks());
   staging_metrics_->republish_skipped_blocks.fetch_add(
       diff.skipped_blocks, std::memory_order_relaxed);
+  staging_metrics_->write_batches.fetch_add(diff.write_batches,
+                                            std::memory_order_relaxed);
   if (diff.written_blocks == 0) {
     // Plan-diff early-out: identical values are a no-op — no block writes,
     // no endurance burn, no cache flush. The zero-length wave keeps the
@@ -600,9 +637,10 @@ TrickleRepublish Store::begin_trickle_claimed(
   std::vector<BlockId> old_map;
   const std::uint32_t new_blocks = plan.layout.num_blocks();
   std::vector<BlockId> block_map(new_blocks, 0);
-  std::vector<std::uint32_t> changed;
+  std::vector<BlockId>& changed = s->changed;
   std::vector<std::byte> fresh(config_.block_bytes);
   std::vector<std::byte> current(config_.block_bytes);
+  s->values = &values;
   {
     std::shared_lock lock(*storage_mu_);
     // The table pointer is stable for the store's lifetime (tables_ holds
@@ -624,8 +662,9 @@ TrickleRepublish Store::begin_trickle_claimed(
         ++s->skipped;
         continue;
       }
+      // The image is NOT buffered: pump() re-composes it lazily from the
+      // caller's values when this block's wave goes out (O(wave) DRAM).
       changed.push_back(b);
-      s->bytes.insert(s->bytes.end(), fresh.begin(), fresh.end());
       s->changed_vectors += plan.layout.block_members(b).size();
     }
   }
@@ -693,11 +732,42 @@ std::size_t Store::pump_trickle(detail::TrickleState& s) {
       // contention is the one the device model charges for (the write
       // events below on the shared channel FIFOs).
       std::shared_lock storage_lock(*storage_mu_);
-      for (std::uint64_t i = 0; i < n; ++i) {
-        const std::uint64_t k = s.written + i;
-        const auto block = std::span<const std::byte>(s.bytes).subspan(
-            k * config_.block_bytes, config_.block_bytes);
-        storage_->write_block(s.targets[k], block);
+      // Lazy per-wave composition: the allowance (possibly the whole
+      // remaining push when the rate is unlimited) is chunked to the
+      // admission wave, each chunk's images composed from the caller's
+      // values into ONE wave buffer — leased from the backend's
+      // registered pool when available — and flushed as a single batched
+      // write. Session DRAM never exceeds one wave of images.
+      const std::size_t bb = config_.block_bytes;
+      const std::uint64_t chunk =
+          std::min<std::uint64_t>(n, real_write_wave_blocks());
+      const BlockLayout& layout = s.next->layout;
+      auto lease = storage_->lease_wave_buffer(chunk * bb);
+      std::vector<std::byte> heap;
+      std::span<std::byte> buf;
+      if (lease) {
+        buf = lease.bytes().first(chunk * bb);
+      } else {
+        heap.resize(chunk * bb);
+        buf = heap;
+      }
+      std::vector<BlockWriteOp> ops;
+      ops.reserve(static_cast<std::size_t>(chunk));
+      for (std::uint64_t c0 = 0; c0 < n; c0 += chunk) {
+        const std::uint64_t m = std::min(chunk, n - c0);
+        ops.clear();
+        for (std::uint64_t i = 0; i < m; ++i) {
+          const std::uint64_t k = s.written + c0 + i;
+          const auto img = buf.subspan(i * bb, bb);
+          compose_block_bytes(layout, *s.values, s.changed[k],
+                              config_.vector_bytes, img);
+          ops.push_back({s.targets[k], img});
+        }
+        storage_->write_blocks(ops);
+        staging_metrics_->write_batches.fetch_add(1,
+                                                  std::memory_order_relaxed);
+        s.peak_wave_bytes = std::max<std::uint64_t>(s.peak_wave_bytes,
+                                                    m * bb);
       }
       // Endurance mutations and reads all serialize on the timing lock
       // (pumps of different tables run concurrently under the shared
@@ -803,6 +873,12 @@ std::uint64_t TrickleRepublish::waves() const {
   if (!state_) return 0;
   std::lock_guard lock(state_->mu);
   return state_->waves;
+}
+
+std::uint64_t TrickleRepublish::peak_wave_bytes() const {
+  if (!state_) return 0;
+  std::lock_guard lock(state_->mu);
+  return state_->peak_wave_bytes;
 }
 
 TableMetrics Store::table_metrics(TableId t) const {

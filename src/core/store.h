@@ -194,6 +194,12 @@ class Store {
   /// leaves the table serving the old plan. A plan identical to what is
   /// already stored completes immediately as a no-op (zero-length wave,
   /// cache kept warm).
+  ///
+  /// Lifetime: `values` must stay valid until the session is done (or
+  /// destroyed). Replacement-block images are NOT buffered up front — each
+  /// pump() composes its wave's images lazily from `values` into a
+  /// wave-sized buffer, so the session's DRAM overhead is O(wave), not
+  /// O(changed blocks) (TrickleRepublish::peak_wave_bytes reports it).
   TrickleRepublish begin_trickle_republish(TableId t,
                                            const EmbeddingTable& values,
                                            TablePlan plan,
@@ -212,9 +218,12 @@ class Store {
   /// multi_get_async requests. Latency accessors take the timing lock.
   TableMetrics table_metrics(TableId t) const;
   TableMetrics total_metrics() const;
-  /// Staged-read-pipeline counters (staging coverage, truncation, retry
-  /// waves); lock-free snapshot like the table metrics.
-  StoreMetrics store_metrics() const { return staging_metrics_->snapshot(); }
+  /// Staged-read-pipeline and write-path counters. The staged counters are
+  /// a lock-free snapshot like the table metrics; the backend write stats
+  /// (write_short_resubmits, registered_buffers_active) are sampled from
+  /// the storage under a brief shared lock — it never blocks on serving
+  /// reads, only on an in-flight add_table/republish begin.
+  StoreMetrics store_metrics() const;
   LatencyRecorder query_latency_us() const;
   /// Per-request service latency of multi_get / multi_get_async calls.
   LatencyRecorder request_latency_us() const;
@@ -285,6 +294,10 @@ class Store {
   /// Blocks per real-I/O wave: the admission cap (queue_depth x channels),
   /// or 0 (single wave) when admission is unbounded.
   std::uint64_t real_read_wave_blocks() const;
+  /// Blocks per batched write_blocks() call: the admission cap, or a
+  /// bounded default chunk when admission is unbounded (write waves always
+  /// bound their compose buffer, unlike the single-wave read case).
+  std::uint64_t real_write_wave_blocks() const;
   const BandanaTable& checked_table(TableId t) const;
   BandanaTable& checked_table(TableId t) {
     return const_cast<BandanaTable&>(std::as_const(*this).checked_table(t));
@@ -396,6 +409,10 @@ class TrickleRepublish {
   std::uint64_t skipped_blocks() const;
   /// Write waves issued so far.
   std::uint64_t waves() const;
+  /// Largest compose buffer any pump() of this session filled, in bytes —
+  /// the session's peak DRAM overhead for block images. Bounded by
+  /// real_write_wave_blocks x block_bytes regardless of push size.
+  std::uint64_t peak_wave_bytes() const;
 
  private:
   friend class Store;

@@ -55,11 +55,22 @@ class StoreBuilder {
     return storage(file_storage_factory(std::move(path)));
   }
 
-  /// Back the store with a real file at `path` whose batched reads overlap
-  /// (io_uring, or thread-pool preads where unavailable). The store stages
-  /// each request's miss blocks through it in admission-sized waves.
+  /// Back the store with a real file at `path` whose batched reads and
+  /// writes overlap (io_uring, or thread-pool preads where unavailable).
+  /// The store stages each request's miss blocks through it in
+  /// admission-sized waves; a wave_buffer_blocks of 0 here sizes the
+  /// backend's registered wave-buffer pool to that same admission wave
+  /// (device queue_depth x channels), so staged reads and republish waves
+  /// run zero-copy through registered buffers.
   StoreBuilder& async_file_storage(std::string path,
                                    AsyncFileBlockStorage::Options options = {}) {
+    if (options.wave_buffer_blocks == 0) {
+      const std::uint64_t wave =
+          std::uint64_t{config_.device.queue_depth} * config_.device.channels;
+      if (wave > 0 && wave <= (1u << 20)) {
+        options.wave_buffer_blocks = static_cast<unsigned>(wave);
+      }
+    }
     return storage(async_file_storage_factory(std::move(path), options));
   }
 

@@ -18,6 +18,29 @@ std::vector<double> insertion_points_for(const TablePolicy& policy) {
   return {0.0};
 }
 
+/// Default write-wave chunk when the caller does not pass an admission
+/// wave: bounds the compose buffer (16 MB at 4 KB blocks) the same way
+/// the growth migration chunks do.
+constexpr std::uint64_t kDefaultWriteWaveBlocks = 4096;
+
+/// A wave-sized compose buffer: a leased registered wave buffer when the
+/// backend offers one (batched writes then go out as zero-copy
+/// WRITE_FIXED), else a plain heap buffer.
+struct WaveComposeBuffer {
+  WaveComposeBuffer(BlockStorage& storage, std::size_t bytes)
+      : lease(storage.lease_wave_buffer(bytes)) {
+    if (lease) {
+      buf = lease.bytes().first(bytes);
+    } else {
+      heap.resize(bytes);
+      buf = heap;
+    }
+  }
+  BlockStorage::WaveBufferLease lease;
+  std::vector<std::byte> heap;
+  std::span<std::byte> buf;
+};
+
 /// Shard count for the table: one per hardware thread by default, but
 /// never more shards than blocks (vectors are striped by block, keeping
 /// prefetch admission shard-local) or cache entries (every shard needs at
@@ -147,40 +170,76 @@ std::span<std::byte> BandanaTable::slot_bytes(std::uint32_t slot) {
   return {slab_.data() + std::size_t{slot} * vector_bytes_, vector_bytes_};
 }
 
-void BandanaTable::publish(const EmbeddingTable& values,
-                           BlockStorage& storage) {
+std::uint64_t BandanaTable::publish(const EmbeddingTable& values,
+                                    BlockStorage& storage,
+                                    std::uint64_t wave_blocks) {
   State& st = *state_owner_;
   if (values.num_vectors() != num_vectors_ ||
       values.vector_bytes() != vector_bytes_) {
     throw std::invalid_argument("publish: shape mismatch with layout");
   }
-  std::vector<std::byte> block(block_bytes_);
-  for (BlockId b = 0; b < st.layout.num_blocks(); ++b) {
-    compose_block_bytes(st.layout, values, b, vector_bytes_, block);
-    storage.write_block(st.block_map[b], block);
+  const std::uint64_t total = st.layout.num_blocks();
+  if (total == 0) return 0;
+  const std::size_t chunk = static_cast<std::size_t>(std::min(
+      wave_blocks == 0 ? kDefaultWriteWaveBlocks : wave_blocks, total));
+  WaveComposeBuffer wave(storage, chunk * block_bytes_);
+  std::vector<BlockWriteOp> ops;
+  ops.reserve(chunk);
+  std::uint64_t batches = 0;
+  for (BlockId b0 = 0; b0 < total; b0 += chunk) {
+    const std::size_t n =
+        static_cast<std::size_t>(std::min<std::uint64_t>(chunk, total - b0));
+    ops.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto img = wave.buf.subspan(i * block_bytes_, block_bytes_);
+      compose_block_bytes(st.layout, values, b0 + static_cast<BlockId>(i),
+                          vector_bytes_, img);
+      ops.push_back({st.block_map[b0 + i], img});
+    }
+    storage.write_blocks(ops);
+    ++batches;
   }
+  return batches;
 }
 
 BandanaTable::RepublishDiff BandanaTable::republish(
-    const EmbeddingTable& values, BlockStorage& storage) {
+    const EmbeddingTable& values, BlockStorage& storage,
+    std::uint64_t wave_blocks) {
   State& st = *state_owner_;
   if (values.num_vectors() != num_vectors_ ||
       values.vector_bytes() != vector_bytes_) {
     throw std::invalid_argument("republish: shape mismatch with layout");
   }
   RepublishDiff diff;
-  std::vector<std::byte> fresh(block_bytes_);
+  const std::uint64_t total = st.layout.num_blocks();
+  if (total == 0) return diff;
+  const std::size_t chunk = static_cast<std::size_t>(std::min(
+      wave_blocks == 0 ? kDefaultWriteWaveBlocks : wave_blocks, total));
+  // Changed blocks accumulate in the wave buffer and flush as one batched
+  // write per full wave; each block's current bytes are read before any
+  // pending write touches a DIFFERENT block, so the diff stays exact.
+  WaveComposeBuffer wave(storage, chunk * block_bytes_);
   std::vector<std::byte> current(block_bytes_);
-  for (BlockId b = 0; b < st.layout.num_blocks(); ++b) {
+  std::vector<BlockWriteOp> ops;
+  ops.reserve(chunk);
+  const auto flush = [&] {
+    if (ops.empty()) return;
+    storage.write_blocks(ops);
+    ++diff.write_batches;
+    ops.clear();
+  };
+  for (BlockId b = 0; b < total; ++b) {
+    const auto fresh =
+        wave.buf.subspan(ops.size() * block_bytes_, block_bytes_);
     compose_block_bytes(st.layout, values, b, vector_bytes_, fresh);
     storage.read_block(st.block_map[b], current);
-    if (fresh == current) {
+    if (std::memcmp(fresh.data(), current.data(), block_bytes_) == 0) {
       // Plan-diff early-out: the block's bytes are already what the new
       // values say — no write, and its members' cached entries stay warm.
       ++diff.skipped_blocks;
       continue;
     }
-    storage.write_block(st.block_map[b], fresh);
+    ops.push_back({st.block_map[b], fresh});
     ++diff.written_blocks;
     // Cached bytes of this block's members are stale: drop them (the ids
     // and the learned layout stay valid — that is SHP's advantage over
@@ -194,7 +253,9 @@ BandanaTable::RepublishDiff BandanaTable::republish(
         st.prefetched[v] = 0;
       }
     }
+    if (ops.size() == chunk) flush();
   }
+  flush();
   metrics_.republish_writes.fetch_add(diff.written_vectors,
                                       std::memory_order_relaxed);
   return diff;

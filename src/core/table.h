@@ -79,22 +79,32 @@ class BandanaTable {
                BlockId first_block);
 
   /// Write all vectors of `values` into NVM blocks per the current layout
-  /// and block map. Requires external exclusion against lookups.
-  void publish(const EmbeddingTable& values, BlockStorage& storage);
+  /// and block map. Block images are composed wave-by-wave (at most
+  /// `wave_blocks` per wave, 0 = 4096-block chunks) into one buffer — a
+  /// leased registered wave buffer when the backend offers one — and each
+  /// wave goes out as a single batched write_blocks() call. Returns the
+  /// number of batches issued (for StoreMetrics::write_batches). Requires
+  /// external exclusion against lookups.
+  std::uint64_t publish(const EmbeddingTable& values, BlockStorage& storage,
+                        std::uint64_t wave_blocks = 0);
 
   /// What an in-place republish actually rewrote after the plan diff.
   struct RepublishDiff {
     std::uint64_t written_blocks = 0;  ///< Blocks whose bytes changed.
     std::uint64_t skipped_blocks = 0;  ///< Blocks proven byte-identical.
     std::uint64_t written_vectors = 0; ///< Members of the written blocks.
+    std::uint64_t write_batches = 0;   ///< Batched write_blocks waves issued.
   };
 
   /// Re-publish updated values in place (retraining with an unchanged
   /// layout, §4.2.2): diffs each block's new bytes against storage, writes
-  /// only the blocks that changed, and drops only those blocks' members
-  /// from the cache (unchanged blocks keep serving their warm entries).
-  /// Identical values are a complete no-op. Requires external exclusion.
-  RepublishDiff republish(const EmbeddingTable& values, BlockStorage& storage);
+  /// only the blocks that changed — accumulated into waves of at most
+  /// `wave_blocks` blocks (0 = 4096) and flushed as batched write_blocks()
+  /// calls — and drops only those blocks' members from the cache
+  /// (unchanged blocks keep serving their warm entries). Identical values
+  /// are a complete no-op. Requires external exclusion.
+  RepublishDiff republish(const EmbeddingTable& values, BlockStorage& storage,
+                          std::uint64_t wave_blocks = 0);
 
   struct LookupOutcome {
     bool hit = false;

@@ -21,6 +21,9 @@
 #if defined(__NR_io_uring_setup) && defined(__NR_io_uring_enter)
 #define BANDANA_HAS_IO_URING 1
 #endif
+#if defined(BANDANA_HAS_IO_URING) && defined(__NR_io_uring_register)
+#define BANDANA_HAS_IO_URING_REGISTER 1
+#endif
 #endif
 
 namespace bandana {
@@ -36,6 +39,13 @@ int sys_io_uring_enter(int fd, unsigned to_submit, unsigned min_complete,
   return static_cast<int>(::syscall(__NR_io_uring_enter, fd, to_submit,
                                     min_complete, flags, nullptr, 0));
 }
+#ifdef BANDANA_HAS_IO_URING_REGISTER
+int sys_io_uring_register(int fd, unsigned opcode, const void* arg,
+                          unsigned nr_args) {
+  return static_cast<int>(::syscall(__NR_io_uring_register, fd, opcode, arg,
+                                    nr_args));
+}
+#endif
 }  // namespace
 
 /// One mmap'd submission/completion ring plus its submitter lock. All
@@ -130,6 +140,36 @@ void AsyncFileBlockStorage::init_rings(const Options& options) {
   }
 }
 
+void AsyncFileBlockStorage::register_rings() {
+#ifdef BANDANA_HAS_IO_URING_REGISTER
+  if (rings_.empty() || wave_buffers_.empty()) return;
+  std::vector<iovec> iovs(wave_buffers_.size());
+  for (std::size_t i = 0; i < wave_buffers_.size(); ++i) {
+    iovs[i] = {wave_buffers_[i].get(), wave_buffer_bytes_};
+  }
+  const std::int32_t raw_fd = fd();
+  bool bufs_ok = true;
+  bool files_ok = true;
+  for (auto& ring : rings_) {
+    if (bufs_ok &&
+        sys_io_uring_register(ring->fd, IORING_REGISTER_BUFFERS, iovs.data(),
+                              static_cast<unsigned>(iovs.size())) < 0) {
+      bufs_ok = false;  // RLIMIT_MEMLOCK, EPERM, ...: plain READV/WRITEV
+    }
+    if (files_ok && sys_io_uring_register(ring->fd, IORING_REGISTER_FILES,
+                                          &raw_fd, 1) < 0) {
+      files_ok = false;
+    }
+  }
+  // All-or-nothing: a FIXED op assumes the same buf_index / file slot on
+  // whichever ring the wave lands on, so one refused ring disables the
+  // feature everywhere (the kernel drops per-ring registrations at ring
+  // close; leftover registrations on accepting rings are harmless).
+  buffers_registered_ = bufs_ok;
+  files_registered_ = files_ok;
+#endif
+}
+
 void AsyncFileBlockStorage::read_wave_uring(
     Ring& ring, std::span<const BlockReadOp> ops) const {
   const std::size_t bb = block_bytes();
@@ -157,13 +197,30 @@ void AsyncFileBlockStorage::read_wave_uring(
       const unsigned idx = tail & ring.sq_mask;
       const BlockReadOp& op = ops[base + op_idx];
       const std::size_t done = done_bytes[op_idx];
-      iovecs[op_idx] = {op.out.data() + done, bb - done};
+      std::byte* dst = op.out.data() + done;
+      const std::size_t len = bb - done;
       io_uring_sqe& sqe = ring.sqes[idx];
       std::memset(&sqe, 0, sizeof(sqe));
-      sqe.opcode = IORING_OP_READV;
-      sqe.fd = fd();
-      sqe.addr = reinterpret_cast<std::uint64_t>(&iovecs[op_idx]);
-      sqe.len = 1;
+      // Destinations inside the registered pool (staged reads leased a
+      // wave buffer) go zero-copy: READ_FIXED skips the per-op page pin.
+      const int buf = pool_buf_index(dst, len);
+      if (buf >= 0) {
+        sqe.opcode = IORING_OP_READ_FIXED;
+        sqe.addr = reinterpret_cast<std::uint64_t>(dst);
+        sqe.len = static_cast<unsigned>(len);
+        sqe.buf_index = static_cast<std::uint16_t>(buf);
+      } else {
+        iovecs[op_idx] = {dst, len};
+        sqe.opcode = IORING_OP_READV;
+        sqe.addr = reinterpret_cast<std::uint64_t>(&iovecs[op_idx]);
+        sqe.len = 1;
+      }
+      if (files_registered_) {
+        sqe.fd = 0;  // slot 0 of the registered file table
+        sqe.flags |= IOSQE_FIXED_FILE;
+      } else {
+        sqe.fd = fd();
+      }
       sqe.off = static_cast<std::uint64_t>(op.block) * bb + done;
       sqe.user_data = op_idx;
       ring.sq_array[idx] = idx;
@@ -180,9 +237,18 @@ void AsyncFileBlockStorage::read_wave_uring(
     // still be writing into the caller's buffers, so bailing out
     // mid-flight would dangle them.
     std::string error;
+    std::vector<unsigned> resubmit;
     while (finished < n) {
+      // Wait for every op already inside the kernel rather than one CQE
+      // at a time: each op keeps at most one SQE in flight, so the
+      // in-kernel count before this call is n - finished - to_submit.
+      // Asking for exactly that many completions drains the chunk in
+      // O(1) enters instead of one wakeup per completion (the first
+      // call, where everything is still unsubmitted, waits for at least
+      // one so progress is guaranteed).
+      const unsigned in_kernel = n - finished - to_submit;
       const int ret = sys_io_uring_enter(ring.fd, to_submit,
-                                         /*min_complete=*/1,
+                                         std::max(1u, in_kernel),
                                          IORING_ENTER_GETEVENTS);
       if (ret < 0) {
         if (errno == EINTR) continue;
@@ -208,7 +274,7 @@ void AsyncFileBlockStorage::read_wave_uring(
                           .load(std::memory_order_relaxed);
       const unsigned cq_tail = std::atomic_ref<unsigned>(*ring.cq_tail)
                                    .load(std::memory_order_acquire);
-      std::vector<unsigned> resubmit;
+      resubmit.clear();
       while (head != cq_tail) {
         const io_uring_cqe& cqe = ring.cqes[head & ring.cq_mask];
         const auto op_idx = static_cast<unsigned>(cqe.user_data);
@@ -260,12 +326,186 @@ void AsyncFileBlockStorage::read_wave_uring(
   }
 }
 
+void AsyncFileBlockStorage::write_wave_uring(Ring& ring,
+                                             std::span<const BlockWriteOp> ops) {
+  const std::size_t bb = block_bytes();
+  // Test-only short-write injection: capping every SQE below block_bytes
+  // forces genuinely short completions through the resubmission path.
+  const std::size_t cap = options_.max_write_bytes_per_sqe;
+  // The mirror of read_wave_uring: waves larger than the ring are chunked,
+  // each chunk is one batched submission and a reap loop, and a partial
+  // completion resubmits the REMAINING byte range (offset and source
+  // pointer advanced past the landed bytes) so the wave stays fully
+  // overlapped. Source buffers inside the registered pool (producers lease
+  // a wave buffer to compose block images in) go out as WRITE_FIXED
+  // against the fixed fd — zero-copy, no per-op page pin.
+  //
+  // Adjacent ops whose blocks are consecutive ON DISK and whose source
+  // bytes are consecutive IN MEMORY coalesce into one run = one SQE: a
+  // trickle or publish wave composed in order into a leased wave buffer
+  // over a contiguously allocated replacement region collapses from one
+  // SQE per block to a handful of large writes, so the kernel-side write
+  // path runs once per run instead of once per block.
+  struct Run {
+    std::uint64_t block;     ///< first block of the run
+    const std::byte* src;    ///< start of its contiguous source bytes
+    std::size_t bytes;       ///< run length in bytes (multiple of bb)
+  };
+  std::vector<Run> runs;
+  runs.reserve(ops.size());
+  for (const BlockWriteOp& op : ops) {
+    if (!runs.empty()) {
+      Run& r = runs.back();
+      if (op.block == r.block + r.bytes / bb && op.in.data() == r.src + r.bytes) {
+        r.bytes += bb;
+        continue;
+      }
+    }
+    runs.push_back(Run{op.block, op.in.data(), bb});
+  }
+  for (std::size_t base = 0; base < runs.size(); base += ring.entries) {
+    const unsigned n = static_cast<unsigned>(
+        std::min<std::size_t>(ring.entries, runs.size() - base));
+    std::vector<std::size_t> done_bytes(n, 0);
+    // One iovec per RUN (not per SQ slot) for the same lifetime reason as
+    // the read path: the SQ tail cycles, a run is only resubmitted after
+    // its previous submission completed.
+    std::vector<iovec> iovecs(n);
+    const auto push_sqe = [&](unsigned op_idx) {
+      const unsigned tail = std::atomic_ref<unsigned>(*ring.sq_tail)
+                                .load(std::memory_order_relaxed);
+      const unsigned idx = tail & ring.sq_mask;
+      const Run& op = runs[base + op_idx];
+      const std::size_t done = done_bytes[op_idx];
+      const std::size_t len =
+          cap != 0 ? std::min(cap, op.bytes - done) : op.bytes - done;
+      const std::byte* src = op.src + done;
+      io_uring_sqe& sqe = ring.sqes[idx];
+      std::memset(&sqe, 0, sizeof(sqe));
+      const int buf = pool_buf_index(src, len);
+      if (buf >= 0) {
+        sqe.opcode = IORING_OP_WRITE_FIXED;
+        sqe.addr = reinterpret_cast<std::uint64_t>(src);
+        sqe.len = static_cast<unsigned>(len);
+        sqe.buf_index = static_cast<std::uint16_t>(buf);
+      } else {
+        iovecs[op_idx] = {const_cast<std::byte*>(src), len};
+        sqe.opcode = IORING_OP_WRITEV;
+        sqe.addr = reinterpret_cast<std::uint64_t>(&iovecs[op_idx]);
+        sqe.len = 1;
+      }
+      if (files_registered_) {
+        sqe.fd = 0;  // slot 0 of the registered file table
+        sqe.flags |= IOSQE_FIXED_FILE;
+      } else {
+        sqe.fd = fd();
+      }
+      sqe.off = static_cast<std::uint64_t>(op.block) * bb + done;
+      sqe.user_data = op_idx;
+      ring.sq_array[idx] = idx;
+      std::atomic_ref<unsigned>(*ring.sq_tail)
+          .store(tail + 1, std::memory_order_release);
+    };
+    for (unsigned i = 0; i < n; ++i) push_sqe(i);
+
+    unsigned to_submit = n;
+    unsigned finished = 0;
+    unsigned enter_failures = 0;
+    // Errors are deferred until every in-flight op of the chunk drains:
+    // the kernel may still be reading from the caller's buffers.
+    std::string error;
+    std::vector<unsigned> resubmit;
+    while (finished < n) {
+      // Same single-wakeup drain as the read path: wait for every op the
+      // kernel already holds (n - finished - to_submit; each op has at
+      // most one SQE in flight) instead of returning per completion.
+      const unsigned in_kernel = n - finished - to_submit;
+      const int ret = sys_io_uring_enter(ring.fd, to_submit,
+                                         std::max(1u, in_kernel),
+                                         IORING_ENTER_GETEVENTS);
+      if (ret < 0) {
+        if (errno == EINTR) continue;
+        if (error.empty()) {
+          error =
+              std::string("AsyncFileBlockStorage: io_uring_enter failed: ") +
+              std::strerror(errno);
+        }
+        finished += to_submit;
+        to_submit = 0;
+        if (++enter_failures > 8) {
+          throw std::runtime_error(error + " (in-flight drain abandoned)");
+        }
+      } else {
+        to_submit -= static_cast<unsigned>(ret);
+      }
+      unsigned head = std::atomic_ref<unsigned>(*ring.cq_head)
+                          .load(std::memory_order_relaxed);
+      const unsigned cq_tail = std::atomic_ref<unsigned>(*ring.cq_tail)
+                                   .load(std::memory_order_acquire);
+      resubmit.clear();
+      while (head != cq_tail) {
+        const io_uring_cqe& cqe = ring.cqes[head & ring.cq_mask];
+        const auto op_idx = static_cast<unsigned>(cqe.user_data);
+        const Run& op = runs[base + op_idx];
+        // Errors name the failing BLOCK and its byte offset even when the
+        // run coalesced several: the stall point is done bytes into the
+        // run, i.e. done/bb blocks past its first block.
+        const std::size_t done = done_bytes[op_idx];
+        if (cqe.res < 0) {
+          if (cqe.res == -EINTR || cqe.res == -EAGAIN) {
+            resubmit.push_back(op_idx);
+          } else {
+            if (error.empty()) {
+              error = "AsyncFileBlockStorage: write of block " +
+                      std::to_string(op.block + done / bb) +
+                      " failed at byte " + std::to_string(done % bb) + ": " +
+                      std::strerror(-cqe.res);
+            }
+            ++finished;
+          }
+        } else if (cqe.res == 0) {
+          if (error.empty()) {
+            error = "AsyncFileBlockStorage: no progress writing block " +
+                    std::to_string(op.block + done / bb) + " at byte " +
+                    std::to_string(done % bb);
+          }
+          ++finished;
+        } else {
+          done_bytes[op_idx] += static_cast<std::size_t>(cqe.res);
+          if (done_bytes[op_idx] >= op.bytes) {
+            ++finished;
+          } else {
+            // Short write: push the remaining [done, run bytes) back out.
+            write_short_resubmits_.fetch_add(1, std::memory_order_relaxed);
+            resubmit.push_back(op_idx);
+          }
+        }
+        ++head;
+      }
+      std::atomic_ref<unsigned>(*ring.cq_head)
+          .store(head, std::memory_order_release);
+      if (error.empty()) {
+        for (const unsigned op_idx : resubmit) {
+          push_sqe(op_idx);
+          ++to_submit;
+        }
+      } else {
+        finished += static_cast<unsigned>(resubmit.size());
+      }
+    }
+    if (!error.empty()) throw std::runtime_error(error);
+  }
+}
+
 #else  // !BANDANA_HAS_IO_URING
 
 struct AsyncFileBlockStorage::Ring {};
 void AsyncFileBlockStorage::init_rings(const Options&) {}
+void AsyncFileBlockStorage::register_rings() {}
 void AsyncFileBlockStorage::read_wave_uring(
     Ring&, std::span<const BlockReadOp>) const {}
+void AsyncFileBlockStorage::write_wave_uring(Ring&,
+                                             std::span<const BlockWriteOp>) {}
 
 #endif  // BANDANA_HAS_IO_URING
 
@@ -276,13 +516,72 @@ AsyncFileBlockStorage::AsyncFileBlockStorage(const std::string& path,
                                              Options options)
     : FileBlockStorage(path, num_blocks, block_bytes, preserve_contents),
       options_(options) {
+  init_wave_pool(options_);
   if (!options_.force_thread_pool) init_rings(options_);
   if (rings_.empty()) {
     fallback_pool_ = std::make_unique<ThreadPool>(options_.fallback_threads);
+  } else {
+    register_rings();
   }
 }
 
 AsyncFileBlockStorage::~AsyncFileBlockStorage() = default;
+
+void AsyncFileBlockStorage::init_wave_pool(const Options& options) {
+  // Pool buffers exist on every path (the thread-pool fallback still
+  // recycles warm wave buffers through leases); registration on top is
+  // what turns them into zero-copy FIXED ops.
+  const unsigned blocks =
+      options.wave_buffer_blocks != 0 ? options.wave_buffer_blocks : 128u;
+  const unsigned count = std::max(1u, options.wave_buffer_count);
+  wave_buffer_bytes_ = static_cast<std::size_t>(blocks) * block_bytes();
+  if (wave_buffer_bytes_ == 0) return;
+  wave_buffers_.reserve(count);
+  for (unsigned i = 0; i < count; ++i) {
+    wave_buffers_.push_back(std::make_unique<std::byte[]>(wave_buffer_bytes_));
+  }
+  wave_buffer_in_use_ = std::make_unique<std::atomic<bool>[]>(count);
+  for (unsigned i = 0; i < count; ++i) {
+    wave_buffer_in_use_[i].store(false, std::memory_order_relaxed);
+  }
+}
+
+int AsyncFileBlockStorage::pool_buf_index(const void* p,
+                                          std::size_t len) const {
+  if (!buffers_registered_) return -1;
+  const auto* c = static_cast<const std::byte*>(p);
+  for (std::size_t i = 0; i < wave_buffers_.size(); ++i) {
+    const std::byte* begin = wave_buffers_[i].get();
+    if (c >= begin && c + len <= begin + wave_buffer_bytes_) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+BlockStorage::WaveBufferLease AsyncFileBlockStorage::lease_wave_buffer(
+    std::size_t bytes) const {
+  if (bytes == 0 || bytes > wave_buffer_bytes_) return {};
+  for (std::size_t i = 0; i < wave_buffers_.size(); ++i) {
+    bool expected = false;
+    if (wave_buffer_in_use_[i].compare_exchange_strong(
+            expected, true, std::memory_order_acquire,
+            std::memory_order_relaxed)) {
+      return make_wave_lease(static_cast<unsigned>(i),
+                             {wave_buffers_[i].get(), wave_buffer_bytes_});
+    }
+  }
+  return {};  // every buffer leased out: caller uses its own heap buffer
+}
+
+void AsyncFileBlockStorage::release_wave_buffer(unsigned index) const {
+  wave_buffer_in_use_[index].store(false, std::memory_order_release);
+}
+
+BlockStorageWriteStats AsyncFileBlockStorage::write_stats() const {
+  return {write_short_resubmits_.load(std::memory_order_relaxed),
+          buffers_registered_};
+}
 
 void AsyncFileBlockStorage::read_wave_threads(
     std::span<const BlockReadOp> ops) const {
@@ -339,6 +638,60 @@ void AsyncFileBlockStorage::read_blocks(
                        rings_.size()];
   std::lock_guard lock(ring.mu);
   read_wave_uring(ring, ops);
+#endif
+}
+
+void AsyncFileBlockStorage::write_wave_threads(
+    std::span<const BlockWriteOp> ops) {
+  // Same per-wave completion latch as read_wave_threads: concurrent waves
+  // share the pool's workers but each returns as soon as ITS chunks
+  // finish. write_block's pwrite loop absorbs partial writes natively.
+  const std::size_t chunks = std::min(ops.size(), fallback_pool_->size());
+  const std::size_t per = (ops.size() + chunks - 1) / chunks;
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::size_t remaining = (ops.size() + per - 1) / per;
+  for (std::size_t begin = 0; begin < ops.size(); begin += per) {
+    const std::size_t end = std::min(ops.size(), begin + per);
+    fallback_pool_->submit([this, ops, begin, end, &mu, &done_cv,
+                            &remaining] {
+      for (std::size_t i = begin; i < end; ++i) {
+        write_block(ops[i].block, ops[i].in);
+      }
+      std::lock_guard lock(mu);
+      if (--remaining == 0) done_cv.notify_all();
+    });
+  }
+  std::unique_lock lock(mu);
+  done_cv.wait(lock, [&remaining] { return remaining == 0; });
+}
+
+void AsyncFileBlockStorage::write_blocks(std::span<const BlockWriteOp> ops) {
+  if (ops.empty()) return;
+  if (ops.size() == 1) {
+    write_block(ops[0].block, ops[0].in);
+    return;
+  }
+  if (rings_.empty()) {
+    write_wave_threads(ops);
+    return;
+  }
+#ifdef BANDANA_HAS_IO_URING
+  // Same ring-pool policy as the read path: first free ring via try-lock
+  // sweep, round-robin overflow when every ring is busy. Reads and writes
+  // share the pool, so a republish wave and a serving wave overlap on
+  // different rings the way they overlap on different simulated channels.
+  for (auto& ring : rings_) {
+    std::unique_lock lock(ring->mu, std::try_to_lock);
+    if (lock.owns_lock()) {
+      write_wave_uring(*ring, ops);
+      return;
+    }
+  }
+  Ring& ring = *rings_[overflow_ring_.fetch_add(1, std::memory_order_relaxed) %
+                       rings_.size()];
+  std::lock_guard lock(ring.mu);
+  write_wave_uring(ring, ops);
 #endif
 }
 

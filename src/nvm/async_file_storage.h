@@ -1,36 +1,54 @@
 // AsyncFileBlockStorage — real-file block storage whose batched reads
-// overlap, the way the simulated NVM channels do.
+// AND writes overlap, the way the simulated NVM channels do.
 //
 // Same byte contract as FileBlockStorage (it *is* one: single-block
 // read_block/write_block, in-place growth preserve, inode-based
-// same_backing), plus an overlapped read_blocks():
+// same_backing), plus overlapped read_blocks() / write_blocks():
 //
 //  * io_uring path — the whole wave is written into the submission queue
 //    and submitted with one io_uring_enter(GETEVENTS) call; the kernel
-//    services the readv's concurrently and we reap every completion. The
-//    rings are built with raw syscalls (no liburing dependency; the
-//    original 5.1 op set, so any io_uring kernel works). A small pool of
-//    rings (Options::ring_count) lets concurrent request streams overlap
-//    their waves instead of serializing on one submitter.
+//    services the readv's/writev's concurrently and we reap every
+//    completion. The rings are built with raw syscalls (no liburing
+//    dependency; the original 5.1 op set, so any io_uring kernel works).
+//    A small pool of rings (Options::ring_count) lets concurrent request
+//    streams overlap their waves instead of serializing on one submitter.
 //  * thread-pool fallback — where the io_uring syscalls are unavailable
 //    (older kernels, seccomp-filtered sandboxes, non-Linux), the same wave
-//    fans out as preads on a small owned ThreadPool behind the identical
-//    interface; each wave waits on its own completion latch, so concurrent
-//    waves share workers without waiting on each other's reads.
+//    fans out as preads/pwrites on a small owned ThreadPool behind the
+//    identical interface; each wave waits on its own completion latch, so
+//    concurrent waves share workers without waiting on each other's I/O.
 //    `Options::force_thread_pool` pins this path for tests.
+//
+// Zero-copy wave buffers: at construction the storage allocates a small
+// pool of wave-sized buffers (Options::wave_buffer_blocks x block_bytes,
+// Options::wave_buffer_count of them) and registers them on every ring
+// with IORING_REGISTER_BUFFERS, plus the backing fd with
+// IORING_REGISTER_FILES. Producers lease a pool buffer through
+// BlockStorage::lease_wave_buffer() — the staged-read path stages into
+// one, publish/republish/trickle waves compose block images into one —
+// and any op whose data lies inside a registered buffer is submitted as
+// READ_FIXED/WRITE_FIXED against the fixed fd: the kernel skips the
+// per-op get_user_pages pin and fd refcount on every submission. Ops
+// outside the pool (heap fallback, oversized waves) use plain
+// READV/WRITEV on the same ring; both kinds mix freely in one wave.
+// If registration is unavailable (old kernel, EPERM, no
+// __NR_io_uring_register) the pool still exists — leases still recycle
+// warm buffers — but ops fall back to the unregistered opcodes.
 //
 // The probe is at construction time: if io_uring_setup fails for any
 // reason the storage silently uses the fallback (io_uring_active() tells
 // which path is live). A partial io_uring completion resubmits the
 // remaining byte range of its block (offset advanced past the landed
-// bytes) so the wave stays overlapped; a per-op I/O error or unexpected
-// EOF raises an exception naming the failing block once the wave's
-// in-flight ops have drained. Both paths are byte-equivalent to
-// FileBlockStorage.
+// bytes) so the wave stays overlapped — write_stats().short_resubmits
+// counts the write-side resubmissions; a per-op I/O error or unexpected
+// EOF raises an exception naming the failing block and byte offset once
+// the wave's in-flight ops have drained. Both paths are byte-equivalent
+// to FileBlockStorage.
 //
 // bandana::Store stages each request's miss blocks through read_blocks()
-// in admission-sized waves (queue_depth x channels blocks per wave), so
-// the AdmissionController throttles *real* I/O here, not just simulated
+// and issues publish/republish/trickle waves through write_blocks() in
+// admission-sized waves (queue_depth x channels blocks per wave), so the
+// AdmissionController throttles *real* I/O here, not just simulated
 // timing.
 #pragma once
 
@@ -57,6 +75,17 @@ struct AsyncFileStorageOptions {
   unsigned fallback_threads = 4;
   /// Skip the io_uring probe and always use the thread-pool path.
   bool force_thread_pool = false;
+  /// Blocks per registered wave buffer. 0 = auto (128, the default device
+  /// admission wave: queue_depth 32 x channels 4). StoreBuilder sizes it
+  /// to the store's real admission wave so one lease holds one wave.
+  unsigned wave_buffer_blocks = 0;
+  /// Buffers in the registered pool; concurrent leases beyond this fall
+  /// back to heap buffers (and plain READV/WRITEV).
+  unsigned wave_buffer_count = 4;
+  /// Test-only: cap every write SQE at this many bytes (0 = whole
+  /// remainder) so completions come back short and the resubmission path
+  /// genuinely runs.
+  std::size_t max_write_bytes_per_sqe = 0;
 };
 
 class AsyncFileBlockStorage : public FileBlockStorage {
@@ -69,19 +98,44 @@ class AsyncFileBlockStorage : public FileBlockStorage {
   ~AsyncFileBlockStorage() override;
 
   void read_blocks(std::span<const BlockReadOp> ops) const override;
+  void write_blocks(std::span<const BlockWriteOp> ops) override;
   bool prefers_batched_reads() const override { return true; }
+  bool prefers_batched_writes() const override { return true; }
+  BlockStorageWriteStats write_stats() const override;
+  WaveBufferLease lease_wave_buffer(std::size_t bytes) const override;
 
   /// True when the io_uring path is live (false = thread-pool preads).
   bool io_uring_active() const { return !rings_.empty(); }
+  /// True when the wave-buffer pool is registered on the rings
+  /// (IORING_REGISTER_BUFFERS succeeded) and FIXED ops are in use.
+  bool registered_buffers_active() const { return buffers_registered_; }
+
+ protected:
+  void release_wave_buffer(unsigned index) const override;
 
  private:
   struct Ring;  // mmap'd SQ/CQ geometry + its submitter lock (io_uring)
 
   void init_rings(const Options& options);
+  void init_wave_pool(const Options& options);
+  void register_rings();
+  /// Pool buffer index containing [p, p+len), or -1 when the range is not
+  /// inside a registered buffer (FIXED ops need the whole range in one).
+  int pool_buf_index(const void* p, std::size_t len) const;
   void read_wave_uring(Ring& ring, std::span<const BlockReadOp> ops) const;
   void read_wave_threads(std::span<const BlockReadOp> ops) const;
+  void write_wave_uring(Ring& ring, std::span<const BlockWriteOp> ops);
+  void write_wave_threads(std::span<const BlockWriteOp> ops);
 
   Options options_;
+  /// Registered wave-buffer pool. Declared before rings_ so the rings
+  /// (whose registrations reference this memory) are torn down first.
+  std::size_t wave_buffer_bytes_ = 0;
+  std::vector<std::unique_ptr<std::byte[]>> wave_buffers_;
+  std::unique_ptr<std::atomic<bool>[]> wave_buffer_in_use_;
+  bool buffers_registered_ = false;
+  bool files_registered_ = false;
+  mutable std::atomic<std::uint64_t> write_short_resubmits_{0};
   /// Ring pool: a wave grabs the first free ring (try-lock sweep) so
   /// concurrent request streams overlap their device I/O; when all rings
   /// are busy, overflow waves round-robin on this counter.

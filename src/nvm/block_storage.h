@@ -34,9 +34,71 @@ struct BlockReadOp {
   std::span<std::byte> out;
 };
 
+/// One entry of a batched write: overwrite block `block` from `in`
+/// (block_bytes() long). Unlike reads, duplicate block ids in one batch
+/// are NOT allowed — backends may overlap the writes, so two entries
+/// targeting the same block would race with an unspecified winner.
+struct BlockWriteOp {
+  BlockId block = 0;
+  std::span<const std::byte> in;
+};
+
+/// Backend-side write-path counters, sampled by Store::store_metrics().
+struct BlockStorageWriteStats {
+  /// Partial device writes re-submitted for the remaining byte range
+  /// (io_uring short completions on the async backend).
+  std::uint64_t short_resubmits = 0;
+  /// True when the backend has a live io_uring registered-buffer pool
+  /// (IORING_REGISTER_BUFFERS) carrying zero-copy reads and writes.
+  bool registered_buffers_active = false;
+};
+
 class BlockStorage {
  public:
   virtual ~BlockStorage() = default;
+
+  /// A leased buffer from the backend's registered wave-buffer pool (see
+  /// lease_wave_buffer). Move-only; returns the buffer on destruction.
+  class WaveBufferLease {
+   public:
+    WaveBufferLease() = default;
+    WaveBufferLease(WaveBufferLease&& o) noexcept
+        : owner_(o.owner_), index_(o.index_), span_(o.span_) {
+      o.owner_ = nullptr;
+      o.span_ = {};
+    }
+    WaveBufferLease& operator=(WaveBufferLease&& o) noexcept {
+      if (this != &o) {
+        release();
+        owner_ = o.owner_;
+        index_ = o.index_;
+        span_ = o.span_;
+        o.owner_ = nullptr;
+        o.span_ = {};
+      }
+      return *this;
+    }
+    WaveBufferLease(const WaveBufferLease&) = delete;
+    WaveBufferLease& operator=(const WaveBufferLease&) = delete;
+    ~WaveBufferLease() { release(); }
+
+    std::span<std::byte> bytes() const { return span_; }
+    explicit operator bool() const { return owner_ != nullptr; }
+
+   private:
+    friend class BlockStorage;
+    WaveBufferLease(const BlockStorage* owner, unsigned index,
+                    std::span<std::byte> span)
+        : owner_(owner), index_(index), span_(span) {}
+    void release() {
+      if (owner_ != nullptr) owner_->release_wave_buffer(index_);
+      owner_ = nullptr;
+      span_ = {};
+    }
+    const BlockStorage* owner_ = nullptr;
+    unsigned index_ = 0;
+    std::span<std::byte> span_;
+  };
 
   virtual std::size_t block_bytes() const = 0;
   virtual std::uint64_t num_blocks() const = 0;
@@ -53,16 +115,53 @@ class BlockStorage {
   /// a sequential read_block loop.
   virtual void read_blocks(std::span<const BlockReadOp> ops) const;
 
+  /// Write many blocks; returns when all of `ops` are durable in the
+  /// backend's view (same durability as write_block — page cache for
+  /// files). Backends may overlap the writes (the async file backend
+  /// batches them into one io_uring submission), so duplicate block ids
+  /// are not allowed. The default is a sequential write_block loop, which
+  /// keeps single-method test shims and the two inline backends exact.
+  virtual void write_blocks(std::span<const BlockWriteOp> ops);
+
   /// True when read_blocks() genuinely overlaps I/O and the store should
   /// stage a request's miss blocks through it in admission-sized waves
   /// rather than read one block per miss inline.
   virtual bool prefers_batched_reads() const { return false; }
+
+  /// True when write_blocks() genuinely overlaps I/O, i.e. publish and
+  /// republish waves get real batching out of one call per wave.
+  virtual bool prefers_batched_writes() const { return false; }
+
+  /// Backend write-path counters; the default backend has none.
+  virtual BlockStorageWriteStats write_stats() const { return {}; }
+
+  /// Try to lease a buffer of at least `bytes` from the backend's
+  /// registered wave-buffer pool. Composing wave images (or staging wave
+  /// reads) inside a leased buffer lets the async backend issue
+  /// READ_FIXED/WRITE_FIXED against pre-registered memory — zero-copy, no
+  /// per-wave pin/unpin. Returns an empty lease when the backend has no
+  /// pool, every buffer is in use, or `bytes` exceeds the buffer size;
+  /// callers fall back to their own heap buffer.
+  virtual WaveBufferLease lease_wave_buffer(std::size_t bytes) const {
+    (void)bytes;
+    return {};
+  }
 
   /// True if `other` reads and writes the same bytes as this storage (e.g.
   /// two FileBlockStorage handles on one inode). Lets the store skip the
   /// block migration when a growth factory resized the backing in place.
   virtual bool same_backing(const BlockStorage& other) const {
     return this == &other;
+  }
+
+ protected:
+  /// Return pool buffer `index` to the free set. Only ever invoked by a
+  /// lease this backend minted via make_wave_lease().
+  virtual void release_wave_buffer(unsigned index) const { (void)index; }
+
+  WaveBufferLease make_wave_lease(unsigned index,
+                                  std::span<std::byte> span) const {
+    return WaveBufferLease(this, index, span);
   }
 };
 
@@ -88,20 +187,24 @@ class StagedBlockReads {
   /// Fetch every added block from `storage`, at most `wave_blocks` per
   /// read_blocks() call (0 = one wave). This is where admission control
   /// throttles *real* I/O: each wave is one batched submission, and wave
-  /// k+1 is only submitted once wave k has completed.
+  /// k+1 is only submitted once wave k has completed. Stages into a
+  /// leased wave buffer when the backend offers one (registered-buffer
+  /// zero-copy reads), falling back to a request-local heap buffer.
   void fetch(const BlockStorage& storage, std::uint64_t wave_blocks = 0);
 
   /// Staged bytes of block `b`, or an empty span when b was not staged.
   std::span<const std::byte> find(BlockId b) const {
     const auto it = index_.find(b);
-    if (it == index_.end() || bytes_.empty()) return {};
-    return {bytes_.data() + it->second * block_bytes_, block_bytes_};
+    if (it == index_.end() || data_ == nullptr) return {};
+    return {data_ + it->second * block_bytes_, block_bytes_};
   }
 
  private:
   std::vector<BlockId> blocks_;
   std::unordered_map<BlockId, std::size_t> index_;
   std::vector<std::byte> bytes_;
+  BlockStorage::WaveBufferLease lease_;
+  const std::byte* data_ = nullptr;
   std::size_t block_bytes_ = 0;
 };
 

@@ -421,6 +421,250 @@ TEST(AsyncFileBlockStorage, StoreServesIdenticalBytesOnAsyncBackend) {
   std::remove(pool_path.c_str());
 }
 
+// ---- Batched write path: write_blocks equivalence + zero-copy leases. ----
+
+TEST(WriteBlocks, DefaultLoopBackendsWriteExactBytes) {
+  MemoryBlockStorage s(8, 256);
+  EXPECT_FALSE(s.prefers_batched_writes());
+  EXPECT_EQ(s.write_stats().short_resubmits, 0u);
+  EXPECT_FALSE(s.write_stats().registered_buffers_active);
+  EXPECT_FALSE(s.lease_wave_buffer(256));
+
+  std::vector<std::byte> src(3 * 256), out(256), want(256);
+  std::vector<BlockWriteOp> ops;
+  const BlockId ids[] = {5, 0, 3};
+  for (std::size_t i = 0; i < 3; ++i) {
+    auto img = std::span<std::byte>(src).subspan(i * 256, 256);
+    for (std::size_t j = 0; j < img.size(); ++j) {
+      img[j] = static_cast<std::byte>((ids[i] * 11 + j) & 0xFF);
+    }
+    ops.push_back({ids[i], img});
+  }
+  s.write_blocks(ops);
+  for (std::size_t i = 0; i < 3; ++i) {
+    fill_pattern(want, 0);
+    for (std::size_t j = 0; j < want.size(); ++j) {
+      want[j] = static_cast<std::byte>((ids[i] * 11 + j) & 0xFF);
+    }
+    s.read_block(ids[i], out);
+    EXPECT_EQ(out, want) << "block " << ids[i];
+  }
+}
+
+/// Pinned-RNG sequence of batched writes (distinct blocks per batch, as
+/// the contract requires) against every backend, checked block-for-block
+/// against a shadow model and across backends.
+TEST(WriteBlocks, RandomBatchesByteEquivalentAcrossAllBackends) {
+  const std::string file_path = ::testing::TempDir() + "/bandana_wequiv_f.bin";
+  const std::string async_path = ::testing::TempDir() + "/bandana_wequiv_a.bin";
+  const std::string fallback_path =
+      ::testing::TempDir() + "/bandana_wequiv_t.bin";
+  constexpr std::size_t kBlock = 384;
+  constexpr std::uint64_t kBlocks = 24;
+
+  BlockStorageFactory factories[] = {
+      memory_storage_factory(), file_storage_factory(file_path),
+      async_file_storage_factory(async_path),
+      async_file_storage_factory(fallback_path, thread_pool_options())};
+  std::vector<std::unique_ptr<BlockStorage>> backends;
+  for (auto& factory : factories) backends.push_back(factory(kBlocks, kBlock));
+
+  Rng rng(777);
+  std::vector<std::vector<std::byte>> model(kBlocks,
+                                            std::vector<std::byte>(kBlock));
+  std::vector<BlockId> ids(kBlocks);
+  for (BlockId b = 0; b < kBlocks; ++b) ids[b] = b;
+  std::vector<std::byte> src(kBlocks * kBlock);
+  for (int step = 0; step < 200; ++step) {
+    // Distinct block ids per batch (partial Fisher-Yates).
+    const std::size_t n = 1 + rng.next_below(10);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::swap(ids[i], ids[i + rng.next_below(kBlocks - i)]);
+    }
+    std::vector<BlockWriteOp> ops;
+    for (std::size_t i = 0; i < n; ++i) {
+      auto img = std::span<std::byte>(src).subspan(i * kBlock, kBlock);
+      const auto tag = static_cast<std::uint8_t>(rng.next_below(256));
+      for (std::size_t j = 0; j < kBlock; ++j) {
+        img[j] = static_cast<std::byte>((tag + j) & 0xFF);
+      }
+      std::memcpy(model[ids[i]].data(), img.data(), kBlock);
+      ops.push_back({ids[i], img});
+    }
+    for (auto& backend : backends) backend->write_blocks(ops);
+  }
+  std::vector<std::byte> out(kBlock);
+  for (BlockId b = 0; b < kBlocks; ++b) {
+    for (std::size_t k = 0; k < backends.size(); ++k) {
+      backends[k]->read_block(b, out);
+      ASSERT_EQ(out, model[b]) << "backend " << k << " block " << b;
+    }
+  }
+  backends.clear();
+  std::remove(file_path.c_str());
+  std::remove(async_path.c_str());
+  std::remove(fallback_path.c_str());
+}
+
+TEST(WriteBlocks, WavesLargerThanTheRingAreChunked) {
+  const std::string path = ::testing::TempDir() + "/bandana_bigwwave.bin";
+  AsyncFileBlockStorage::Options options;
+  options.ring_entries = 4;  // force multiple chunks per write wave
+  AsyncFileBlockStorage s(path, 64, 256, false, options);
+  EXPECT_TRUE(s.prefers_batched_writes());
+  std::vector<std::byte> src(64 * 256), in(256), out(256);
+  std::vector<BlockWriteOp> ops(64);
+  for (BlockId b = 0; b < 64; ++b) {
+    auto img = std::span<std::byte>(src).subspan(b * 256, 256);
+    for (std::size_t j = 0; j < img.size(); ++j) {
+      img[j] = static_cast<std::byte>((b * 7 + j) & 0xFF);
+    }
+    ops[b] = {63 - b, std::span<std::byte>(src).subspan((63 - b) * 256, 256)};
+  }
+  s.write_blocks(ops);
+  for (BlockId b = 0; b < 64; ++b) {
+    for (std::size_t j = 0; j < in.size(); ++j) {
+      in[j] = static_cast<std::byte>((b * 7 + j) & 0xFF);
+    }
+    s.read_block(b, out);
+    EXPECT_EQ(out, in) << "block " << b;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(WriteBlocks, ShortWriteInjectionResubmitsRemainder) {
+  const std::string path = ::testing::TempDir() + "/bandana_short.bin";
+  AsyncFileBlockStorage::Options options;
+  options.max_write_bytes_per_sqe = 100;  // 512-byte blocks: >= 5 SQEs each
+  AsyncFileBlockStorage s(path, 16, 512, false, options);
+  if (!s.io_uring_active()) {
+    std::remove(path.c_str());
+    GTEST_SKIP() << "io_uring unavailable; the injection knob only caps "
+                    "ring SQEs";
+  }
+  std::vector<std::byte> src(16 * 512), in(512), out(512);
+  std::vector<BlockWriteOp> ops(16);
+  for (BlockId b = 0; b < 16; ++b) {
+    auto img = std::span<std::byte>(src).subspan(b * 512, 512);
+    for (std::size_t j = 0; j < img.size(); ++j) {
+      img[j] = static_cast<std::byte>((b * 13 + j) & 0xFF);
+    }
+    ops[b] = {b, img};
+  }
+  s.write_blocks(ops);
+  // Every block needed its remainder resubmitted at least 4 times.
+  EXPECT_GE(s.write_stats().short_resubmits, 16u * 4u);
+  for (BlockId b = 0; b < 16; ++b) {
+    for (std::size_t j = 0; j < in.size(); ++j) {
+      in[j] = static_cast<std::byte>((b * 13 + j) & 0xFF);
+    }
+    s.read_block(b, out);
+    EXPECT_EQ(out, in) << "block " << b;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(WriteBlocks, LeasedWaveBuffersComposeAndRecycle) {
+  const std::string path = ::testing::TempDir() + "/bandana_lease.bin";
+  AsyncFileBlockStorage::Options options;
+  options.wave_buffer_blocks = 8;
+  options.wave_buffer_count = 2;
+  AsyncFileBlockStorage s(path, 16, 512, false, options);
+
+  // The pool exists on every path (uring or fallback); registration is a
+  // uring-only extra.
+  EXPECT_EQ(s.write_stats().registered_buffers_active,
+            s.registered_buffers_active());
+  if (!s.io_uring_active()) EXPECT_FALSE(s.registered_buffers_active());
+
+  // A wave-sized lease succeeds; an oversized request falls back (empty).
+  auto lease = s.lease_wave_buffer(8 * 512);
+  ASSERT_TRUE(lease);
+  ASSERT_GE(lease.bytes().size(), 8u * 512u);
+  EXPECT_FALSE(s.lease_wave_buffer(8 * 512 + 1));
+
+  // Pool exhaustion: the second buffer leases, the third request is empty
+  // until a lease is returned.
+  auto second = s.lease_wave_buffer(512);
+  ASSERT_TRUE(second);
+  EXPECT_FALSE(s.lease_wave_buffer(512));
+  second = BlockStorage::WaveBufferLease();  // return it
+  EXPECT_TRUE(s.lease_wave_buffer(512));
+
+  // Compose a wave inside the lease and write it: this is the zero-copy
+  // path (WRITE_FIXED) when registration is live, plain writes otherwise —
+  // bytes are identical either way.
+  auto buf = lease.bytes().first(8 * 512);
+  std::vector<BlockWriteOp> ops;
+  for (BlockId b = 0; b < 8; ++b) {
+    auto img = buf.subspan(b * 512, 512);
+    for (std::size_t j = 0; j < img.size(); ++j) {
+      img[j] = static_cast<std::byte>((b * 17 + j + 5) & 0xFF);
+    }
+    ops.push_back({static_cast<BlockId>(b * 2), img});
+  }
+  s.write_blocks(ops);
+  std::vector<std::byte> in(512), out(512);
+  for (BlockId b = 0; b < 8; ++b) {
+    for (std::size_t j = 0; j < in.size(); ++j) {
+      in[j] = static_cast<std::byte>((b * 17 + j + 5) & 0xFF);
+    }
+    s.read_block(b * 2, out);
+    EXPECT_EQ(out, in) << "block " << b * 2;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(WriteBlocks, ContiguousRunsCoalesceIntoOneSqe) {
+  // Ops with consecutive blocks AND consecutive source bytes go out as one
+  // SQE. Observable through the short-write cap: one coalesced 8-block run
+  // (4096 bytes) under a 1024-byte cap takes 4 completions = 3 resubmits,
+  // while 8 independent 512-byte blocks fit under the cap and take none.
+  const std::string path = ::testing::TempDir() + "/bandana_coalesce.bin";
+  AsyncFileBlockStorage::Options options;
+  options.wave_buffer_blocks = 8;
+  options.wave_buffer_count = 1;
+  options.max_write_bytes_per_sqe = 1024;
+  AsyncFileBlockStorage s(path, 16, 512, false, options);
+  if (!s.io_uring_active()) {
+    GTEST_SKIP() << "io_uring unavailable; cap applies to uring SQEs only";
+  }
+
+  auto lease = s.lease_wave_buffer(8 * 512);
+  ASSERT_TRUE(lease);
+  auto buf = lease.bytes().first(8 * 512);
+  std::vector<BlockWriteOp> ops;
+  for (BlockId b = 0; b < 8; ++b) {
+    auto img = buf.subspan(b * 512, 512);
+    for (std::size_t j = 0; j < img.size(); ++j) {
+      img[j] = static_cast<std::byte>((b * 31 + j + 7) & 0xFF);
+    }
+    ops.push_back({static_cast<BlockId>(4 + b), img});  // blocks 4..11
+  }
+  s.write_blocks(ops);
+  EXPECT_EQ(s.write_stats().short_resubmits, 3u);
+
+  // Same images to scattered (odd) blocks: every op is its own run, each
+  // under the cap — no further resubmits, bytes land identically.
+  for (BlockId b = 0; b < 8; ++b) ops[b].block = 2 * b;
+  s.write_blocks(ops);
+  EXPECT_EQ(s.write_stats().short_resubmits, 3u);
+
+  std::vector<std::byte> in(512), out(512);
+  for (BlockId b = 0; b < 8; ++b) {
+    for (std::size_t j = 0; j < in.size(); ++j) {
+      in[j] = static_cast<std::byte>((b * 31 + j + 7) & 0xFF);
+    }
+    s.read_block(2 * b, out);
+    EXPECT_EQ(out, in) << "scattered block " << 2 * b;
+    if ((4 + b) % 2 != 0) {  // odd coalesced blocks survived the 2nd batch
+      s.read_block(4 + b, out);
+      EXPECT_EQ(out, in) << "coalesced block " << 4 + b;
+    }
+  }
+  std::remove(path.c_str());
+}
+
 TEST(StoreGrowth, IncrementalAddTableStreamsOldBlocksOnFileBackend) {
   // The incremental add_table growth path: table A's published blocks must
   // still be served after the backing file is regrown for table B (the

@@ -247,6 +247,11 @@ void expect_write_path_eq(const ReplayResult& a, const ReplayResult& b,
   EXPECT_EQ(a.store_metrics.write_waves, b.store_metrics.write_waves) << what;
   EXPECT_EQ(a.store_metrics.write_blocks, b.store_metrics.write_blocks)
       << what;
+  // Batched write submissions are counted at the store level (one bump per
+  // physical write_blocks call), so the count is backend-identical even
+  // though only the async backend genuinely overlaps the writes.
+  EXPECT_EQ(a.store_metrics.write_batches, b.store_metrics.write_batches)
+      << what;
   EXPECT_EQ(a.store_metrics.republish_skipped_blocks,
             b.store_metrics.republish_skipped_blocks)
       << what;
@@ -287,12 +292,22 @@ void check_structural_goldens(const ReplayResult& r, bool inline_backend) {
   EXPECT_EQ(r.store_metrics.write_waves,
             kTables + r.retrainer_stats.waves +
                 r.retrainer_stats.tables_unchanged);
+  // Batch conservation: each publish fits one admission wave (kTableBlocks
+  // == queue_depth x channels) and each rate-limited trickle wave (<= 16
+  // blocks) is one batched submission, so batches == publishes + waves —
+  // unchanged-table pushes record a zero-length wave but submit nothing.
+  EXPECT_EQ(r.store_metrics.write_batches,
+            kTables + r.retrainer_stats.waves);
   // Endurance: publish + trickle block writes, byte-exact.
   EXPECT_EQ(r.endurance_bytes, r.store_metrics.write_blocks * 4096u);
   // Double buffering: storage never grew beyond the reserved footprint.
   EXPECT_EQ(r.storage_blocks, 2 * kTables * kTableBlocks);
   EXPECT_EQ(r.store_metrics.stage_truncated_blocks, 0u);
   if (inline_backend) {
+    // Inline backends have no io_uring pool: no registered buffers, no
+    // short-completion resubmissions.
+    EXPECT_FALSE(r.store_metrics.registered_buffers_active);
+    EXPECT_EQ(r.store_metrics.write_short_resubmits, 0u);
     // No staging, no deferrals, no retries on pread-per-miss backends.
     EXPECT_EQ(r.store_metrics.staged_blocks, 0u);
     EXPECT_EQ(r.store_metrics.deferred_lookups, 0u);

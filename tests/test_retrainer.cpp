@@ -464,6 +464,37 @@ TEST(TrickleRepublish, AbandonedSessionLeavesOldPlanAndRecyclesBlocks) {
   EXPECT_TRUE(bytes_match(values_b, 11, out));
 }
 
+TEST(TrickleRepublish, PeakWaveMemoryBoundedByAdmissionWave) {
+  const EmbeddingTable values_a = patterned_table(kVectors, 0.0f);
+  const EmbeddingTable values_b = patterned_table(kVectors, 1000.0f);
+  StoreConfig cfg = store_config();
+  cfg.device.queue_depth = 4;
+  cfg.device.channels = 2;  // admission wave: 8 blocks per write_blocks call
+  Store store(cfg);
+  const TableId t = store.add_table(
+      values_a, BlockLayout::identity(kVectors, kVpb), plain_policy(64));
+
+  // Unlimited rate: the whole diff is admitted as fast as pump is called,
+  // which is exactly when an eagerly-buffered push would hold every
+  // replacement image at once.
+  TrickleRepublish session = store.begin_trickle_republish(
+      t, values_b, make_plan(BlockLayout::random(kVectors, kVpb, 12), 64),
+      RepublishConfig{0, 10.0});
+  const std::uint64_t total = session.total_blocks();
+  ASSERT_GT(total, 8u);
+  while (!session.done()) {
+    if (session.pump() == 0) store.advance_time_us(10.0);
+  }
+  EXPECT_EQ(session.written_blocks(), total);
+
+  // Lazy wave composition: the push buffered at most one admission wave of
+  // block images at a time, never the whole diff.
+  const std::uint64_t wave_bytes = 8ull * cfg.block_bytes;
+  EXPECT_GT(session.peak_wave_bytes(), 0u);
+  EXPECT_LE(session.peak_wave_bytes(), wave_bytes);
+  EXPECT_LT(session.peak_wave_bytes(), total * cfg.block_bytes);
+}
+
 // ---------------------------------------------------------------------------
 // TrafficSampler.
 
