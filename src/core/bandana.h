@@ -15,6 +15,7 @@
 #include "cluster/router.h"         // IWYU pragma: export
 #include "cluster/store_cluster.h"  // IWYU pragma: export
 #include "core/config.h"            // IWYU pragma: export
+#include "core/manifest.h"          // IWYU pragma: export
 #include "core/metrics.h"           // IWYU pragma: export
 #include "core/request.h"           // IWYU pragma: export
 #include "core/retrainer.h"         // IWYU pragma: export

@@ -88,6 +88,9 @@ struct StoreMetrics {
   std::uint64_t mapping_swaps = 0;       ///< Trickle republishes that
                                          ///< completed and swapped a table's
                                          ///< block mapping.
+  std::uint64_t manifest_commits = 0;    ///< Durable manifest commits (sync +
+                                         ///< pointer flip) the store made; 0
+                                         ///< when no manifest is attached.
   bool registered_buffers_active = false;  ///< The backend carries waves on
                                            ///< an io_uring registered-buffer
                                            ///< pool (zero-copy FIXED ops).
@@ -108,6 +111,7 @@ struct StoreMetrics {
     write_short_resubmits += o.write_short_resubmits;
     republish_skipped_blocks += o.republish_skipped_blocks;
     mapping_swaps += o.mapping_swaps;
+    manifest_commits += o.manifest_commits;
     // A rollup is "registered" when any node carries its waves zero-copy.
     registered_buffers_active = registered_buffers_active ||
                                 o.registered_buffers_active;
@@ -130,6 +134,7 @@ struct AtomicStoreMetrics {
   std::atomic<std::uint64_t> write_batches{0};
   std::atomic<std::uint64_t> republish_skipped_blocks{0};
   std::atomic<std::uint64_t> mapping_swaps{0};
+  std::atomic<std::uint64_t> manifest_commits{0};
   // write_short_resubmits and registered_buffers_active live in the
   // storage backend (BlockStorage::write_stats); Store::store_metrics()
   // samples them into the snapshot.
@@ -148,6 +153,7 @@ struct AtomicStoreMetrics {
     m.republish_skipped_blocks =
         republish_skipped_blocks.load(std::memory_order_relaxed);
     m.mapping_swaps = mapping_swaps.load(std::memory_order_relaxed);
+    m.manifest_commits = manifest_commits.load(std::memory_order_relaxed);
     return m;
   }
 };

@@ -69,6 +69,7 @@ Store::Store(StoreConfig config, BlockStorageFactory storage_factory,
     : config_(config),
       storage_factory_(std::move(storage_factory)),
       storage_mu_(std::make_unique<std::shared_mutex>()),
+      manifest_mu_(std::make_unique<std::mutex>()),
       tap_(std::make_unique<std::atomic<AccessTap*>>(nullptr)),
       timing_mu_(std::make_unique<std::mutex>()),
       engine_(config.device, seed),
@@ -91,6 +92,128 @@ Store Store::from_plan(const StoreConfig& config, const StorePlan& plan,
   builder.seed(seed);
   if (storage_factory) builder.storage(std::move(storage_factory));
   return builder.add_plan(plan, tables).build();
+}
+
+Store Store::open(const StoreConfig& config, const std::string& manifest_path,
+                  BlockStorageFactory storage_factory, std::uint64_t seed) {
+  std::string err;
+  auto m = load_manifest(manifest_path, &err);
+  if (!m) throw std::runtime_error("Store::open: " + err);
+  if (m->block_bytes != config.block_bytes ||
+      m->vector_bytes != config.vector_bytes) {
+    throw std::runtime_error(
+        "Store::open: config geometry (" + std::to_string(config.block_bytes) +
+        "B blocks, " + std::to_string(config.vector_bytes) +
+        "B vectors) disagrees with manifest (" +
+        std::to_string(m->block_bytes) + "B blocks, " +
+        std::to_string(m->vector_bytes) + "B vectors)");
+  }
+  if (!storage_factory) {
+    if (m->block_file.empty()) {
+      throw std::runtime_error(
+          "Store::open: manifest records no block file (memory-backed "
+          "stores are not recoverable) — pass a storage factory");
+    }
+    // Preserve mode by construction: the factory probes this same manifest,
+    // finds it valid, and verifies the block file's size before opening.
+    storage_factory = file_storage_factory(m->block_file, manifest_path);
+  }
+  Store store(config, std::move(storage_factory), seed);
+  store.restore_from(*m, manifest_path);
+  return store;
+}
+
+void Store::restore_from(const Manifest& m, const std::string& manifest_path) {
+  std::unique_lock lock(*storage_mu_);
+  ensure_capacity(m.storage_blocks);
+  const std::uint32_t vpb = config_.vectors_per_block();
+  for (std::size_t i = 0; i < m.tables.size(); ++i) {
+    const ManifestTable& mt = m.tables[i];
+    for (const BlockId g : mt.block_map) {
+      if (g >= m.storage_blocks) {
+        throw std::runtime_error(
+            "Store::open: table " + std::to_string(i) + " maps block " +
+            std::to_string(g) + " past the manifest's storage size " +
+            std::to_string(m.storage_blocks));
+      }
+    }
+    // from_order validates the permutation; the table ctor validates the
+    // map/layout shapes against each other and the config geometry.
+    tables_.push_back(std::make_unique<BandanaTable>(
+        config_, mt.policy, BlockLayout::from_order(mt.order, vpb),
+        mt.access_counts, mt.first_block, mt.block_map));
+    free_blocks_.push_back(mt.free_blocks);
+    republish_in_flight_.push_back(0);
+  }
+  next_block_ = static_cast<BlockId>(m.next_block);
+  trickle_epoch_ = m.trickle_epoch;
+  manifest_seq_ = m.commit_seq;
+  manifest_path_ = manifest_path;
+  block_file_ = m.block_file;
+  // No re-commit: the loaded manifest IS the durable state; the next swap
+  // or add_table writes the next version.
+}
+
+void Store::attach_manifest(std::string manifest_path, std::string block_file) {
+  std::unique_lock lock(*storage_mu_);
+  {
+    std::lock_guard mlock(*manifest_mu_);
+    manifest_path_ = std::move(manifest_path);
+    block_file_ = std::move(block_file);
+  }
+  // Commit immediately: the store is recoverable from this point on.
+  commit_manifest();
+}
+
+std::uint64_t Store::trickle_epoch() const {
+  std::lock_guard mlock(*manifest_mu_);
+  return trickle_epoch_;
+}
+
+void Store::set_manifest_fault_hooks(ManifestCommitHooks hooks) {
+  std::lock_guard mlock(*manifest_mu_);
+  manifest_hooks_ = std::move(hooks);
+}
+
+Manifest Store::compose_manifest() const {
+  Manifest m;
+  m.commit_seq = manifest_seq_ + 1;
+  m.trickle_epoch = trickle_epoch_;
+  m.block_bytes = config_.block_bytes;
+  m.vector_bytes = config_.vector_bytes;
+  m.vectors_per_block = config_.vectors_per_block();
+  m.storage_blocks = storage_ ? storage_->num_blocks() : 0;
+  m.next_block = next_block_;
+  m.block_file = block_file_;
+  m.tables.reserve(tables_.size());
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    auto snap = tables_[t]->mapping_snapshot();
+    ManifestTable mt;
+    mt.first_block = tables_[t]->first_block();
+    mt.order = snap.layout.order();
+    mt.block_map = std::move(snap.block_map);
+    mt.access_counts = std::move(snap.access_counts);
+    mt.policy = snap.policy;
+    mt.free_blocks = free_blocks_[t];
+    m.tables.push_back(std::move(mt));
+  }
+  return m;
+}
+
+void Store::commit_manifest() {
+  std::lock_guard mlock(*manifest_mu_);
+  commit_manifest_mlocked();
+}
+
+void Store::commit_manifest_mlocked() {
+  if (manifest_path_.empty()) return;
+  // Durability barrier BEFORE the pointer flip: every block the new
+  // manifest references must survive a crash before the manifest does.
+  if (storage_) storage_->sync();
+  const Manifest m = compose_manifest();
+  write_manifest(manifest_path_, m, &manifest_hooks_);
+  manifest_seq_ = m.commit_seq;
+  staging_metrics_->manifest_commits.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Store::ensure_capacity(std::uint64_t total_blocks) {
@@ -167,6 +290,9 @@ void Store::ensure_capacity(std::uint64_t total_blocks) {
 void Store::reserve_blocks(std::uint64_t total_blocks) {
   std::unique_lock lock(*storage_mu_);
   ensure_capacity(total_blocks);
+  // Keep the durable storage_blocks in step with the real file size (a
+  // no-op when no manifest is attached — StoreBuilder attaches at build).
+  commit_manifest();
 }
 
 TableId Store::add_table(const EmbeddingTable& values, BlockLayout layout,
@@ -196,6 +322,10 @@ TableId Store::add_table(const EmbeddingTable& values, BlockLayout layout,
   free_blocks_.emplace_back();
   republish_in_flight_.push_back(0);
   next_block_ += blocks;
+  // The table becomes durable only when this commit's pointer flip lands:
+  // a crash mid-publish (or mid-commit) recovers to the previous manifest,
+  // which simply does not know this table.
+  commit_manifest();
   return static_cast<TableId>(tables_.size() - 1);
 }
 
@@ -578,7 +708,14 @@ double Store::republish(TableId t, const EmbeddingTable& values, double day) {
   // writes stay queued on the channels and in the admission gate at the
   // current clock, so concurrent read requests see the paper's
   // mixed-traffic interference (bench_fig05 read-vs-mixed sweep).
-  return schedule_writes(diff.written_blocks, /*advance_clock=*/false);
+  const double latency =
+      schedule_writes(diff.written_blocks, /*advance_clock=*/false);
+  // One-shot republish overwrites blocks IN PLACE, so it is NOT
+  // crash-atomic mid-flight (a kill between two of its writes leaves mixed
+  // old/new bytes under the committed mapping — use the trickle path for
+  // crash safety). This commit makes a *completed* republish durable.
+  commit_manifest();
+  return latency;
 }
 
 TrickleRepublish Store::begin_trickle_republish(
@@ -688,6 +825,13 @@ TrickleRepublish Store::begin_trickle_claimed(
     record_empty_write_wave();
     republish_in_flight_[t] = 0;
     s->swapped = true;
+    if (s->installed_mapping) {
+      // The installed permutation changes the durable mapping even though
+      // no block bytes moved — commit it like any other swap.
+      std::lock_guard mlock(*manifest_mu_);
+      ++trickle_epoch_;
+      commit_manifest_mlocked();
+    }
     return TrickleRepublish(std::move(s));
   }
 
@@ -787,7 +931,12 @@ std::size_t Store::pump_trickle(detail::TrickleState& s) {
 void Store::finish_trickle(detail::TrickleState& s) {
   // Shared lock: the swap itself synchronizes with lookups through the
   // table's shard locks; we only need to exclude storage-map mutators.
+  // The manifest lock serializes this swap + free-list update with any
+  // concurrent manifest compose (another table's finishing session, an
+  // incremental add_table's commit) so every committed manifest captures a
+  // consistent multi-table snapshot.
   std::shared_lock storage_lock(*storage_mu_);
+  std::lock_guard mlock(*manifest_mu_);
   BandanaTable& table = *tables_[s.table];
   auto freed = table.swap_state(std::move(*s.next));
   s.next.reset();
@@ -798,6 +947,15 @@ void Store::finish_trickle(detail::TrickleState& s) {
   republish_in_flight_[s.table] = 0;
   s.installed_mapping = true;
   s.swapped = true;
+  ++trickle_epoch_;
+  // Durable commit of the swap: replacement blocks were written to storage
+  // blocks no committed manifest references (freshly grown, or freed by an
+  // earlier COMMITTED swap), so until this commit's rename lands the
+  // durable state is entirely the old plan; after it, entirely the new one.
+  // If the commit throws, the in-memory store keeps serving the new plan
+  // while the durable state stays on the old plan — crash-consistent
+  // either way; the next successful commit re-converges them.
+  commit_manifest_mlocked();
 }
 
 void Store::abandon_trickle(detail::TrickleState& s) noexcept {

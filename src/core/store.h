@@ -50,6 +50,7 @@
 #include "common/stats.h"
 #include "common/thread_pool.h"
 #include "core/config.h"
+#include "core/manifest.h"
 #include "core/metrics.h"
 #include "core/request.h"
 #include "core/table.h"
@@ -101,6 +102,45 @@ class Store {
                          std::span<const EmbeddingTable> tables,
                          BlockStorageFactory storage_factory = nullptr,
                          std::uint64_t seed = 42);
+
+  /// Warm restart: reconstruct a store from the durable manifest at
+  /// `manifest_path` — every table's layout, block map, access counts and
+  /// policy come back exactly as of the last committed mapping swap, with
+  /// NO retraining and NO block writes (the block file already holds the
+  /// committed plan bytes; only the DRAM caches start cold). The config's
+  /// block/vector geometry must match the manifest's. With the default
+  /// null factory the store reopens the manifest's recorded block file via
+  /// file_storage_factory(block_file, manifest_path) — preserve mode, with
+  /// the file's size verified against the manifest geometry; pass an
+  /// explicit factory to reopen through a different backend on the same
+  /// bytes (e.g. async_file_storage_factory). Throws std::runtime_error
+  /// when the manifest is missing/corrupt or disagrees with the config or
+  /// the block file. The reopened store stays attached to the manifest:
+  /// subsequent swaps keep committing durably.
+  static Store open(const StoreConfig& config, const std::string& manifest_path,
+                    BlockStorageFactory storage_factory = nullptr,
+                    std::uint64_t seed = 42);
+
+  /// Attach a manifest and commit it immediately: from this call on, every
+  /// completed mapping swap (trickle finish, no-op plan install), add_table
+  /// and one-shot republish commits a new manifest version crash-atomically
+  /// (BlockStorage::sync barrier, then tmp + fsync + rename pointer flip).
+  /// `block_file` is recorded so Store::open can find the backing file
+  /// (leave empty for storage Store::open will never reopen by path).
+  /// StoreBuilder::manifest wires this up at build; call it directly when
+  /// constructing a Store by hand.
+  void attach_manifest(std::string manifest_path, std::string block_file = "");
+
+  /// The attached manifest path (empty = persistence off).
+  const std::string& manifest_path() const { return manifest_path_; }
+
+  /// Completed mapping swaps since the store (lineage) was created —
+  /// restored across Store::open, so a warm restart continues the count.
+  std::uint64_t trickle_epoch() const;
+
+  /// Test seam: hooks forwarded into write_manifest around the commit's
+  /// rename pointer flip (crash injection at the pre/post-flip boundaries).
+  void set_manifest_fault_hooks(ManifestCommitHooks hooks);
 
   /// Pre-size the backing storage to `total_blocks` so subsequent
   /// add_table calls need no copy-grow. StoreBuilder calls this with the
@@ -335,6 +375,21 @@ class Store {
   std::size_t pump_trickle(detail::TrickleState& s);
   void finish_trickle(detail::TrickleState& s);
   void abandon_trickle(detail::TrickleState& s) noexcept;
+  /// Rebuild tables_/free_blocks_/next_block_ from a validated manifest
+  /// (Store::open). Caller: fresh store, no tables yet.
+  void restore_from(const Manifest& m, const std::string& manifest_path);
+  /// Serialize the store's current durable state. Caller holds storage_mu_
+  /// (shared or unique) AND manifest_mu_ — the manifest lock is what keeps
+  /// the multi-table snapshot consistent against concurrent shared-lock
+  /// swaps (finish_trickle takes it around its swap + free-list update).
+  Manifest compose_manifest() const;
+  /// sync + compose + write_manifest + seq bump, under manifest_mu_ (taken
+  /// here). No-op when no manifest is attached. Caller holds storage_mu_.
+  /// On throw the previous durable manifest is intact; in-memory state is
+  /// unchanged except that data writes may now be synced.
+  void commit_manifest();
+  /// commit_manifest body for callers already holding manifest_mu_.
+  void commit_manifest_mlocked();
   /// Record a zero-length republish write wave (no-op diff): the cadence
   /// stays visible in write_latency_us() and the wave counters.
   void record_empty_write_wave();
@@ -356,6 +411,17 @@ class Store {
   std::vector<std::vector<BlockId>> free_blocks_;
   /// Per-table flag: a trickle session is mid-flight (one per table).
   std::vector<std::uint8_t> republish_in_flight_;
+  /// Persistence (empty path = off). manifest_mu_ serializes manifest
+  /// compose/commit against the shared-lock-path mapping swaps and
+  /// free-list updates (finish_trickle) — lock order: storage_mu_ (either
+  /// mode) then manifest_mu_. seq/epoch are mutated under manifest_mu_ or
+  /// the unique storage lock (restore/attach).
+  std::string manifest_path_;
+  std::string block_file_;
+  std::uint64_t manifest_seq_ = 0;
+  std::uint64_t trickle_epoch_ = 0;
+  std::unique_ptr<std::mutex> manifest_mu_;
+  ManifestCommitHooks manifest_hooks_;
   /// Serving-path access tap (behind a pointer so the Store stays movable).
   std::unique_ptr<std::atomic<AccessTap*>> tap_;
 

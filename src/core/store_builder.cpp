@@ -1,6 +1,9 @@
 #include "core/store_builder.h"
 
+#include <cstdio>
 #include <stdexcept>
+
+#include "core/manifest.h"
 
 namespace bandana {
 
@@ -28,17 +31,57 @@ std::uint64_t StoreBuilder::total_blocks() const {
   return total;
 }
 
+BlockStorageFactory StoreBuilder::materialize_factory(bool for_open) {
+  switch (backend_) {
+    case Backend::kCustom:
+      return factory_;
+    case Backend::kMemory:
+      // nullptr for open: Store::open then rejects a manifest with no block
+      // file instead of silently opening empty heap storage.
+      return for_open ? nullptr : memory_storage_factory();
+    case Backend::kFile:
+      return file_storage_factory(file_path_, manifest_path_);
+    case Backend::kAsyncFile:
+      return async_file_storage_factory(file_path_, async_options_,
+                                        manifest_path_);
+  }
+  return nullptr;
+}
+
 Store StoreBuilder::build() {
-  Store store(config_, factory_ ? std::move(factory_)
-                                : memory_storage_factory(),
-              seed_);
+  if (!manifest_path_.empty()) {
+    // Explicit rebuild: delete any previous store's manifest FIRST, so the
+    // manifest-routed factories see nothing to recover and truncate
+    // cleanly. A crash mid-build recovers to "no store" — never to a torn
+    // mix of the old store and the half-built one.
+    std::remove(manifest_path_.c_str());
+    std::remove((manifest_path_ + ".tmp").c_str());
+  }
+  Store store(config_, materialize_factory(/*for_open=*/false), seed_);
   store.reserve_blocks(total_blocks());
   for (auto& p : pending_) {
     store.add_table(*p.values, std::move(p.plan.layout),
                     std::move(p.plan.policy), std::move(p.plan.access_counts));
   }
   pending_.clear();
+  if (!manifest_path_.empty()) {
+    const bool file_backed =
+        backend_ == Backend::kFile || backend_ == Backend::kAsyncFile;
+    store.attach_manifest(manifest_path_, file_backed ? file_path_ : "");
+  }
   return store;
+}
+
+Store StoreBuilder::open_or_build() {
+  if (manifest_path_.empty()) {
+    throw std::logic_error("open_or_build: manifest(path) must be set");
+  }
+  if (manifest_valid(manifest_path_)) {
+    pending_.clear();
+    return Store::open(config_, manifest_path_,
+                       materialize_factory(/*for_open=*/true), seed_);
+  }
+  return build();
 }
 
 }  // namespace bandana

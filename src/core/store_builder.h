@@ -41,18 +41,28 @@ class StoreBuilder {
     return *this;
   }
 
-  /// Back the store with an arbitrary BlockStorage implementation.
+  /// Back the store with an arbitrary BlockStorage implementation. A
+  /// custom factory bypasses the builder's manifest routing: pass a
+  /// manifest-aware factory yourself if you combine this with manifest().
   StoreBuilder& storage(BlockStorageFactory factory) {
+    backend_ = Backend::kCustom;
     factory_ = std::move(factory);
     return *this;
   }
 
   /// Back the store with heap memory (the default).
-  StoreBuilder& memory_storage() { return storage(memory_storage_factory()); }
+  StoreBuilder& memory_storage() {
+    backend_ = Backend::kMemory;
+    factory_ = nullptr;
+    return *this;
+  }
 
   /// Back the store with a real file at `path` (created at build()).
   StoreBuilder& file_storage(std::string path) {
-    return storage(file_storage_factory(std::move(path)));
+    backend_ = Backend::kFile;
+    file_path_ = std::move(path);
+    factory_ = nullptr;
+    return *this;
   }
 
   /// Back the store with a real file at `path` whose batched reads and
@@ -71,7 +81,21 @@ class StoreBuilder {
         options.wave_buffer_blocks = static_cast<unsigned>(wave);
       }
     }
-    return storage(async_file_storage_factory(std::move(path), options));
+    backend_ = Backend::kAsyncFile;
+    file_path_ = std::move(path);
+    async_options_ = options;
+    factory_ = nullptr;
+    return *this;
+  }
+
+  /// Persist the store: build() attaches (and immediately commits) a
+  /// manifest at `path`, and every subsequent mapping swap commits a new
+  /// version crash-atomically — the store becomes recoverable via
+  /// Store::open / open_or_build. The file factories also route their
+  /// fresh-vs-preserve decision through this manifest.
+  StoreBuilder& manifest(std::string path) {
+    manifest_path_ = std::move(path);
+    return *this;
   }
 
   /// Queue one table: its values plus the Trainer's plan entry for it.
@@ -86,17 +110,42 @@ class StoreBuilder {
   std::uint64_t total_blocks() const;
 
   /// Allocate storage once and publish all queued tables, in add order.
+  /// With manifest() set this is an explicit REBUILD: any previous manifest
+  /// at that path is deleted up front (the old store is consciously
+  /// discarded — a crash mid-build then recovers to "no store", never to a
+  /// torn mix of old and new), the new store is built fresh, and the
+  /// manifest is attached and committed before build() returns.
   Store build();
 
+  /// Warm restart when possible, cold build otherwise: with a
+  /// checksum-valid manifest at manifest() the queued plans are IGNORED and
+  /// the committed store is reopened via Store::open (no retraining, no
+  /// block writes, through this builder's configured file backend); with no
+  /// valid manifest (first boot, or a crash that predates the first commit)
+  /// it falls back to build(). Requires manifest() to have been set.
+  Store open_or_build();
+
  private:
+  enum class Backend { kMemory, kFile, kAsyncFile, kCustom };
   struct Pending {
     const EmbeddingTable* values;
     TablePlan plan;
   };
 
+  /// The configured backend as a factory. `for_open` distinguishes
+  /// Store::open (file backends route preserve-mode through the manifest)
+  /// from build (the stale manifest was just deleted, so the same routing
+  /// yields a clean truncate); memory/custom return factory_ as-is
+  /// (nullptr for memory lets Store::open reject unrecoverable backends).
+  BlockStorageFactory materialize_factory(bool for_open);
+
   StoreConfig config_;
   std::uint64_t seed_ = 42;
+  Backend backend_ = Backend::kMemory;
   BlockStorageFactory factory_;
+  std::string file_path_;
+  AsyncFileBlockStorage::Options async_options_{};
+  std::string manifest_path_;
   std::vector<Pending> pending_;
 };
 

@@ -154,6 +154,36 @@ BandanaTable::BandanaTable(const StoreConfig& store_cfg, TablePolicy policy,
   }
 }
 
+BandanaTable::BandanaTable(const StoreConfig& store_cfg, TablePolicy policy,
+                           BlockLayout layout,
+                           std::vector<std::uint32_t> access_counts,
+                           BlockId first_block, std::vector<BlockId> block_map)
+    : num_vectors_(layout.num_vectors()),
+      num_blocks_(layout.num_blocks()),
+      first_block_(first_block),
+      vector_bytes_(store_cfg.vector_bytes),
+      block_bytes_(store_cfg.block_bytes),
+      vectors_per_block_(store_cfg.vectors_per_block()),
+      num_shards_(shard_count_for(store_cfg, policy, layout)) {
+  if (store_cfg.block_bytes % store_cfg.vector_bytes != 0) {
+    throw std::invalid_argument("vector_bytes must divide block_bytes");
+  }
+  if (layout.vectors_per_block() != vectors_per_block_) {
+    throw std::invalid_argument("layout block size mismatch");
+  }
+  state_owner_ = make_state(policy, std::move(layout),
+                            std::move(access_counts), std::move(block_map));
+  state_.store(state_owner_.get(), std::memory_order_release);
+
+  slab_.resize(state_owner_->cache.capacity() * vector_bytes_);
+  shards_.reserve(num_shards_);
+  for (std::uint32_t s = 0; s < num_shards_; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->block_buf.resize(block_bytes_);
+    shards_.push_back(std::move(shard));
+  }
+}
+
 void compose_block_bytes(const BlockLayout& layout,
                          const EmbeddingTable& values, BlockId b,
                          std::size_t vector_bytes,
@@ -366,6 +396,12 @@ std::vector<BlockId> BandanaTable::block_map() const {
   ReadGuard guard(*this);
   const State* st = state_.load(std::memory_order_seq_cst);
   return st->block_map;
+}
+
+BandanaTable::RetrainedState BandanaTable::mapping_snapshot() const {
+  ReadGuard guard(*this);
+  const State* st = state_.load(std::memory_order_seq_cst);
+  return {st->layout, st->block_map, st->access_counts, st->policy};
 }
 
 void BandanaTable::cache_vector(State& st, std::uint32_t shard_idx, VectorId v,

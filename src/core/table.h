@@ -78,6 +78,14 @@ class BandanaTable {
                BlockLayout layout, std::vector<std::uint32_t> access_counts,
                BlockId first_block);
 
+  /// Restore construction (Store::open): identical to the primary ctor but
+  /// with an explicit local-block -> storage-block map recovered from the
+  /// manifest instead of the fresh contiguous range. No blocks are written
+  /// — the map points at data already in storage.
+  BandanaTable(const StoreConfig& store_cfg, TablePolicy policy,
+               BlockLayout layout, std::vector<std::uint32_t> access_counts,
+               BlockId first_block, std::vector<BlockId> block_map);
+
   /// Write all vectors of `values` into NVM blocks per the current layout
   /// and block map. Block images are composed wave-by-wave (at most
   /// `wave_blocks` per wave, 0 = 4096-block chunks) into one buffer — a
@@ -190,6 +198,13 @@ class BandanaTable {
 
   /// Snapshot of the current local-block -> global-block mapping.
   std::vector<BlockId> block_map() const;
+
+  /// Copy of the table's entire current mapping (layout, block map, access
+  /// counts, policy) as one consistent unit — what the manifest records per
+  /// table. Safe against concurrent lookups; the caller must exclude
+  /// concurrent swap_state (Store composes manifests under its manifest
+  /// lock, which every shared-lock-path swap also takes).
+  RetrainedState mapping_snapshot() const;
 
   /// Count vectors rewritten by an external republish path (the trickle
   /// session, which writes blocks itself and swaps at completion).

@@ -696,13 +696,20 @@ void AsyncFileBlockStorage::write_blocks(std::span<const BlockWriteOp> ops) {
 }
 
 BlockStorageFactory async_file_storage_factory(
-    std::string path, AsyncFileBlockStorage::Options options) {
-  // Same contract as file_storage_factory: first invocation truncates,
-  // growth re-invocations resize in place and preserve published blocks.
-  return [path = std::move(path), options, created = false](
+    std::string path, AsyncFileBlockStorage::Options options,
+    std::string manifest_path) {
+  // Same contract as file_storage_factory: the first invocation routes
+  // fresh-vs-preserve through the manifest (and overflow-checks the
+  // geometry); growth re-invocations resize in place and preserve
+  // published blocks.
+  return [path = std::move(path), options,
+          manifest_path = std::move(manifest_path), created = false](
              std::uint64_t num_blocks, std::size_t block_bytes) mutable {
+    const bool preserve =
+        created || detail::preserve_for_first_open(path, manifest_path,
+                                                   num_blocks, block_bytes);
     auto storage = std::make_unique<AsyncFileBlockStorage>(
-        path, num_blocks, block_bytes, /*preserve_contents=*/created,
+        path, num_blocks, block_bytes, /*preserve_contents=*/preserve,
         options);
     created = true;
     return storage;

@@ -104,6 +104,11 @@ class AsyncFileBlockStorage : public FileBlockStorage {
   BlockStorageWriteStats write_stats() const override;
   WaveBufferLease lease_wave_buffer(std::size_t bytes) const override;
 
+  // sync() is inherited from FileBlockStorage (fdatasync): both wave paths
+  // fully drain their in-flight writes before write_blocks returns, so by
+  // the time a caller reaches sync() every write already sits in the page
+  // cache and fdatasync flushes exactly the right bytes.
+
   /// True when the io_uring path is live (false = thread-pool preads).
   bool io_uring_active() const { return !rings_.empty(); }
   /// True when the wave-buffer pool is registered on the rings
@@ -148,10 +153,13 @@ class AsyncFileBlockStorage : public FileBlockStorage {
 };
 
 /// Real-file storage at `path` whose batched reads overlap (io_uring or
-/// thread-pool preads). First invocation truncates; growth re-invocations
-/// resize in place, preserving published blocks — the same factory
-/// contract as file_storage_factory.
+/// thread-pool preads). The same factory contract as file_storage_factory:
+/// fresh-vs-preserve on the first invocation is routed through
+/// `manifest_path` (valid manifest ⇒ preserve + verify geometry; none ⇒
+/// truncate); growth re-invocations resize in place, preserving published
+/// blocks.
 BlockStorageFactory async_file_storage_factory(
-    std::string path, AsyncFileBlockStorage::Options options = {});
+    std::string path, AsyncFileBlockStorage::Options options = {},
+    std::string manifest_path = "");
 
 }  // namespace bandana

@@ -8,9 +8,37 @@
 #include <cassert>
 #include <cerrno>
 #include <cstring>
+#include <limits>
 #include <stdexcept>
 
+#include "core/manifest.h"
+
 namespace bandana {
+
+namespace detail {
+
+std::uint64_t checked_file_bytes(std::uint64_t num_blocks,
+                                 std::size_t block_bytes) {
+  // num_blocks * block_bytes must fit an off_t or ftruncate would size a
+  // silently-wrapped (wrong) file.
+  if (block_bytes != 0 &&
+      num_blocks > std::numeric_limits<std::uint64_t>::max() / block_bytes) {
+    throw std::runtime_error(
+        "FileBlockStorage: file size overflows for " +
+        std::to_string(num_blocks) + " blocks x " +
+        std::to_string(block_bytes) + " bytes");
+  }
+  const std::uint64_t bytes = num_blocks * block_bytes;
+  if (bytes > static_cast<std::uint64_t>(std::numeric_limits<off_t>::max())) {
+    throw std::runtime_error(
+        "FileBlockStorage: file size " + std::to_string(bytes) +
+        " exceeds off_t for " + std::to_string(num_blocks) + " blocks x " +
+        std::to_string(block_bytes) + " bytes");
+  }
+  return bytes;
+}
+
+}  // namespace detail
 
 void BlockStorage::read_blocks(std::span<const BlockReadOp> ops) const {
   for (const auto& op : ops) read_block(op.block, op.out);
@@ -77,11 +105,13 @@ FileBlockStorage::FileBlockStorage(const std::string& path,
                                    std::size_t block_bytes,
                                    bool preserve_contents)
     : num_blocks_(num_blocks), block_bytes_(block_bytes) {
+  const std::uint64_t file_bytes =
+      detail::checked_file_bytes(num_blocks, block_bytes);
   const int flags =
       preserve_contents ? O_RDWR | O_CREAT : O_RDWR | O_CREAT | O_TRUNC;
   fd_ = ::open(path.c_str(), flags, 0644);
   if (fd_ < 0) throw std::runtime_error("FileBlockStorage: cannot open " + path);
-  if (::ftruncate(fd_, static_cast<off_t>(num_blocks * block_bytes)) != 0) {
+  if (::ftruncate(fd_, static_cast<off_t>(file_bytes)) != 0) {
     ::close(fd_);
     throw std::runtime_error("FileBlockStorage: cannot size " + path);
   }
@@ -99,11 +129,18 @@ void FileBlockStorage::read_block(BlockId b, std::span<std::byte> out) const {
   while (done < block_bytes_) {
     const ssize_t r = ::pread(fd_, out.data() + done, block_bytes_ - done,
                               off + static_cast<off_t>(done));
-    if (r <= 0) {
+    if (r < 0 && errno == EINTR) continue;  // interrupted, not failed
+    if (r == 0) {
+      throw std::runtime_error(
+          "FileBlockStorage: pread of block " + std::to_string(b) +
+          " hit EOF at byte " + std::to_string(done) +
+          " (file shorter than its block geometry)");
+    }
+    if (r < 0) {
       throw std::runtime_error(
           "FileBlockStorage: pread of block " + std::to_string(b) +
           " failed at byte " + std::to_string(done) + ": " +
-          (r == 0 ? "unexpected EOF" : std::strerror(errno)));
+          std::strerror(errno));
     }
     done += static_cast<std::size_t>(r);
   }
@@ -117,13 +154,26 @@ void FileBlockStorage::write_block(BlockId b, std::span<const std::byte> in) {
   while (done < block_bytes_) {
     const ssize_t r = ::pwrite(fd_, in.data() + done, block_bytes_ - done,
                                off + static_cast<off_t>(done));
-    if (r <= 0) {
+    if (r < 0 && errno == EINTR) continue;  // interrupted, not failed
+    if (r == 0) {
+      throw std::runtime_error(
+          "FileBlockStorage: pwrite of block " + std::to_string(b) +
+          " made no progress at byte " + std::to_string(done));
+    }
+    if (r < 0) {
       throw std::runtime_error(
           "FileBlockStorage: pwrite of block " + std::to_string(b) +
           " failed at byte " + std::to_string(done) + ": " +
-          (r == 0 ? "no progress" : std::strerror(errno)));
+          std::strerror(errno));
     }
     done += static_cast<std::size_t>(r);
+  }
+}
+
+void FileBlockStorage::sync() {
+  if (::fdatasync(fd_) != 0) {
+    throw std::runtime_error(std::string("FileBlockStorage: fdatasync failed: ") +
+                             std::strerror(errno));
   }
 }
 
@@ -142,14 +192,53 @@ BlockStorageFactory memory_storage_factory() {
   };
 }
 
-BlockStorageFactory file_storage_factory(std::string path) {
-  // First invocation truncates (a fresh store must not inherit stale bytes
-  // from an earlier run); growth re-invocations resize the same file in
+namespace detail {
+
+// Fresh-vs-preserve for a file factory's FIRST invocation. Invocation
+// order alone is wrong after a crash: truncating on "first call of this
+// process" would destroy a store the manifest can still recover. So the
+// decision is routed through the manifest — a valid one means the block
+// file holds committed data and must be preserved (and its geometry
+// verified); no valid manifest means there is nothing to recover and a
+// clean slate is correct.
+bool preserve_for_first_open(const std::string& path,
+                             const std::string& manifest_path,
+                             std::uint64_t num_blocks,
+                             std::size_t block_bytes) {
+  if (manifest_path.empty() || !manifest_valid(manifest_path)) return false;
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) {
+    throw std::runtime_error(
+        "FileBlockStorage: manifest " + manifest_path +
+        " is valid but block file " + path + " is missing: " +
+        std::strerror(errno));
+  }
+  const std::uint64_t need = checked_file_bytes(num_blocks, block_bytes);
+  if (static_cast<std::uint64_t>(st.st_size) < need) {
+    throw std::runtime_error(
+        "FileBlockStorage: block file " + path + " holds " +
+        std::to_string(st.st_size) + " bytes but the manifest geometry needs " +
+        std::to_string(need) + " (" + std::to_string(num_blocks) +
+        " blocks x " + std::to_string(block_bytes) + " bytes)");
+  }
+  return true;
+}
+
+}  // namespace detail
+
+BlockStorageFactory file_storage_factory(std::string path,
+                                         std::string manifest_path) {
+  // The first invocation consults the manifest for fresh-vs-preserve (see
+  // preserve_for_first_open); growth re-invocations resize the same file in
   // place so the store can stream published blocks without a full drain.
-  return [path = std::move(path), created = false](
-             std::uint64_t num_blocks, std::size_t block_bytes) mutable {
+  return [path = std::move(path), manifest_path = std::move(manifest_path),
+          created = false](std::uint64_t num_blocks,
+                           std::size_t block_bytes) mutable {
+    const bool preserve =
+        created || detail::preserve_for_first_open(path, manifest_path,
+                                                   num_blocks, block_bytes);
     auto storage = std::make_unique<FileBlockStorage>(
-        path, num_blocks, block_bytes, /*preserve_contents=*/created);
+        path, num_blocks, block_bytes, /*preserve_contents=*/preserve);
     created = true;
     return storage;
   };

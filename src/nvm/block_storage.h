@@ -135,6 +135,14 @@ class BlockStorage {
   /// Backend write-path counters; the default backend has none.
   virtual BlockStorageWriteStats write_stats() const { return {}; }
 
+  /// Flush every completed write to durable media. This is the durability
+  /// barrier the manifest commit relies on: after sync() returns, all bytes
+  /// written by earlier write_block/write_blocks calls survive a crash or
+  /// power loss. fdatasync on the file backends (the async backend's write
+  /// waves fully drain before write_blocks returns, so fdatasync covers
+  /// them too); a no-op for memory storage, which has no durable media.
+  virtual void sync() {}
+
   /// Try to lease a buffer of at least `bytes` from the backend's
   /// registered wave-buffer pool. Composing wave images (or staging wave
   /// reads) inside a leased buffer lets the async backend issue
@@ -242,6 +250,9 @@ class FileBlockStorage : public BlockStorage {
   std::uint64_t num_blocks() const override { return num_blocks_; }
   void read_block(BlockId b, std::span<std::byte> out) const override;
   void write_block(BlockId b, std::span<const std::byte> in) override;
+  /// fdatasync: data blocks durable; file metadata (size) was already made
+  /// durable by the sizing ftruncate at open.
+  void sync() override;
   /// Two file storages share a backing iff they are open on the same inode.
   bool same_backing(const BlockStorage& other) const override;
 
@@ -268,8 +279,32 @@ using BlockStorageFactory = std::function<std::unique_ptr<BlockStorage>(
 BlockStorageFactory memory_storage_factory();
 
 /// Real-file storage at `path` (pread/pwrite), the repro substitution for
-/// NVM hardware. The first invocation creates or truncates the file;
-/// growth re-invocations resize it in place, preserving published blocks.
-BlockStorageFactory file_storage_factory(std::string path);
+/// NVM hardware. Fresh-vs-preserve on the first invocation is routed
+/// through the manifest: when `manifest_path` names a checksum-valid
+/// manifest the existing file is preserved (a recoverable store must not be
+/// destroyed by reopening it) and its size is verified against the
+/// requested geometry; with no valid manifest — including the default empty
+/// path — the file is truncated to a clean slate. Growth re-invocations
+/// always resize in place, preserving published blocks.
+BlockStorageFactory file_storage_factory(std::string path,
+                                         std::string manifest_path = "");
+
+namespace detail {
+
+/// num_blocks * block_bytes with overflow detection; throws naming the
+/// requested geometry when the product wraps uint64 or exceeds off_t.
+std::uint64_t checked_file_bytes(std::uint64_t num_blocks,
+                                 std::size_t block_bytes);
+
+/// The manifest-routed fresh-vs-preserve decision shared by the file
+/// factories' first invocations: true (preserve) iff `manifest_path` names
+/// a checksum-valid manifest; then also verifies the block file exists and
+/// is at least the requested geometry, throwing on mismatch.
+bool preserve_for_first_open(const std::string& path,
+                             const std::string& manifest_path,
+                             std::uint64_t num_blocks,
+                             std::size_t block_bytes);
+
+}  // namespace detail
 
 }  // namespace bandana

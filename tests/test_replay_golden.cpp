@@ -46,6 +46,7 @@ constexpr std::size_t kWarm = 150;
 constexpr std::size_t kPhaseA = 250;
 constexpr std::size_t kPhaseB = 600;
 constexpr std::size_t kPhaseC = 300;
+constexpr std::size_t kPhaseD = 300;  ///< Served after a warm restart.
 constexpr double kInterarrivalUs = 50.0;
 
 TableWorkloadConfig workload(std::size_t table) {
@@ -94,7 +95,9 @@ void fnv_mix(std::uint64_t& h, const std::byte* data, std::size_t n) {
   }
 }
 
-ReplayResult run_replay(BlockStorageFactory factory) {
+ReplayResult run_replay(BlockStorageFactory factory,
+                        const std::string& manifest_path = "",
+                        const std::string& block_file = "") {
   ReplayResult r;
   r.digest = 0xcbf29ce484222325ULL;
 
@@ -131,6 +134,11 @@ ReplayResult run_replay(BlockStorageFactory factory) {
   for (std::size_t t = 0; t < kTables; ++t) {
     store.add_table(values[t], plan.tables[t].layout, plan.tables[t].policy,
                     plan.tables[t].access_counts);
+  }
+  if (!manifest_path.empty()) {
+    // Persist: from here on every mapping swap commits a manifest version,
+    // and the warm-restart phase below can reopen the committed store.
+    store.attach_manifest(manifest_path, block_file);
   }
 
   RetrainerConfig rc;
@@ -329,6 +337,126 @@ void check_structural_goldens(const ReplayResult& r, bool inline_backend) {
       << "drift did not inflate NVM reads per lookup";
   EXPECT_LT(r.rates.blocks_c, r.rates.blocks_b - 0.05)
       << "retraining did not recover read amplification";
+}
+
+struct WarmResult {
+  std::uint64_t digest = 0xcbf29ce484222325ULL;
+  double hit_rate = 0.0;
+  std::uint64_t storage_blocks = 0;
+  std::uint64_t write_blocks = 0;
+  std::uint64_t endurance_bytes = 0;
+  std::uint64_t manifest_commits = 0;
+  std::uint64_t trickle_epoch = 0;
+};
+
+/// Reopen the committed store from its manifest (no retraining, no block
+/// writes) and serve phase D from the workload's CONTINUING traffic: fresh
+/// fixed-seed generators are fast-forwarded through exactly the call
+/// sequence the cold run consumed (`trickle_pumps` queries were served
+/// while the push trickled out), so phase D picks up where phase C left
+/// off. Only the DRAM cache restarts cold, hence the unmeasured warm
+/// window before the measured phase.
+WarmResult serve_warm_restart(BlockStorageFactory factory,
+                              const std::string& manifest_path,
+                              std::uint64_t trickle_pumps) {
+  StoreConfig cfg;
+  cfg.cache_shards = 1;
+  Store store = Store::open(cfg, manifest_path, std::move(factory));
+
+  std::vector<TraceGenerator> gens;
+  gens.reserve(kTables);
+  for (std::size_t t = 0; t < kTables; ++t) {
+    gens.emplace_back(workload(t), splitmix64(0xB00B00 + t));
+    (void)gens[t].make_embeddings();
+    (void)gens[t].generate(kTrainQueries);
+  }
+  const auto skip = [&](std::size_t n) {
+    for (std::size_t q = 0; q < n; ++q) {
+      for (std::size_t t = 0; t < kTables; ++t) (void)gens[t].generate(1);
+    }
+  };
+  skip(kWarm + kPhaseA);
+  for (auto& gen : gens) gen.apply_drift();
+  skip(kWarm + kPhaseB + trickle_pumps + kWarm + kPhaseC);
+
+  WarmResult w;
+  const auto serve_one = [&](bool measure) {
+    store.advance_time_us(kInterarrivalUs);
+    MultiGetRequest req;
+    for (std::size_t t = 0; t < kTables; ++t) {
+      const Trace slice = gens[t].generate(1);
+      req.add(static_cast<TableId>(t), slice.query(0));
+    }
+    const MultiGetResult res = store.multi_get(req);
+    if (measure) {
+      for (const auto& bytes : res.vectors) {
+        fnv_mix(w.digest, bytes.data(), bytes.size());
+      }
+    }
+  };
+  for (std::size_t q = 0; q < kWarm; ++q) serve_one(false);
+  const TableMetrics mark = store.total_metrics();
+  for (std::size_t q = 0; q < kPhaseD; ++q) serve_one(true);
+  const TableMetrics now = store.total_metrics();
+  const std::uint64_t lookups = now.lookups - mark.lookups;
+  w.hit_rate = lookups ? static_cast<double>(now.hits - mark.hits) /
+                             static_cast<double>(lookups)
+                       : 0.0;
+  w.storage_blocks = store.storage().num_blocks();
+  w.write_blocks = store.store_metrics().write_blocks;
+  w.endurance_bytes = store.endurance().total_bytes_written();
+  w.manifest_commits = store.store_metrics().manifest_commits;
+  w.trickle_epoch = store.trickle_epoch();
+  return w;
+}
+
+TEST(ReplayGolden, WarmRestartRecoversCommittedPlanAcrossBackends) {
+  const std::string block = "/tmp/bandana_replay_warm.bin";
+  const std::string manifest = block + ".manifest";
+  std::remove(block.c_str());
+  std::remove(manifest.c_str());
+  std::remove((manifest + ".tmp").c_str());
+
+  // The cold lifecycle, persisted: attaching a manifest must not perturb
+  // the replay — every structural golden still holds.
+  const ReplayResult cold =
+      run_replay(file_storage_factory(block, manifest), manifest, block);
+  check_structural_goldens(cold, /*inline_backend=*/true);
+  // One commit per durable transition: the attach, the reserve has already
+  // happened by then, and every installed mapping swap.
+  EXPECT_GE(cold.store_metrics.manifest_commits,
+            1 + cold.store_metrics.mapping_swaps);
+
+  // Warm restart through the plain file backend.
+  const WarmResult file_warm = serve_warm_restart(
+      file_storage_factory(block, manifest), manifest, cold.trickle_pumps);
+  std::printf("[replay] warm restart hit rate D = %.4f (B %.4f, C %.4f)\n",
+              file_warm.hit_rate, cold.rates.b, cold.rates.c);
+  // No retraining, no block writes, no new commits — serving only.
+  EXPECT_EQ(file_warm.write_blocks, 0u);
+  EXPECT_EQ(file_warm.endurance_bytes, 0u);
+  EXPECT_EQ(file_warm.manifest_commits, 0u);
+  // The durable state came back whole: storage footprint and swap lineage.
+  EXPECT_EQ(file_warm.storage_blocks, cold.storage_blocks);
+  EXPECT_EQ(file_warm.trickle_epoch, cold.store_metrics.mapping_swaps);
+  // Hit-rate continuity: the recovered layout is the RETRAINED one — the
+  // restart serves the drifted traffic at phase-C level, well above the
+  // pre-retraining phase-B floor, without any retraining of its own.
+  EXPECT_GT(file_warm.hit_rate, cold.rates.b + 0.05);
+  EXPECT_GT(file_warm.hit_rate, cold.rates.c - 0.05);
+
+  // The same manifest reopened through the async (batched/staged) backend
+  // serves byte-identical phase-D traffic.
+  const WarmResult async_warm =
+      serve_warm_restart(async_file_storage_factory(block, {}, manifest),
+                         manifest, cold.trickle_pumps);
+  EXPECT_EQ(async_warm.digest, file_warm.digest);
+  EXPECT_EQ(async_warm.storage_blocks, file_warm.storage_blocks);
+  EXPECT_EQ(async_warm.trickle_epoch, file_warm.trickle_epoch);
+  EXPECT_EQ(async_warm.write_blocks, 0u);
+
+  std::remove(block.c_str());
+  std::remove(manifest.c_str());
 }
 
 TEST(ReplayGolden, MemoryBackendIsDeterministicAcrossRuns) {
