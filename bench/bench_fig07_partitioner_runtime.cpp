@@ -1,7 +1,10 @@
 // Fig. 7: partitioner runtimes. (a) flat K-means grows superlinearly with
 // the cluster count — it does not scale to block-level granularity;
 // (b) two-stage recursive K-means stays nearly flat in the sub-cluster
-// count; (c) SHP runtime per table scales with trace volume.
+// count; (c) SHP runtime per table scales with trace volume;
+// (d) runtime-vs-quality across the Partitioner seam: backend x thread
+// count x table scale, with quality measured as NVM block reads per lookup
+// over a short serve phase.
 #include "bench_common.h"
 
 using namespace bandana;
@@ -62,6 +65,76 @@ int main(int argc, char** argv) {
       t.add_row({r.cfg.name, TablePrinter::fmt(w.seconds(), 2),
                  TablePrinter::fmt(shp.initial_avg_fanout, 2),
                  TablePrinter::fmt(shp.final_avg_fanout, 2)});
+    }
+    t.print();
+  }
+
+  // Runtime-vs-quality budget for picking a retraining backend: every
+  // Partitioner backend, across worker counts and table scale (10x is the
+  // paper-scale table 4). Quality is blocks-per-lookup of a short serve
+  // phase with a 4% DRAM cache and tuned threshold admission — lower is
+  // better; train_s and peak_MiB are what that quality costs offline.
+  print_header("\nFigure 7d: partitioner runtime vs serving quality",
+               "runtime/quality retraining budget (no single paper figure)",
+               "table 4 at 1x and 10x bench scale; 10k train / 10k serve");
+  {
+    struct Combo {
+      PartitionerBackend backend;
+      unsigned threads;
+    };
+    constexpr Combo kCombos[] = {
+        {PartitionerBackend::kShp, 1},
+        {PartitionerBackend::kShp, 2},
+        {PartitionerBackend::kShp, 4},
+        {PartitionerBackend::kShp, 8},
+        {PartitionerBackend::kRecursiveKMeans, 1},
+        {PartitionerBackend::kRecursiveKMeans, 4},
+        {PartitionerBackend::kHypergraph, 1},
+    };
+    TablePrinter t({"backend", "threads", "vectors", "train_s", "peak_MiB",
+                    "blocks_per_lookup"});
+    for (const double mult : {1.0, 10.0}) {
+      PaperWorkloadOptions o;
+      o.scale = kScale * mult / (g_smoke ? 16.0 : 1.0);
+      const auto cfg = paper_tables(o)[3];
+      TraceGenerator gen(cfg, 4321);
+      const Trace train = gen.generate(scaled(10'000));
+      const Trace eval = gen.generate(scaled(10'000));
+      const auto values = gen.make_embeddings();
+      const std::uint64_t cache = cfg.num_vectors / 25;  // 4% DRAM
+      for (const Combo& combo : kCombos) {
+        PartitionerConfig pc;
+        pc.backend = combo.backend;
+        pc.kmeans.top_clusters = scaled32(64, 4);
+        pc.kmeans.total_leaves =
+            std::max(scaled32(1024, 16), pc.kmeans.top_clusters);
+        const auto partitioner = make_partitioner(pc, 32);
+        ThreadPool workers(combo.threads);
+        WallTimer w;
+        const auto res =
+            partitioner->partition(train, cfg.num_vectors, &values, &workers);
+        const double train_s = w.seconds();
+        const auto layout = BlockLayout::from_order(res.order, 32);
+        MiniCacheTunerConfig mc;
+        mc.sampling_rate = 0.01;
+        const auto choice =
+            tune_threshold(train, layout, res.access_counts, cache, mc);
+        CachePolicyConfig serve;
+        serve.capacity_vectors = cache;
+        serve.policy = PrefetchPolicy::kThreshold;
+        serve.access_threshold = choice.threshold;
+        const auto sim = simulate_cache(eval, layout, serve, res.access_counts);
+        t.add_row({partitioner->name(), std::to_string(combo.threads),
+                   std::to_string(cfg.num_vectors),
+                   TablePrinter::fmt(train_s, 2),
+                   TablePrinter::fmt(
+                       static_cast<double>(res.peak_training_bytes) /
+                           (1024.0 * 1024.0),
+                       1),
+                   TablePrinter::fmt(static_cast<double>(sim.nvm_block_reads) /
+                                         static_cast<double>(sim.lookups),
+                                     3)});
+      }
     }
     t.print();
   }

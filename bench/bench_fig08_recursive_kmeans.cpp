@@ -1,7 +1,8 @@
 // Fig. 8: effective bandwidth increase for two-stage (recursive) K-means as
 // a function of the total number of sub-clusters (unlimited cache).
 // Matches flat K-means' quality at a fraction of the cost; no benefit past
-// a moderate leaf count.
+// a moderate leaf count. Part (b) runs every Partitioner backend on the
+// same tables so runtime can be traded against layout quality directly.
 #include "bench_common.h"
 
 using namespace bandana;
@@ -47,5 +48,55 @@ int main(int argc, char** argv) {
     t.add_row(std::move(row));
   }
   t.print();
+
+  // Same tables through the Partitioner seam: each backend's layout quality
+  // (EBW increase, unlimited cache) against its summed training wall time.
+  print_header("\nFigure 8b: partitioner backend runtime vs quality",
+               "runtime/quality trade across backends (no single paper fig)",
+               "1:200 tables, 10k training queries, unlimited cache");
+  {
+    struct Combo {
+      PartitionerBackend backend;
+      unsigned threads;
+    };
+    constexpr Combo kCombos[] = {
+        {PartitionerBackend::kShp, 1},
+        {PartitionerBackend::kShp, 4},
+        {PartitionerBackend::kRecursiveKMeans, 4},
+        {PartitionerBackend::kHypergraph, 1},
+    };
+    std::vector<Trace> train;
+    for (int j = 0; j < 4; ++j) {
+      train.push_back(runs[tables[j]].gen->generate(scaled(10'000)));
+    }
+    TablePrinter tb({"backend", "threads", "table1", "table2", "table6",
+                     "table8", "train_s"});
+    for (const Combo& combo : kCombos) {
+      PartitionerConfig pcfg;
+      pcfg.backend = combo.backend;
+      pcfg.kmeans.top_clusters = scaled32(64, 4);
+      pcfg.kmeans.total_leaves =
+          std::max(scaled32(1024, 16), pcfg.kmeans.top_clusters);
+      const auto partitioner = make_partitioner(pcfg, 32);
+      ThreadPool workers(combo.threads);
+      double train_s = 0.0;
+      std::vector<std::string> row{partitioner->name(),
+                                   std::to_string(combo.threads)};
+      for (int j = 0; j < 4; ++j) {
+        const auto& r = runs[tables[j]];
+        WallTimer w;
+        const auto res = partitioner->partition(train[j], r.cfg.num_vectors,
+                                                &values[j], &workers);
+        train_s += w.seconds();
+        const auto layout = BlockLayout::from_order(res.order, 32);
+        const auto reads =
+            simulate_cache(r.eval, layout, batched).nvm_block_reads;
+        row.push_back(pct(effective_bw_increase(base[j], reads)));
+      }
+      row.push_back(TablePrinter::fmt(train_s, 2));
+      tb.add_row(std::move(row));
+    }
+    tb.print();
+  }
   return 0;
 }

@@ -36,16 +36,16 @@ int main(int argc, char** argv) {
   std::uint64_t total_vectors = 0;
   for (auto s : sizes) total_vectors += s;
   trainer_cfg.total_cache_vectors = total_vectors / 25;  // 4% DRAM
-  Trainer trainer(store_cfg, trainer_cfg);
   ThreadPool pool;
-  const StorePlan plan = trainer.train(train, sizes, &pool);
 
-  // One-shot boot from the trained plan; storage is allocated at its final
-  // size, which is what makes the file backend practical.
+  // One-shot boot: the builder runs the whole offline pipeline (partition +
+  // hit-rate curves + threshold tuning) against its own StoreConfig and
+  // queues the plan; storage is allocated at its final size, which is what
+  // makes the file backend practical.
   std::vector<EmbeddingTable> tables;
   for (auto& g : gens) tables.push_back(g.make_embeddings());
   StoreBuilder builder(store_cfg);
-  builder.add_plan(plan, tables);
+  builder.train_and_add(trainer_cfg, train, tables, &pool);
   if (argc > 1) {
     builder.file_storage(argv[1]);
     std::printf("backing storage: file %s\n", argv[1]);
@@ -90,11 +90,13 @@ int main(int argc, char** argv) {
 
   TablePrinter t({"table", "cache_vec", "t", "hit_rate", "nvm_reads",
                   "effective_bw"});
-  for (std::size_t i = 0; i < plan.tables.size(); ++i) {
+  for (std::size_t i = 0; i < store.num_tables(); ++i) {
     const auto& m = store.table_metrics(static_cast<TableId>(i));
+    const TablePolicy policy =
+        store.table(static_cast<TableId>(i)).policy_snapshot();
     t.add_row({configs[i].name,
-               std::to_string(plan.tables[i].policy.cache_vectors),
-               std::to_string(plan.tables[i].policy.access_threshold),
+               std::to_string(policy.cache_vectors),
+               std::to_string(policy.access_threshold),
                TablePrinter::pct(m.hit_rate()),
                std::to_string(m.nvm_block_reads),
                TablePrinter::pct(m.effective_bandwidth_fraction())});

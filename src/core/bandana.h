@@ -29,10 +29,13 @@
 #include "nvm/io_engine.h"          // IWYU pragma: export
 #include "nvm/nvm_device.h"         // IWYU pragma: export
 #include "partition/fanout.h"       // IWYU pragma: export
+#include "partition/hypergraph.h"   // IWYU pragma: export
 #include "partition/kmeans.h"       // IWYU pragma: export
 #include "partition/layout.h"       // IWYU pragma: export
+#include "partition/partitioner.h"  // IWYU pragma: export
 #include "partition/shp.h"          // IWYU pragma: export
 #include "trace/characterizer.h"    // IWYU pragma: export
 #include "trace/paper_workload.h"   // IWYU pragma: export
 #include "trace/stack_distance.h"   // IWYU pragma: export
 #include "trace/trace_generator.h"  // IWYU pragma: export
+#include "trace/trace_stream.h"     // IWYU pragma: export

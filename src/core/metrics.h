@@ -91,6 +91,18 @@ struct StoreMetrics {
   std::uint64_t manifest_commits = 0;    ///< Durable manifest commits (sync +
                                          ///< pointer flip) the store made; 0
                                          ///< when no manifest is attached.
+  std::uint64_t retrain_runs = 0;        ///< Online retrains that trained.
+  std::uint64_t retrain_drain_us = 0;    ///< Cumulative sample-drain wall us.
+  std::uint64_t retrain_train_us = 0;    ///< Cumulative training wall us.
+  std::uint64_t retrain_diff_us = 0;     ///< Cumulative plan-diff/session-
+                                         ///< open wall us.
+  std::uint64_t retrain_peak_training_bytes = 0;  ///< Max over retrains of
+                                                  ///< the trainer's peak
+                                                  ///< resident estimate.
+  std::uint64_t retrain_budget_overruns = 0;  ///< Retrains whose training
+                                              ///< wall time exceeded the
+                                              ///< RepublishConfig-derived
+                                              ///< push budget.
   bool registered_buffers_active = false;  ///< The backend carries waves on
                                            ///< an io_uring registered-buffer
                                            ///< pool (zero-copy FIXED ops).
@@ -112,6 +124,15 @@ struct StoreMetrics {
     republish_skipped_blocks += o.republish_skipped_blocks;
     mapping_swaps += o.mapping_swaps;
     manifest_commits += o.manifest_commits;
+    retrain_runs += o.retrain_runs;
+    retrain_drain_us += o.retrain_drain_us;
+    retrain_train_us += o.retrain_train_us;
+    retrain_diff_us += o.retrain_diff_us;
+    retrain_peak_training_bytes =
+        retrain_peak_training_bytes > o.retrain_peak_training_bytes
+            ? retrain_peak_training_bytes
+            : o.retrain_peak_training_bytes;
+    retrain_budget_overruns += o.retrain_budget_overruns;
     // A rollup is "registered" when any node carries its waves zero-copy.
     registered_buffers_active = registered_buffers_active ||
                                 o.registered_buffers_active;
@@ -135,9 +156,24 @@ struct AtomicStoreMetrics {
   std::atomic<std::uint64_t> republish_skipped_blocks{0};
   std::atomic<std::uint64_t> mapping_swaps{0};
   std::atomic<std::uint64_t> manifest_commits{0};
+  std::atomic<std::uint64_t> retrain_runs{0};
+  std::atomic<std::uint64_t> retrain_drain_us{0};
+  std::atomic<std::uint64_t> retrain_train_us{0};
+  std::atomic<std::uint64_t> retrain_diff_us{0};
+  std::atomic<std::uint64_t> retrain_peak_training_bytes{0};
+  std::atomic<std::uint64_t> retrain_budget_overruns{0};
   // write_short_resubmits and registered_buffers_active live in the
   // storage backend (BlockStorage::write_stats); Store::store_metrics()
   // samples them into the snapshot.
+
+  /// Monotonic max (the peak is a high-water mark, not a sum).
+  void note_peak_training_bytes(std::uint64_t bytes) {
+    std::uint64_t cur =
+        retrain_peak_training_bytes.load(std::memory_order_relaxed);
+    while (bytes > cur && !retrain_peak_training_bytes.compare_exchange_weak(
+                              cur, bytes, std::memory_order_relaxed)) {
+    }
+  }
 
   StoreMetrics snapshot() const {
     StoreMetrics m;
@@ -154,6 +190,14 @@ struct AtomicStoreMetrics {
         republish_skipped_blocks.load(std::memory_order_relaxed);
     m.mapping_swaps = mapping_swaps.load(std::memory_order_relaxed);
     m.manifest_commits = manifest_commits.load(std::memory_order_relaxed);
+    m.retrain_runs = retrain_runs.load(std::memory_order_relaxed);
+    m.retrain_drain_us = retrain_drain_us.load(std::memory_order_relaxed);
+    m.retrain_train_us = retrain_train_us.load(std::memory_order_relaxed);
+    m.retrain_diff_us = retrain_diff_us.load(std::memory_order_relaxed);
+    m.retrain_peak_training_bytes =
+        retrain_peak_training_bytes.load(std::memory_order_relaxed);
+    m.retrain_budget_overruns =
+        retrain_budget_overruns.load(std::memory_order_relaxed);
     return m;
   }
 };

@@ -114,6 +114,16 @@ OnlineRetrainer::~OnlineRetrainer() {
 
 std::size_t OnlineRetrainer::retrain_now() { return retrain_impl(); }
 
+namespace {
+
+double elapsed_us(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
 std::size_t OnlineRetrainer::retrain_impl() {
   // Phase 1 (under mu_): claim the retrain slot and drain the reservoirs
   // of every table with sampled traffic and no push still in flight. A
@@ -124,6 +134,7 @@ std::size_t OnlineRetrainer::retrain_impl() {
   std::vector<Trace> traces;
   std::vector<std::uint32_t> sizes;
   std::uint64_t capacity_sum = 0;
+  const auto t_drain = std::chrono::steady_clock::now();
   {
     std::lock_guard lock(mu_);
     if (retrain_running_) return 0;  // another thread is mid-retrain
@@ -158,18 +169,29 @@ std::size_t OnlineRetrainer::retrain_impl() {
   // runs over the affected tables' existing total (its split is discarded
   // anyway — begin_trickle_republish pins each table's capacity), so
   // threshold tuning sees realistic sizes.
+  const double drain_us = elapsed_us(t_drain);
   std::size_t opened = 0;
   try {
     TrainerConfig trainer_cfg = cfg_.trainer;
     trainer_cfg.total_cache_vectors =
         std::max<std::uint64_t>(1, capacity_sum);
     Trainer trainer(store_.config(), trainer_cfg);
-    StorePlan plan = trainer.train(traces, sizes);
+    // Value-based backends (K-means) need the embedding values the push
+    // will carry; trace-based backends ignore them.
+    std::vector<const EmbeddingTable*> vals;
+    vals.reserve(chosen.size());
+    for (const TableId t : chosen) vals.push_back(&values_(t));
+    TrainerStats tstats;
+    const auto t_train = std::chrono::steady_clock::now();
+    StorePlan plan = trainer.train(traces, sizes, nullptr, vals, &tstats);
+    const double train_us = elapsed_us(t_train);
 
     // Phase 3 (under mu_): open the trickle sessions. The chosen tables
     // cannot have grown a session meanwhile (only retrains open sessions
     // and the retrain slot is claimed), and the store would throw on a
     // duplicate anyway.
+    const auto t_diff = std::chrono::steady_clock::now();
+    std::uint64_t diff_blocks = 0;
     std::lock_guard lock(mu_);
     for (std::size_t i = 0; i < chosen.size(); ++i) {
       const TableId t = chosen[i];
@@ -186,10 +208,46 @@ std::size_t OnlineRetrainer::retrain_impl() {
         }
         continue;
       }
+      diff_blocks += session.total_blocks();
       sessions_.push_back(std::move(session));
       ++stats_.sessions_opened;
       ++opened;
     }
+    const double diff_us = elapsed_us(t_diff);
+
+    // Latency budget: with a rate-limited trickle, the push of this plan
+    // takes ~ceil(diff_blocks / blocks_per_interval) * interval_us of
+    // simulated time. A training phase slower than that can never keep up
+    // with its own republish cadence — warn, and count it where dashboards
+    // look (StoreMetrics::retrain_budget_overruns).
+    bool overrun = false;
+    if (cfg_.republish.blocks_per_interval > 0 && diff_blocks > 0) {
+      const double push_us =
+          static_cast<double>((diff_blocks +
+                               cfg_.republish.blocks_per_interval - 1) /
+                              cfg_.republish.blocks_per_interval) *
+          cfg_.republish.interval_us;
+      if (train_us > push_us) {
+        overrun = true;
+        std::fprintf(stderr,
+                     "bandana: retrain training wall time %.0f us exceeds "
+                     "trickle push budget %.0f us (%llu diff blocks at %llu "
+                     "blocks per %.0f us interval)\n",
+                     train_us, push_us,
+                     static_cast<unsigned long long>(diff_blocks),
+                     static_cast<unsigned long long>(
+                         cfg_.republish.blocks_per_interval),
+                     cfg_.republish.interval_us);
+      }
+    }
+    stats_.drain_us += static_cast<std::uint64_t>(drain_us);
+    stats_.train_us += static_cast<std::uint64_t>(train_us);
+    stats_.diff_us += static_cast<std::uint64_t>(diff_us);
+    stats_.peak_training_bytes =
+        std::max(stats_.peak_training_bytes, tstats.peak_training_bytes);
+    if (overrun) ++stats_.budget_overruns;
+    store_.note_retrain(drain_us, train_us, diff_us,
+                        tstats.peak_training_bytes, overrun);
     retrain_running_ = false;
   } catch (...) {
     std::lock_guard lock(mu_);

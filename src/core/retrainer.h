@@ -154,6 +154,15 @@ struct RetrainerStats {
                                        ///< caught (logged to stderr; the
                                        ///< push was abandoned, serving and
                                        ///< the thread keep running).
+  /// Retrain latency budget (also mirrored into StoreMetrics retrain_*):
+  /// cumulative wall time per phase, the max training-memory estimate, and
+  /// how often training outran the RepublishConfig-derived push budget —
+  /// a retrain slower than its own trickle push means stale plans queue up.
+  std::uint64_t drain_us = 0;           ///< Phase 1: reservoir drain.
+  std::uint64_t train_us = 0;           ///< Phase 2: Trainer::train.
+  std::uint64_t diff_us = 0;            ///< Phase 3: plan diff/session open.
+  std::uint64_t peak_training_bytes = 0;  ///< Max over retrains.
+  std::uint64_t budget_overruns = 0;    ///< train_us > push budget events.
 };
 
 /// Ties a Store, a TrafficSampler and the Trainer into the live retraining

@@ -470,6 +470,26 @@ StoreMetrics Store::store_metrics() const {
   return m;
 }
 
+void Store::note_retrain(double drain_us, double train_us, double diff_us,
+                         std::uint64_t peak_training_bytes,
+                         bool budget_overrun) {
+  auto us = [](double v) {
+    return v > 0.0 ? static_cast<std::uint64_t>(v) : 0;
+  };
+  staging_metrics_->retrain_runs.fetch_add(1, std::memory_order_relaxed);
+  staging_metrics_->retrain_drain_us.fetch_add(us(drain_us),
+                                               std::memory_order_relaxed);
+  staging_metrics_->retrain_train_us.fetch_add(us(train_us),
+                                               std::memory_order_relaxed);
+  staging_metrics_->retrain_diff_us.fetch_add(us(diff_us),
+                                              std::memory_order_relaxed);
+  staging_metrics_->note_peak_training_bytes(peak_training_bytes);
+  if (budget_overrun) {
+    staging_metrics_->retrain_budget_overruns.fetch_add(
+        1, std::memory_order_relaxed);
+  }
+}
+
 double Store::lookup_batch(TableId t, std::span<const VectorId> ids,
                            std::span<std::byte> out) {
   std::shared_lock storage_lock(*storage_mu_);

@@ -264,6 +264,12 @@ class Store {
   /// the storage under a brief shared lock — it never blocks on serving
   /// reads, only on an in-flight add_table/republish begin.
   StoreMetrics store_metrics() const;
+  /// Record one online retrain's phase telemetry into the store counters
+  /// (retrain_* in StoreMetrics). Lock-free; called by OnlineRetrainer
+  /// after each training run, so dashboards watching store_metrics() see
+  /// the retrain latency budget next to the serving counters it protects.
+  void note_retrain(double drain_us, double train_us, double diff_us,
+                    std::uint64_t peak_training_bytes, bool budget_overrun);
   LatencyRecorder query_latency_us() const;
   /// Per-request service latency of multi_get / multi_get_async calls.
   LatencyRecorder request_latency_us() const;

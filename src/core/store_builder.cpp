@@ -25,6 +25,30 @@ StoreBuilder& StoreBuilder::add_plan(const StorePlan& plan,
   return *this;
 }
 
+StoreBuilder& StoreBuilder::train_and_add(
+    const TrainerConfig& trainer_cfg, std::span<const Trace> train_traces,
+    std::span<const EmbeddingTable> tables, ThreadPool* pool,
+    TrainerStats* stats) {
+  if (train_traces.size() != tables.size()) {
+    throw std::invalid_argument(
+        "train_and_add: one training trace per EmbeddingTable required");
+  }
+  std::vector<std::uint32_t> sizes;
+  std::vector<const EmbeddingTable*> values;
+  sizes.reserve(tables.size());
+  values.reserve(tables.size());
+  for (const EmbeddingTable& t : tables) {
+    sizes.push_back(t.num_vectors());
+    values.push_back(&t);
+  }
+  const Trainer trainer(config_, trainer_cfg);
+  StorePlan plan = trainer.train(train_traces, sizes, pool, values, stats);
+  for (std::size_t i = 0; i < plan.tables.size(); ++i) {
+    add_table(tables[i], std::move(plan.tables[i]));
+  }
+  return *this;
+}
+
 std::uint64_t StoreBuilder::total_blocks() const {
   std::uint64_t total = 0;
   for (const auto& p : pending_) total += p.plan.layout.num_blocks();

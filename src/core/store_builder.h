@@ -106,6 +106,18 @@ class StoreBuilder {
   StoreBuilder& add_plan(const StorePlan& plan,
                          std::span<const EmbeddingTable> tables);
 
+  /// Run the whole offline pipeline and queue the result: constructs a
+  /// Trainer against this builder's StoreConfig (so vectors_per_block and
+  /// the partitioner backend agree with the store), trains on
+  /// `train_traces`, and queues every table of the plan with `tables` as
+  /// its values. Value-based partitioner backends see `tables`
+  /// automatically. `stats` (optional) receives training telemetry.
+  StoreBuilder& train_and_add(const TrainerConfig& trainer_cfg,
+                              std::span<const Trace> train_traces,
+                              std::span<const EmbeddingTable> tables,
+                              ThreadPool* pool = nullptr,
+                              TrainerStats* stats = nullptr);
+
   /// Number of NVM blocks the built store will occupy.
   std::uint64_t total_blocks() const;
 

@@ -1,31 +1,48 @@
 #include "core/trainer.h"
 
 #include <cassert>
+#include <chrono>
 
 #include "cache/dram_allocator.h"
+#include "common/rng.h"
 
 namespace bandana {
 
-StorePlan Trainer::train(std::span<const Trace> train_traces,
-                         std::span<const std::uint32_t> table_sizes,
-                         ThreadPool* pool) const {
-  assert(train_traces.size() == table_sizes.size());
-  const std::size_t n = train_traces.size();
+namespace {
 
-  // 1. SHP per table.
-  std::vector<ShpResult> shp(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    ShpConfig sc = cfg_.shp;
-    sc.seed = splitmix64(cfg_.shp.seed + i);
-    shp[i] = run_shp(train_traces[i], table_sizes[i], sc, pool);
-  }
+double elapsed_us(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
+PartitionerConfig Trainer::table_config(std::size_t table) const {
+  // Per-table seeds, derived exactly as the pre-seam pipeline derived its
+  // per-table SHP seed (splitmix64(seed + i)) — the replay-golden digests
+  // pin this.
+  PartitionerConfig pc = cfg_.partitioner;
+  pc.shp.seed = splitmix64(cfg_.partitioner.shp.seed + table);
+  pc.kmeans.seed = splitmix64(cfg_.partitioner.kmeans.seed + table);
+  pc.hypergraph.seed = splitmix64(cfg_.partitioner.hypergraph.seed + table);
+  pc.stream_seed = splitmix64(cfg_.partitioner.stream_seed + table);
+  return pc;
+}
+
+StorePlan Trainer::assemble(std::span<const Trace> tuning_traces,
+                            std::span<const std::uint32_t> table_sizes,
+                            std::vector<PartitionResult>& parts,
+                            TrainerStats* stats) const {
+  const std::size_t n = tuning_traces.size();
 
   // 2. Hit-rate curves from sampled stack distances.
+  auto t_curve = std::chrono::steady_clock::now();
   std::vector<HitRateCurve> curves;
   curves.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     curves.push_back(approximate_hit_rate_curve(
-        train_traces[i], table_sizes[i], cfg_.hrc_sampling_rate));
+        tuning_traces[i], table_sizes[i], cfg_.hrc_sampling_rate));
   }
 
   // 3. DRAM split.
@@ -33,29 +50,97 @@ StorePlan Trainer::train(std::span<const Trace> train_traces,
       cfg_.use_dram_allocator
           ? allocate_dram(curves, cfg_.total_cache_vectors, cfg_.alloc_chunk)
           : allocate_uniform(curves, cfg_.total_cache_vectors);
+  if (stats) stats->curve_us += elapsed_us(t_curve);
 
   // 4. Threshold tuning per table at its allocated capacity.
+  auto t_tune = std::chrono::steady_clock::now();
   StorePlan plan;
   plan.tables.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     BlockLayout layout = BlockLayout::from_order(
-        shp[i].order, store_cfg_.vectors_per_block());
+        parts[i].order, store_cfg_.vectors_per_block());
     // A table squeezed to zero DRAM still gets a minimal cache so the
     // store can operate; the allocator said it will not benefit anyway.
     const std::uint64_t capacity =
         std::max<std::uint64_t>(alloc.per_table[i], 1024);
     const ThresholdChoice choice =
-        tune_threshold(train_traces[i], layout, shp[i].access_counts, capacity,
-                       cfg_.tuner);
+        tune_threshold(tuning_traces[i], layout, parts[i].access_counts,
+                       capacity, cfg_.tuner);
     TablePolicy policy;
     policy.cache_vectors = capacity;
     policy.policy = PrefetchPolicy::kThreshold;
     policy.access_threshold = choice.threshold;
     plan.tables.push_back(TablePlan{std::move(layout),
-                                    std::move(shp[i].access_counts), policy,
-                                    shp[i].final_avg_fanout});
+                                    std::move(parts[i].access_counts), policy,
+                                    parts[i].final_avg_fanout});
   }
+  if (stats) stats->tune_us += elapsed_us(t_tune);
   return plan;
+}
+
+StorePlan Trainer::train(std::span<const Trace> train_traces,
+                         std::span<const std::uint32_t> table_sizes,
+                         ThreadPool* pool,
+                         std::span<const EmbeddingTable* const> values,
+                         TrainerStats* stats) const {
+  assert(train_traces.size() == table_sizes.size());
+  const std::size_t n = train_traces.size();
+
+  // 1. Partition per table (reservoir-sampled when max_train_queries > 0).
+  auto t_part = std::chrono::steady_clock::now();
+  std::vector<PartitionResult> parts(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const PartitionerConfig pc = table_config(i);
+    const auto part = make_partitioner(pc, store_cfg_.vectors_per_block());
+    const EmbeddingTable* vals = i < values.size() ? values[i] : nullptr;
+    if (pc.max_train_queries > 0) {
+      TraceRefSource source(train_traces[i]);
+      parts[i] =
+          part->partition_stream(source, table_sizes[i], pc, vals, pool);
+    } else {
+      parts[i] = part->partition(train_traces[i], table_sizes[i], vals, pool);
+    }
+    if (stats) {
+      stats->peak_training_bytes =
+          std::max(stats->peak_training_bytes, parts[i].peak_training_bytes);
+      stats->stream_queries += parts[i].stream_queries;
+      stats->sampled_queries += parts[i].sampled_queries;
+    }
+  }
+  if (stats) stats->partition_us += elapsed_us(t_part);
+
+  return assemble(train_traces, table_sizes, parts, stats);
+}
+
+StorePlan Trainer::train_stream(std::span<TraceSource* const> sources,
+                                std::span<const std::uint32_t> table_sizes,
+                                ThreadPool* pool,
+                                std::span<const EmbeddingTable* const> values,
+                                TrainerStats* stats) const {
+  assert(sources.size() == table_sizes.size());
+  const std::size_t n = sources.size();
+
+  auto t_part = std::chrono::steady_clock::now();
+  std::vector<PartitionResult> parts(n);
+  std::vector<Trace> samples(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const PartitionerConfig pc = table_config(i);
+    const auto part = make_partitioner(pc, store_cfg_.vectors_per_block());
+    const EmbeddingTable* vals = i < values.size() ? values[i] : nullptr;
+    parts[i] = part->partition_stream(*sources[i], table_sizes[i], pc, vals,
+                                      pool, &samples[i]);
+    if (stats) {
+      stats->peak_training_bytes =
+          std::max(stats->peak_training_bytes, parts[i].peak_training_bytes);
+      stats->stream_queries += parts[i].stream_queries;
+      stats->sampled_queries += parts[i].sampled_queries;
+    }
+  }
+  if (stats) stats->partition_us += elapsed_us(t_part);
+
+  // Hit-rate curves and threshold tuning run on the samples — the only
+  // materialized traces this path ever holds.
+  return assemble(samples, table_sizes, parts, stats);
 }
 
 }  // namespace bandana

@@ -1,0 +1,64 @@
+#include "partition/coaccess.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace bandana {
+
+CoAccessGraph build_coaccess(const Trace& train, std::uint32_t num_vectors,
+                             std::uint32_t max_query_size) {
+  CoAccessGraph h;
+  h.q_offsets.push_back(0);
+  std::vector<VectorId> scratch;
+  for (std::size_t q = 0; q < train.num_queries(); ++q) {
+    auto ids = train.query(q);
+    scratch.assign(ids.begin(), ids.end());
+    std::sort(scratch.begin(), scratch.end());
+    scratch.erase(std::unique(scratch.begin(), scratch.end()), scratch.end());
+    if (scratch.size() < 2) continue;  // singleton edges carry no signal
+    if (max_query_size != 0 && scratch.size() > max_query_size) continue;
+    h.q_verts.insert(h.q_verts.end(), scratch.begin(), scratch.end());
+    h.q_offsets.push_back(h.q_verts.size());
+  }
+  h.num_queries = static_cast<std::uint32_t>(h.q_offsets.size() - 1);
+
+  // Invert to vertex -> queries.
+  h.v_offsets.assign(num_vectors + 1, 0);
+  for (VectorId v : h.q_verts) ++h.v_offsets[v + 1];
+  std::partial_sum(h.v_offsets.begin(), h.v_offsets.end(), h.v_offsets.begin());
+  h.v_queries.resize(h.q_verts.size());
+  std::vector<std::uint64_t> cursor(h.v_offsets.begin(), h.v_offsets.end() - 1);
+  for (std::uint32_t q = 0; q < h.num_queries; ++q) {
+    for (std::uint64_t i = h.q_offsets[q]; i < h.q_offsets[q + 1]; ++i) {
+      h.v_queries[cursor[h.q_verts[i]]++] = q;
+    }
+  }
+  return h;
+}
+
+double coaccess_fanout(const CoAccessGraph& h,
+                       const std::vector<std::uint32_t>& block_of,
+                       std::uint32_t num_blocks) {
+  if (h.num_queries == 0) return 0.0;
+  std::vector<std::uint32_t> epoch(num_blocks, 0);
+  std::uint32_t e = 0;
+  std::uint64_t touches = 0;
+  for (std::uint32_t q = 0; q < h.num_queries; ++q) {
+    ++e;
+    for (std::uint64_t i = h.q_offsets[q]; i < h.q_offsets[q + 1]; ++i) {
+      const std::uint32_t b = block_of[h.q_verts[i]];
+      if (epoch[b] != e) {
+        epoch[b] = e;
+        ++touches;
+      }
+    }
+  }
+  return static_cast<double>(touches) / static_cast<double>(h.num_queries);
+}
+
+std::uint64_t trace_byte_size(const Trace& trace) {
+  return trace.total_lookups() * sizeof(VectorId) +
+         (trace.num_queries() + 1) * sizeof(std::uint64_t);
+}
+
+}  // namespace bandana

@@ -1,0 +1,55 @@
+// Deduplicated co-access hypergraph of a training trace.
+//
+// Vertices are embedding vectors, hyperedges are queries (paper §4.2.2):
+// the structure every supervised partitioner trains on. Stored CSR-style in
+// both directions so a backend can walk query -> members (placement
+// scoring) or vector -> queries (SHP gain computation). Singleton edges are
+// dropped (they carry no co-access signal), as are edges larger than
+// `max_query_size` when nonzero — the exact edge-filtering rules the seed
+// SHP implementation used, now shared by every backend.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "trace/trace.h"
+
+namespace bandana {
+
+struct CoAccessGraph {
+  std::vector<std::uint64_t> q_offsets;  // query -> member vectors
+  std::vector<VectorId> q_verts;
+  std::vector<std::uint64_t> v_offsets;  // vector -> queries
+  std::vector<std::uint32_t> v_queries;
+  std::uint32_t num_queries = 0;
+
+  /// Hyperedge degree of v: in how many (deduplicated, kept) training
+  /// queries the vector appeared. The §4.3.2 admission filter thresholds
+  /// on this statistic.
+  std::uint32_t degree(VectorId v) const {
+    return static_cast<std::uint32_t>(v_offsets[v + 1] - v_offsets[v]);
+  }
+
+  /// Resident bytes of the CSR arrays (training-memory accounting).
+  std::uint64_t byte_size() const {
+    return q_offsets.size() * sizeof(std::uint64_t) +
+           q_verts.size() * sizeof(VectorId) +
+           v_offsets.size() * sizeof(std::uint64_t) +
+           v_queries.size() * sizeof(std::uint32_t);
+  }
+};
+
+CoAccessGraph build_coaccess(const Trace& train, std::uint32_t num_vectors,
+                             std::uint32_t max_query_size);
+
+/// Average fanout of the graph's edges under a vector -> block map.
+double coaccess_fanout(const CoAccessGraph& h,
+                       const std::vector<std::uint32_t>& block_of,
+                       std::uint32_t num_blocks);
+
+/// Resident bytes of a trace's CSR arrays (training-memory accounting for
+/// the partitioners, which receive the trace by reference).
+std::uint64_t trace_byte_size(const Trace& trace);
+
+}  // namespace bandana

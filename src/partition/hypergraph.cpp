@@ -1,0 +1,140 @@
+#include "partition/hypergraph.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "partition/coaccess.h"
+
+namespace bandana {
+
+void validate(const HypergraphConfig& config) {
+  if (config.vectors_per_block == 0) {
+    throw std::invalid_argument(
+        "HypergraphConfig: vectors_per_block must be > 0");
+  }
+  if (config.scoring_edge_cap == 0) {
+    throw std::invalid_argument(
+        "HypergraphConfig: scoring_edge_cap must be > 0");
+  }
+}
+
+HypergraphResult run_hypergraph(const Trace& train, std::uint32_t num_vectors,
+                                const HypergraphConfig& config) {
+  validate(config);
+  if (train.num_queries() == 0) {
+    throw std::invalid_argument("run_hypergraph: empty training trace");
+  }
+  const CoAccessGraph h =
+      build_coaccess(train, num_vectors, config.max_query_size);
+
+  HypergraphResult result;
+  result.access_counts.resize(num_vectors);
+  for (VectorId v = 0; v < num_vectors; ++v) {
+    result.access_counts[v] = h.degree(v);
+  }
+  const std::uint32_t vpb = config.vectors_per_block;
+  const std::uint32_t num_blocks = (num_vectors + vpb - 1) / vpb;
+  {
+    std::vector<std::uint32_t> block_of(num_vectors);
+    for (std::uint32_t v = 0; v < num_vectors; ++v) block_of[v] = v / vpb;
+    result.initial_avg_fanout = coaccess_fanout(h, block_of, num_blocks);
+  }
+
+  // Seed order: hottest first, ties by id — the block seeds, and the
+  // fallback when a block's frontier goes cold.
+  std::vector<VectorId> by_weight(num_vectors);
+  std::iota(by_weight.begin(), by_weight.end(), 0);
+  std::sort(by_weight.begin(), by_weight.end(), [&](VectorId a, VectorId b) {
+    if (result.access_counts[a] != result.access_counts[b]) {
+      return result.access_counts[a] > result.access_counts[b];
+    }
+    return a < b;
+  });
+
+  std::vector<std::uint8_t> placed(num_vectors, 0);
+  // Connectivity scores, epoch-stamped per block: score[u] counts the
+  // (member, shared edge) pairs between candidate u and the block so far.
+  std::vector<std::uint32_t> score(num_vectors, 0);
+  std::vector<std::uint32_t> score_epoch(num_vectors, 0);
+  std::uint32_t epoch = 0;
+  std::vector<VectorId> frontier;  // candidates scored this block
+
+  result.order.reserve(num_vectors);
+  std::size_t seed_cursor = 0;
+
+  // Walk v's edges and credit every unplaced co-member.
+  auto expand = [&](VectorId v) {
+    for (std::uint64_t i = h.v_offsets[v]; i < h.v_offsets[v + 1]; ++i) {
+      const std::uint32_t q = h.v_queries[i];
+      const std::uint64_t begin = h.q_offsets[q];
+      const std::uint64_t end =
+          std::min(h.q_offsets[q + 1], begin + config.scoring_edge_cap);
+      for (std::uint64_t j = begin; j < end; ++j) {
+        const VectorId u = h.q_verts[j];
+        if (placed[u]) continue;
+        if (score_epoch[u] != epoch) {
+          score_epoch[u] = epoch;
+          score[u] = 0;
+          frontier.push_back(u);
+        }
+        ++score[u];
+      }
+    }
+  };
+
+  auto place = [&](VectorId v) {
+    placed[v] = 1;
+    result.order.push_back(v);
+    expand(v);
+  };
+
+  while (result.order.size() < num_vectors) {
+    ++epoch;
+    frontier.clear();
+    while (seed_cursor < num_vectors && placed[by_weight[seed_cursor]]) {
+      ++seed_cursor;
+    }
+    place(by_weight[seed_cursor]);
+    const std::size_t block_end =
+        std::min<std::size_t>(result.order.size() - 1 + vpb, num_vectors);
+    while (result.order.size() < block_end) {
+      // Best unplaced frontier candidate: score desc, weight desc, id asc.
+      VectorId best = num_vectors;
+      std::uint32_t best_score = 0;
+      for (const VectorId u : frontier) {
+        if (placed[u] || score[u] == 0) continue;
+        if (best == num_vectors || score[u] > best_score ||
+            (score[u] == best_score &&
+             (result.access_counts[u] > result.access_counts[best] ||
+              (result.access_counts[u] == result.access_counts[best] &&
+               u < best)))) {
+          best = u;
+          best_score = score[u];
+        }
+      }
+      if (best == num_vectors) {
+        // Frontier exhausted: fall back to the hottest unplaced vector.
+        while (seed_cursor < num_vectors && placed[by_weight[seed_cursor]]) {
+          ++seed_cursor;
+        }
+        best = by_weight[seed_cursor];
+      }
+      place(best);
+    }
+  }
+
+  {
+    std::vector<std::uint32_t> block_of(num_vectors);
+    for (std::uint32_t i = 0; i < num_vectors; ++i) {
+      block_of[result.order[i]] = i / vpb;
+    }
+    result.final_avg_fanout = coaccess_fanout(h, block_of, num_blocks);
+  }
+  // CSR + order/by_weight/placed/score/score_epoch/block_of arrays.
+  result.peak_memory_bytes =
+      h.byte_size() + std::uint64_t{num_vectors} * (4 + 4 + 1 + 4 + 4 + 4);
+  return result;
+}
+
+}  // namespace bandana

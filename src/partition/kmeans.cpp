@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <stdexcept>
 
 #include "common/rng.h"
 
@@ -163,8 +164,42 @@ KMeansResult lloyd(const EmbeddingTable& table, std::span<const VectorId> rows,
 
 }  // namespace
 
+void validate(const KMeansConfig& config) {
+  if (config.k == 0) {
+    throw std::invalid_argument("KMeansConfig: k must be > 0");
+  }
+  if (config.max_iters == 0) {
+    throw std::invalid_argument("KMeansConfig: max_iters must be > 0");
+  }
+  if (!(config.tolerance > 0.0)) {
+    throw std::invalid_argument("KMeansConfig: tolerance must be > 0");
+  }
+  if (config.seeding_sample == 0) {
+    throw std::invalid_argument("KMeansConfig: seeding_sample must be > 0");
+  }
+}
+
+void validate(const RecursiveKMeansConfig& config) {
+  if (config.top_clusters == 0) {
+    throw std::invalid_argument(
+        "RecursiveKMeansConfig: top_clusters must be > 0");
+  }
+  if (config.total_leaves == 0) {
+    throw std::invalid_argument(
+        "RecursiveKMeansConfig: total_leaves must be > 0");
+  }
+  if (config.total_leaves < config.top_clusters) {
+    throw std::invalid_argument(
+        "RecursiveKMeansConfig: total_leaves must be >= top_clusters");
+  }
+  if (config.max_iters == 0) {
+    throw std::invalid_argument("RecursiveKMeansConfig: max_iters must be > 0");
+  }
+}
+
 KMeansResult kmeans(const EmbeddingTable& table, const KMeansConfig& config,
                     ThreadPool* pool) {
+  validate(config);
   std::vector<VectorId> rows(table.num_vectors());
   std::iota(rows.begin(), rows.end(), 0);
   return lloyd(table, rows, config, pool);
@@ -186,6 +221,7 @@ std::vector<VectorId> cluster_major_order(
 RecursiveKMeansResult recursive_kmeans(const EmbeddingTable& table,
                                        const RecursiveKMeansConfig& config,
                                        ThreadPool* pool) {
+  validate(config);
   RecursiveKMeansResult out;
   // Stage 1: coarse clustering of the whole table.
   KMeansConfig top;

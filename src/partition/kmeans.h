@@ -34,8 +34,13 @@ struct KMeansResult {
   std::uint32_t iters_run = 0;
 };
 
+/// Throws std::invalid_argument naming the offending field when the config
+/// is degenerate (zero clusters, zero iterations, non-positive tolerance).
+void validate(const KMeansConfig& config);
+
 /// Lloyd's algorithm; `pool` parallelizes the assignment step (nullptr =
-/// sequential). Deterministic given config.seed and pool size.
+/// sequential). Deterministic given config.seed and pool size. Validates
+/// the config on entry.
 KMeansResult kmeans(const EmbeddingTable& table, const KMeansConfig& config,
                     ThreadPool* pool = nullptr);
 
@@ -52,8 +57,14 @@ struct RecursiveKMeansResult {
   std::uint32_t iters_top = 0;
 };
 
+/// Throws std::invalid_argument when top_clusters, total_leaves, or
+/// max_iters is zero, or total_leaves < top_clusters (each top cluster
+/// needs at least one leaf).
+void validate(const RecursiveKMeansConfig& config);
+
 /// Two-stage K-means: cluster into top_clusters, then sub-cluster each
-/// proportionally so the leaf count totals ~total_leaves.
+/// proportionally so the leaf count totals ~total_leaves. Validates the
+/// config on entry.
 RecursiveKMeansResult recursive_kmeans(const EmbeddingTable& table,
                                        const RecursiveKMeansConfig& config,
                                        ThreadPool* pool = nullptr);

@@ -1,75 +1,16 @@
 #include "partition/shp.h"
 
 #include <algorithm>
-#include <cassert>
+#include <memory>
 #include <numeric>
+#include <stdexcept>
 
 #include "common/rng.h"
+#include "partition/coaccess.h"
 
 namespace bandana {
 
 namespace {
-
-/// Deduplicated hypergraph in CSR form, both directions.
-struct Hypergraph {
-  std::vector<std::uint64_t> q_offsets;  // query -> verts
-  std::vector<VectorId> q_verts;
-  std::vector<std::uint64_t> v_offsets;  // vert -> queries
-  std::vector<std::uint32_t> v_queries;
-  std::uint32_t num_queries = 0;
-};
-
-Hypergraph build_hypergraph(const Trace& train, std::uint32_t num_vectors,
-                            std::uint32_t max_query_size) {
-  Hypergraph h;
-  h.q_offsets.push_back(0);
-  std::vector<VectorId> scratch;
-  for (std::size_t q = 0; q < train.num_queries(); ++q) {
-    auto ids = train.query(q);
-    scratch.assign(ids.begin(), ids.end());
-    std::sort(scratch.begin(), scratch.end());
-    scratch.erase(std::unique(scratch.begin(), scratch.end()), scratch.end());
-    if (scratch.size() < 2) continue;  // singleton edges carry no signal
-    if (max_query_size != 0 && scratch.size() > max_query_size) continue;
-    h.q_verts.insert(h.q_verts.end(), scratch.begin(), scratch.end());
-    h.q_offsets.push_back(h.q_verts.size());
-  }
-  h.num_queries = static_cast<std::uint32_t>(h.q_offsets.size() - 1);
-
-  // Invert to vertex -> queries.
-  h.v_offsets.assign(num_vectors + 1, 0);
-  for (VectorId v : h.q_verts) ++h.v_offsets[v + 1];
-  std::partial_sum(h.v_offsets.begin(), h.v_offsets.end(), h.v_offsets.begin());
-  h.v_queries.resize(h.q_verts.size());
-  std::vector<std::uint64_t> cursor(h.v_offsets.begin(), h.v_offsets.end() - 1);
-  for (std::uint32_t q = 0; q < h.num_queries; ++q) {
-    for (std::uint64_t i = h.q_offsets[q]; i < h.q_offsets[q + 1]; ++i) {
-      h.v_queries[cursor[h.q_verts[i]]++] = q;
-    }
-  }
-  return h;
-}
-
-/// Average fanout of the training hypergraph under a vector -> block map.
-double hypergraph_fanout(const Hypergraph& h,
-                         const std::vector<std::uint32_t>& block_of,
-                         std::uint32_t num_blocks) {
-  if (h.num_queries == 0) return 0.0;
-  std::vector<std::uint32_t> epoch(num_blocks, 0);
-  std::uint32_t e = 0;
-  std::uint64_t touches = 0;
-  for (std::uint32_t q = 0; q < h.num_queries; ++q) {
-    ++e;
-    for (std::uint64_t i = h.q_offsets[q]; i < h.q_offsets[q + 1]; ++i) {
-      const std::uint32_t b = block_of[h.q_verts[i]];
-      if (epoch[b] != e) {
-        epoch[b] = e;
-        ++touches;
-      }
-    }
-  }
-  return static_cast<double>(touches) / static_cast<double>(h.num_queries);
-}
 
 /// Per-bucket-pair scratch, reused across iterations within one range.
 struct Scratch {
@@ -83,17 +24,51 @@ struct Scratch {
   std::vector<std::pair<std::int32_t, VectorId>> cand_b;
 };
 
+/// Per-worker counting scratch of the wide (within-range) parallel path.
+/// Each worker accumulates bucket-local per-query side counts over its own
+/// static chunk of the range; the owner merges the chunks in worker order.
+/// Counts are integer sums, so the merged values — and everything computed
+/// from them — are independent of the chunk decomposition, which is what
+/// makes the parallel plan byte-identical to the sequential one.
+struct WideScratch {
+  explicit WideScratch(std::uint32_t num_queries)
+      : cnt_a(num_queries, 0), cnt_b(num_queries, 0), q_epoch(num_queries, 0) {}
+  std::vector<std::uint32_t> cnt_a;
+  std::vector<std::uint32_t> cnt_b;
+  std::vector<std::uint32_t> q_epoch;
+  std::uint32_t epoch = 0;
+  std::vector<std::uint32_t> touched;  ///< Queries first-touched this pass.
+};
+
+/// Within-range parallel context: the pool plus lazily-built per-worker
+/// scratch. Used when a level has fewer active ranges than workers (the
+/// top levels, where each range is large).
+struct WideCtx {
+  ThreadPool* pool = nullptr;
+  std::vector<std::unique_ptr<WideScratch>> workers;
+  std::vector<std::int32_t> gains;  ///< Position-indexed move gains.
+};
+
+/// Ranges below this size refine sequentially even when a WideCtx is
+/// available: fork/join overhead dominates at small n, and the result is
+/// identical either way (the wide path is value-exact).
+constexpr std::size_t kMinWideVerts = 1024;
+
 struct RangeResult {
   std::uint64_t swaps = 0;
 };
 
 /// Refine one bucket (verts[begin, end)) into two halves of sizes
 /// (half, n - half). `half` is block-aligned by the caller so that final
-/// buckets coincide with physical blocks.
+/// buckets coincide with physical blocks. `wide` (optional) parallelizes
+/// the counting and gain phases across the pool; the swap phase and the
+/// physical partition stay sequential, so the refined order is the same
+/// bytes whatever the thread count.
 RangeResult process_range(std::span<VectorId> verts, std::size_t half,
-                          const Hypergraph& h, std::vector<std::uint8_t>& side,
-                          Scratch& scratch, std::uint32_t iters,
-                          double max_swap_fraction, std::uint64_t seed) {
+                          const CoAccessGraph& h,
+                          std::vector<std::uint8_t>& side, Scratch& scratch,
+                          std::uint32_t iters, double max_swap_fraction,
+                          std::uint64_t seed, WideCtx* wide) {
   RangeResult result;
   const std::size_t n = verts.size();
   // Deterministic shuffle, then first `half` -> side 0, rest -> side 1.
@@ -103,29 +78,92 @@ RangeResult process_range(std::span<VectorId> verts, std::size_t half,
   }
   for (std::size_t i = 0; i < n; ++i) side[verts[i]] = i >= half;
 
+  const bool parallel = wide && wide->pool && wide->pool->size() > 1 &&
+                        n >= kMinWideVerts;
+  const std::size_t chunks =
+      parallel ? std::min(n, wide->pool->size()) : 1;
+  if (parallel) {
+    const std::uint32_t nq =
+        static_cast<std::uint32_t>(scratch.cnt_a.size());
+    while (wide->workers.size() < chunks) {
+      wide->workers.push_back(std::make_unique<WideScratch>(nq));
+    }
+  }
+
   for (std::uint32_t iter = 0; iter < iters; ++iter) {
     // Bucket-local per-query side counts.
     ++scratch.epoch;
-    for (VectorId v : verts) {
-      const std::uint8_t s = side[v];
-      for (std::uint64_t i = h.v_offsets[v]; i < h.v_offsets[v + 1]; ++i) {
-        const std::uint32_t q = h.v_queries[i];
-        if (scratch.q_epoch[q] != scratch.epoch) {
-          scratch.q_epoch[q] = scratch.epoch;
-          scratch.cnt_a[q] = 0;
-          scratch.cnt_b[q] = 0;
+    if (parallel) {
+      // Phase 1: per-worker partial counts over static chunks.
+      const std::size_t per = (n + chunks - 1) / chunks;
+      for (std::size_t c = 0; c < chunks; ++c) {
+        const std::size_t begin = c * per;
+        const std::size_t end = std::min(n, begin + per);
+        if (begin >= end) break;
+        WideScratch* w = wide->workers[c].get();
+        wide->pool->submit([&, w, begin, end] {
+          ++w->epoch;
+          w->touched.clear();
+          for (std::size_t i = begin; i < end; ++i) {
+            const VectorId v = verts[i];
+            const std::uint8_t s = side[v];
+            for (std::uint64_t j = h.v_offsets[v]; j < h.v_offsets[v + 1];
+                 ++j) {
+              const std::uint32_t q = h.v_queries[j];
+              if (w->q_epoch[q] != w->epoch) {
+                w->q_epoch[q] = w->epoch;
+                w->cnt_a[q] = 0;
+                w->cnt_b[q] = 0;
+                w->touched.push_back(q);
+              }
+              if (s == 0) {
+                ++w->cnt_a[q];
+              } else {
+                ++w->cnt_b[q];
+              }
+            }
+          }
+        });
+      }
+      wide->pool->wait_idle();
+      // Phase 2: deterministic merge, workers in index order. The merged
+      // count of each query is a plain sum, so it does not depend on the
+      // chunking (and therefore not on the thread count).
+      for (std::size_t c = 0; c < chunks; ++c) {
+        const WideScratch& w = *wide->workers[c];
+        for (const std::uint32_t q : w.touched) {
+          if (scratch.q_epoch[q] != scratch.epoch) {
+            scratch.q_epoch[q] = scratch.epoch;
+            scratch.cnt_a[q] = 0;
+            scratch.cnt_b[q] = 0;
+          }
+          scratch.cnt_a[q] += w.cnt_a[q];
+          scratch.cnt_b[q] += w.cnt_b[q];
         }
-        if (s == 0) {
-          ++scratch.cnt_a[q];
-        } else {
-          ++scratch.cnt_b[q];
+      }
+    } else {
+      for (VectorId v : verts) {
+        const std::uint8_t s = side[v];
+        for (std::uint64_t i = h.v_offsets[v]; i < h.v_offsets[v + 1]; ++i) {
+          const std::uint32_t q = h.v_queries[i];
+          if (scratch.q_epoch[q] != scratch.epoch) {
+            scratch.q_epoch[q] = scratch.epoch;
+            scratch.cnt_a[q] = 0;
+            scratch.cnt_b[q] = 0;
+          }
+          if (s == 0) {
+            ++scratch.cnt_a[q];
+          } else {
+            ++scratch.cnt_b[q];
+          }
         }
       }
     }
-    // Move gains.
-    scratch.cand_a.clear();
-    scratch.cand_b.clear();
-    for (VectorId v : verts) {
+    // Move gains. The gain of a vertex depends only on the merged counts
+    // and its own side — read-only inputs — so the parallel path computes
+    // them into a position-indexed array and the candidate lists are built
+    // sequentially in the same vertex order as the sequential path.
+    auto gain_of = [&](VectorId v) {
       std::int32_t gain = 0;
       const std::uint8_t s = side[v];
       for (std::uint64_t i = h.v_offsets[v]; i < h.v_offsets[v + 1]; ++i) {
@@ -136,7 +174,27 @@ RangeResult process_range(std::span<VectorId> verts, std::size_t half,
         if (here == 1) ++gain;   // this side stops touching q
         if (there == 0) --gain;  // other side starts touching q
       }
-      (s == 0 ? scratch.cand_a : scratch.cand_b).emplace_back(gain, v);
+      return gain;
+    };
+    scratch.cand_a.clear();
+    scratch.cand_b.clear();
+    if (parallel) {
+      wide->gains.resize(n);
+      wide->pool->parallel_for(n, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          wide->gains[i] = gain_of(verts[i]);
+        }
+      });
+      for (std::size_t i = 0; i < n; ++i) {
+        const VectorId v = verts[i];
+        (side[v] == 0 ? scratch.cand_a : scratch.cand_b)
+            .emplace_back(wide->gains[i], v);
+      }
+    } else {
+      for (VectorId v : verts) {
+        (side[v] == 0 ? scratch.cand_a : scratch.cand_b)
+            .emplace_back(gain_of(v), v);
+      }
     }
     // Pairwise swap of the highest-gain vertices from each side.
     auto desc = [](const auto& x, const auto& y) { return x > y; };
@@ -166,17 +224,32 @@ RangeResult process_range(std::span<VectorId> verts, std::size_t half,
 
 }  // namespace
 
+void validate(const ShpConfig& config) {
+  if (config.vectors_per_block == 0) {
+    throw std::invalid_argument("ShpConfig: vectors_per_block must be > 0");
+  }
+  if (config.iters_per_level == 0) {
+    throw std::invalid_argument("ShpConfig: iters_per_level must be > 0");
+  }
+  if (!(config.max_swap_fraction > 0.0) || config.max_swap_fraction > 1.0) {
+    throw std::invalid_argument(
+        "ShpConfig: max_swap_fraction must be in (0, 1]");
+  }
+}
+
 ShpResult run_shp(const Trace& train, std::uint32_t num_vectors,
                   const ShpConfig& config, ThreadPool* pool) {
-  assert(config.vectors_per_block > 0);
-  const Hypergraph h =
-      build_hypergraph(train, num_vectors, config.max_query_size);
+  validate(config);
+  if (train.num_queries() == 0) {
+    throw std::invalid_argument("run_shp: empty training trace");
+  }
+  const CoAccessGraph h =
+      build_coaccess(train, num_vectors, config.max_query_size);
 
   ShpResult result;
   result.access_counts.resize(num_vectors);
   for (VectorId v = 0; v < num_vectors; ++v) {
-    result.access_counts[v] =
-        static_cast<std::uint32_t>(h.v_offsets[v + 1] - h.v_offsets[v]);
+    result.access_counts[v] = h.degree(v);
   }
 
   // Vertex order array; ranges are [begin, end) slices of it.
@@ -201,9 +274,23 @@ ShpResult run_shp(const Trace& train, std::uint32_t num_vectors,
     for (std::uint32_t i = 0; i < num_vectors; ++i) {
       block_of[shuffled[i]] = i / config.vectors_per_block;
     }
-    result.initial_avg_fanout = hypergraph_fanout(
+    result.initial_avg_fanout = coaccess_fanout(
         h, block_of,
         (num_vectors + config.vectors_per_block - 1) / config.vectors_per_block);
+  }
+
+  const std::size_t workers = pool && pool->size() > 1 ? pool->size() : 1;
+  {
+    // Peak training memory, estimated at known allocation sites: CSR both
+    // directions, order/side/counts/block_of arrays, one counting scratch
+    // per concurrently-refining range (or per wide worker), candidate
+    // lists, and the wide gain array. The input trace is the caller's.
+    const std::uint64_t per_scratch = std::uint64_t{h.num_queries} * 12;
+    result.peak_memory_bytes =
+        h.byte_size() + std::uint64_t{num_vectors} * (4 + 1 + 4 + 4) +
+        per_scratch * workers + std::uint64_t{num_vectors} * 16 +
+        (workers > 1 ? per_scratch * workers + std::uint64_t{num_vectors} * 4
+                     : 0);
   }
 
   std::vector<std::uint8_t> side(num_vectors, 0);
@@ -219,28 +306,49 @@ ShpResult run_shp(const Trace& train, std::uint32_t num_vectors,
   };
   std::vector<Range> active{{0, num_vectors}};
   std::vector<std::uint64_t> swap_counts;
+  WideCtx wide_ctx;
+  wide_ctx.pool = pool;
 
   while (!active.empty()) {
     ++result.levels;
     swap_counts.assign(active.size(), 0);
+    auto range_seed = [&](const Range& range) {
+      return splitmix64(config.seed ^ (std::uint64_t{result.levels} << 32) ^
+                        range.begin);
+    };
     auto process_chunk = [&](std::size_t rb, std::size_t re) {
       Scratch scratch(h.num_queries);
       for (std::size_t r = rb; r < re; ++r) {
         const Range range = active[r];
         std::span<VectorId> verts(result.order.data() + range.begin,
                                   range.end - range.begin);
-        const std::uint64_t seed =
-            splitmix64(config.seed ^ (std::uint64_t{result.levels} << 32) ^
-                       range.begin);
-        swap_counts[r] = process_range(verts, aligned_half(range.end - range.begin),
-                                       h, side, scratch,
-                                       config.iters_per_level,
-                                       config.max_swap_fraction, seed)
-                             .swaps;
+        swap_counts[r] =
+            process_range(verts, aligned_half(range.end - range.begin), h,
+                          side, scratch, config.iters_per_level,
+                          config.max_swap_fraction, range_seed(range),
+                          /*wide=*/nullptr)
+                .swaps;
       }
     };
-    if (pool && active.size() > 1) {
+    if (workers > 1 && active.size() >= workers) {
+      // Deep levels: more ranges than workers — one task per range chunk,
+      // each refining its (disjoint) vertex slices sequentially.
       pool->parallel_for(active.size(), process_chunk);
+    } else if (workers > 1) {
+      // Wide levels: fewer ranges than workers — refine ranges one at a
+      // time, parallelizing the counting + gain phases inside each.
+      Scratch scratch(h.num_queries);
+      for (std::size_t r = 0; r < active.size(); ++r) {
+        const Range range = active[r];
+        std::span<VectorId> verts(result.order.data() + range.begin,
+                                  range.end - range.begin);
+        swap_counts[r] =
+            process_range(verts, aligned_half(range.end - range.begin), h,
+                          side, scratch, config.iters_per_level,
+                          config.max_swap_fraction, range_seed(range),
+                          &wide_ctx)
+                .swaps;
+      }
     } else {
       process_chunk(0, active.size());
     }
@@ -261,7 +369,7 @@ ShpResult run_shp(const Trace& train, std::uint32_t num_vectors,
     active = std::move(next);
   }
 
-  result.final_avg_fanout = hypergraph_fanout(
+  result.final_avg_fanout = coaccess_fanout(
       h, block_of_order(config.vectors_per_block),
       (num_vectors + config.vectors_per_block - 1) / config.vectors_per_block);
   return result;

@@ -15,6 +15,15 @@
 //     preserving balance exactly.
 //   * Recursion stops when buckets reach vectors_per_block.
 //
+// Parallelism: with a ThreadPool, deep levels parallelize across buckets
+// (disjoint vertex ranges) and wide levels parallelize *inside* a bucket's
+// refinement — per-query side counts are accumulated into per-worker
+// scratch and merged by a deterministic partitioned reduction, and move
+// gains are computed into a position-indexed array. Both decompositions
+// are value-exact (integer sums, read-only gain evaluation), so the
+// resulting plan is byte-identical for ANY thread count, including the
+// sequential seed path (pinned by tests/test_partitioner.cpp).
+//
 // Unlike K-means, SHP depends only on vector *identities*, so retraining
 // the embedding values does not invalidate the layout (paper §4.2.2).
 #pragma once
@@ -43,6 +52,12 @@ struct ShpConfig {
   std::uint32_t max_query_size = 0;
 };
 
+/// Throws std::invalid_argument naming the offending field when the config
+/// is degenerate (zero vectors_per_block, zero refinement iterations, or a
+/// swap fraction outside (0, 1]). run_shp validates on entry, so a bad
+/// config fails loudly instead of dividing by zero or looping forever.
+void validate(const ShpConfig& config);
+
 struct ShpResult {
   /// Placement order: position i holds order[i]; block = i / vectors_per_block.
   std::vector<VectorId> order;
@@ -54,8 +69,15 @@ struct ShpResult {
   std::uint64_t total_swaps = 0;
   double initial_avg_fanout = 0.0;  ///< Fanout of the random initial order.
   double final_avg_fanout = 0.0;    ///< Fanout after refinement (train set).
+  /// Estimated peak resident bytes of the training run: the co-access CSR
+  /// plus refinement scratch (per-worker partitioned-reduction arrays
+  /// included). Excludes the input trace itself, which the caller owns —
+  /// the Partitioner seam adds it (PartitionStats::peak_training_bytes).
+  std::uint64_t peak_memory_bytes = 0;
 };
 
+/// Throws std::invalid_argument on a degenerate config or an empty training
+/// trace (which would otherwise yield a silently random plan).
 ShpResult run_shp(const Trace& train, std::uint32_t num_vectors,
                   const ShpConfig& config, ThreadPool* pool = nullptr);
 

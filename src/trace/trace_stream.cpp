@@ -1,0 +1,44 @@
+#include "trace/trace_stream.h"
+
+#include <algorithm>
+
+namespace bandana {
+
+std::size_t TraceRefSource::next_chunk(Trace& out, std::size_t max_queries) {
+  const std::size_t end =
+      std::min(trace_.num_queries(), next_ + max_queries);
+  const std::size_t emitted = end - next_;
+  for (; next_ < end; ++next_) out.add_query(trace_.query(next_));
+  return emitted;
+}
+
+std::size_t SyntheticTraceSource::next_chunk(Trace& out,
+                                             std::size_t max_queries) {
+  const std::size_t emitted = std::min(remaining_, max_queries);
+  for (std::size_t q = 0; q < emitted; ++q) {
+    scratch_.clear();
+    // Pick a hot cluster of ~64 adjacent ids, then draw most lookups from
+    // it and the rest uniformly — queries re-hitting a cluster co-access
+    // the same vectors, which is the structure SHP exploits.
+    const std::uint32_t clusters = std::max<std::uint32_t>(1, num_vectors_ / 64);
+    const std::uint32_t cluster =
+        static_cast<std::uint32_t>(rng_.next_below(clusters));
+    for (std::uint32_t i = 0; i < query_len_; ++i) {
+      if (rng_.next_below(10) < 8) {
+        const std::uint32_t base = cluster * 64;
+        scratch_.push_back(
+            std::min<VectorId>(num_vectors_ - 1,
+                               base + static_cast<std::uint32_t>(
+                                          rng_.next_below(64))));
+      } else {
+        scratch_.push_back(
+            static_cast<VectorId>(rng_.next_below(num_vectors_)));
+      }
+    }
+    out.add_query(scratch_);
+  }
+  remaining_ -= emitted;
+  return emitted;
+}
+
+}  // namespace bandana

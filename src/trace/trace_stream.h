@@ -1,0 +1,62 @@
+// Chunked trace iteration for bounded-memory training.
+//
+// A TraceSource hands out queries in caller-sized chunks so a consumer
+// (Partitioner::partition_stream) can reservoir-sample a training set
+// without ever materializing the full trace — the paper's production
+// setting, where a day of access logs does not fit next to the serving
+// process. TraceRefSource adapts an in-memory Trace (tests, benches);
+// SyntheticTraceSource generates queries on the fly, so benches can sweep
+// trace sizes far past what full materialization would allow.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "trace/trace.h"
+
+namespace bandana {
+
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+  /// Append up to `max_queries` next queries to `out`. Returns the number
+  /// appended; 0 means the stream is exhausted.
+  virtual std::size_t next_chunk(Trace& out, std::size_t max_queries) = 0;
+};
+
+/// Streams an existing in-memory trace chunk by chunk.
+class TraceRefSource final : public TraceSource {
+ public:
+  explicit TraceRefSource(const Trace& trace) : trace_(trace) {}
+  std::size_t next_chunk(Trace& out, std::size_t max_queries) override;
+  void reset() { next_ = 0; }
+
+ private:
+  const Trace& trace_;
+  std::size_t next_ = 0;
+};
+
+/// Generates a skewed synthetic workload query by query: each query draws
+/// `query_len` lookups from a Zipf-ish hot set, so co-access structure
+/// exists for the partitioners to find. Never holds more than one query.
+class SyntheticTraceSource final : public TraceSource {
+ public:
+  SyntheticTraceSource(std::uint32_t num_vectors, std::size_t num_queries,
+                       std::uint32_t query_len, std::uint64_t seed)
+      : num_vectors_(num_vectors),
+        remaining_(num_queries),
+        query_len_(query_len),
+        rng_(seed) {}
+  std::size_t next_chunk(Trace& out, std::size_t max_queries) override;
+
+ private:
+  std::uint32_t num_vectors_;
+  std::size_t remaining_;
+  std::uint32_t query_len_;
+  Rng rng_;
+  std::vector<VectorId> scratch_;
+};
+
+}  // namespace bandana

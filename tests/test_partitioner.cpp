@@ -1,0 +1,331 @@
+// The Partitioner seam: backend selection, parallel-SHP determinism, the
+// streaming (reservoir-sampled) training mode, and config validation.
+#include "partition/partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/trainer.h"
+#include "partition/fanout.h"
+#include "partition/layout.h"
+#include "trace/trace_generator.h"
+
+namespace bandana {
+namespace {
+
+Trace structured_trace(std::uint32_t num_vectors, std::size_t queries,
+                       std::uint64_t seed) {
+  TableWorkloadConfig cfg;
+  cfg.num_vectors = num_vectors;
+  cfg.mean_lookups_per_query = 16;
+  cfg.new_vector_prob = 0.02;
+  cfg.num_profiles = num_vectors / 50;
+  cfg.profile_size = 64;
+  cfg.profile_frac = 0.85;
+  TraceGenerator g(cfg, seed);
+  return g.generate(queries);
+}
+
+void expect_permutation(const std::vector<VectorId>& order, std::uint32_t n) {
+  std::set<VectorId> seen(order.begin(), order.end());
+  EXPECT_EQ(order.size(), n);
+  EXPECT_EQ(seen.size(), n);
+}
+
+// ---------------------------------------------------------------- parallel SHP
+
+// The seed pin: the ShpPartitioner with one worker thread must reproduce
+// the bare sequential run_shp byte for byte.
+TEST(Partitioner, ShpSingleThreadMatchesSeedRunShp) {
+  const Trace t = structured_trace(4096, 4000, 11);
+  ShpConfig sc;
+  sc.vectors_per_block = 16;
+  const ShpResult seed = run_shp(t, 4096, sc, nullptr);
+
+  ThreadPool pool(1);
+  const ShpPartitioner part(sc);
+  const PartitionResult r = part.partition(t, 4096, nullptr, &pool);
+  EXPECT_EQ(r.order, seed.order);
+  EXPECT_EQ(r.access_counts, seed.access_counts);
+  EXPECT_EQ(r.final_avg_fanout, seed.final_avg_fanout);
+}
+
+// The parallel decomposition is value-exact: any thread count (2, 4, 8)
+// yields the same plan, equal to the sequential one, and duplicate runs at
+// the same thread count are stable.
+TEST(Partitioner, ParallelShpDeterministicAcrossThreadCounts) {
+  const Trace t = structured_trace(4096, 4000, 12);
+  ShpConfig sc;
+  sc.vectors_per_block = 16;
+  const ShpResult seq = run_shp(t, 4096, sc, nullptr);
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    const ShpResult a = run_shp(t, 4096, sc, &pool);
+    const ShpResult b = run_shp(t, 4096, sc, &pool);
+    EXPECT_EQ(a.order, seq.order) << threads << " threads vs sequential";
+    EXPECT_EQ(a.order, b.order) << threads << " threads, duplicate run";
+    EXPECT_EQ(a.total_swaps, seq.total_swaps);
+    EXPECT_EQ(a.final_avg_fanout, seq.final_avg_fanout);
+  }
+}
+
+// ------------------------------------------------------------------- backends
+
+TEST(Partitioner, AllBackendsProduceValidPlans) {
+  const std::uint32_t n = 2048;
+  const Trace t = structured_trace(n, 3000, 13);
+  TableWorkloadConfig wc;
+  wc.num_vectors = n;
+  const EmbeddingTable values = TraceGenerator(wc, 13).make_embeddings();
+
+  for (const PartitionerBackend backend :
+       {PartitionerBackend::kShp, PartitionerBackend::kRecursiveKMeans,
+        PartitionerBackend::kHypergraph}) {
+    PartitionerConfig pc;
+    pc.backend = backend;
+    pc.kmeans.top_clusters = 8;
+    pc.kmeans.total_leaves = 64;
+    const auto part = make_partitioner(pc, 32);
+    const PartitionResult r = part->partition(t, n, &values, nullptr);
+    expect_permutation(r.order, n);
+    EXPECT_EQ(r.access_counts.size(), n) << backend_name(backend);
+    // Every backend reports its fanout on the training co-access graph.
+    EXPECT_GT(r.initial_avg_fanout, 0.0) << backend_name(backend);
+    EXPECT_GT(r.final_avg_fanout, 0.0) << backend_name(backend);
+    EXPECT_GT(r.peak_training_bytes, 0u) << backend_name(backend);
+  }
+}
+
+TEST(Partitioner, HypergraphBeatsIdentityOrderOnStructuredWorkload) {
+  const std::uint32_t n = 4096;
+  const Trace t = structured_trace(n, 4000, 14);
+  HypergraphConfig hc;
+  hc.vectors_per_block = 32;
+  const HypergraphResult r = run_hypergraph(t, n, hc);
+  expect_permutation(r.order, n);
+  EXPECT_LT(r.final_avg_fanout, 0.8 * r.initial_avg_fanout);
+  // And the greedy placement generalizes: held-out queries also see lower
+  // fanout than a random layout.
+  const Trace eval = structured_trace(n, 1000, 14);
+  const auto layout = BlockLayout::from_order(r.order, 32);
+  const auto random_layout = BlockLayout::random(n, 32, 99);
+  EXPECT_LT(compute_fanout(eval, layout).avg_fanout,
+            compute_fanout(eval, random_layout).avg_fanout);
+}
+
+TEST(Partitioner, KMeansBackendRequiresValues) {
+  const Trace t = structured_trace(512, 500, 15);
+  PartitionerConfig pc;
+  pc.backend = PartitionerBackend::kRecursiveKMeans;
+  pc.kmeans.top_clusters = 4;
+  pc.kmeans.total_leaves = 16;
+  const auto part = make_partitioner(pc, 32);
+  EXPECT_THROW(part->partition(t, 512, nullptr, nullptr),
+               std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- validation
+
+TEST(Partitioner, RejectsDegenerateConfigs) {
+  {
+    ShpConfig sc;
+    sc.vectors_per_block = 0;
+    EXPECT_THROW(validate(sc), std::invalid_argument);
+  }
+  {
+    ShpConfig sc;
+    sc.iters_per_level = 0;
+    EXPECT_THROW(validate(sc), std::invalid_argument);
+  }
+  {
+    ShpConfig sc;
+    sc.max_swap_fraction = 0.0;
+    EXPECT_THROW(validate(sc), std::invalid_argument);
+  }
+  {
+    KMeansConfig kc;
+    kc.k = 0;
+    EXPECT_THROW(validate(kc), std::invalid_argument);
+  }
+  {
+    KMeansConfig kc;
+    kc.max_iters = 0;
+    EXPECT_THROW(validate(kc), std::invalid_argument);
+  }
+  {
+    RecursiveKMeansConfig rc;
+    rc.total_leaves = 0;
+    EXPECT_THROW(validate(rc), std::invalid_argument);
+  }
+  {
+    RecursiveKMeansConfig rc;
+    rc.top_clusters = 8;
+    rc.total_leaves = 4;  // fewer leaves than parents
+    EXPECT_THROW(validate(rc), std::invalid_argument);
+  }
+  {
+    HypergraphConfig hc;
+    hc.vectors_per_block = 0;
+    EXPECT_THROW(validate(hc), std::invalid_argument);
+  }
+  {
+    PartitionerConfig pc;
+    pc.chunk_queries = 0;
+    EXPECT_THROW(validate(pc), std::invalid_argument);
+  }
+}
+
+TEST(Partitioner, RejectsEmptyTrainingTrace) {
+  const Trace empty;
+  EXPECT_THROW(run_shp(empty, 64, ShpConfig{}), std::invalid_argument);
+  EXPECT_THROW(run_hypergraph(empty, 64, HypergraphConfig{}),
+               std::invalid_argument);
+  PartitionerConfig pc;
+  pc.backend = PartitionerBackend::kRecursiveKMeans;
+  TableWorkloadConfig wc;
+  wc.num_vectors = 64;
+  const EmbeddingTable values = TraceGenerator(wc, 16).make_embeddings();
+  EXPECT_THROW(
+      make_partitioner(pc, 32)->partition(empty, 64, &values, nullptr),
+      std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ streaming
+
+TEST(Partitioner, StreamingPeakMemoryStaysBelowFullMaterialization) {
+  const std::uint32_t n = 4096;
+  const Trace big = structured_trace(n, 30'000, 17);
+  PartitionerConfig pc;
+  pc.max_train_queries = 1'000;
+  pc.chunk_queries = 512;
+  const auto part = make_partitioner(pc, 32);
+
+  const PartitionResult full = part->partition(big, n, nullptr, nullptr);
+  TraceRefSource source(big);
+  const PartitionResult streamed =
+      part->partition_stream(source, n, pc, nullptr, nullptr);
+
+  expect_permutation(streamed.order, n);
+  EXPECT_EQ(streamed.stream_queries, big.num_queries());
+  EXPECT_EQ(streamed.sampled_queries, pc.max_train_queries);
+  // The bounded-memory claim, pinned: the reservoir path's peak stays
+  // well under training on the materialized trace.
+  EXPECT_LT(streamed.peak_training_bytes, full.peak_training_bytes / 2);
+}
+
+TEST(Partitioner, StreamingIsDeterministicAndCountsFullStream) {
+  const std::uint32_t n = 1024;
+  const Trace big = structured_trace(n, 8'000, 18);
+  PartitionerConfig pc;
+  pc.max_train_queries = 500;
+  pc.chunk_queries = 256;
+  const auto part = make_partitioner(pc, 32);
+
+  TraceRefSource s1(big), s2(big);
+  const PartitionResult a = part->partition_stream(s1, n, pc, nullptr, nullptr);
+  const PartitionResult b = part->partition_stream(s2, n, pc, nullptr, nullptr);
+  EXPECT_EQ(a.order, b.order);
+  EXPECT_EQ(a.access_counts, b.access_counts);
+
+  // Access counts come from the FULL stream, not the sample: their sum is
+  // the total deduplicated lookups of the whole trace.
+  std::uint64_t total = 0;
+  for (const std::uint32_t c : a.access_counts) total += c;
+  std::uint64_t want = 0;
+  std::vector<VectorId> dedup;
+  for (std::size_t q = 0; q < big.num_queries(); ++q) {
+    const auto ids = big.query(q);
+    dedup.assign(ids.begin(), ids.end());
+    std::sort(dedup.begin(), dedup.end());
+    dedup.erase(std::unique(dedup.begin(), dedup.end()), dedup.end());
+    want += dedup.size();
+  }
+  EXPECT_EQ(total, want);
+}
+
+TEST(Partitioner, StreamRequiresReservoirCapacity) {
+  const Trace t = structured_trace(256, 200, 19);
+  PartitionerConfig pc;  // max_train_queries defaults to 0
+  const auto part = make_partitioner(pc, 32);
+  TraceRefSource source(t);
+  EXPECT_THROW(part->partition_stream(source, 256, pc, nullptr, nullptr),
+               std::invalid_argument);
+}
+
+// -------------------------------------------------------------------- trainer
+
+TEST(Partitioner, TrainerRunsEveryBackend) {
+  const std::uint32_t sizes[1] = {1024};
+  const Trace traces[1] = {structured_trace(1024, 1500, 20)};
+  TableWorkloadConfig wc;
+  wc.num_vectors = 1024;
+  const EmbeddingTable values = TraceGenerator(wc, 20).make_embeddings();
+  const EmbeddingTable* vals[1] = {&values};
+
+  for (const PartitionerBackend backend :
+       {PartitionerBackend::kShp, PartitionerBackend::kRecursiveKMeans,
+        PartitionerBackend::kHypergraph}) {
+    TrainerConfig tc;
+    tc.total_cache_vectors = 256;
+    tc.partitioner.backend = backend;
+    tc.partitioner.kmeans.top_clusters = 4;
+    tc.partitioner.kmeans.total_leaves = 32;
+    const Trainer trainer(StoreConfig{}, tc);
+    TrainerStats stats;
+    const StorePlan plan = trainer.train(traces, sizes, nullptr, vals, &stats);
+    ASSERT_EQ(plan.tables.size(), 1u) << backend_name(backend);
+    EXPECT_EQ(plan.tables[0].layout.num_vectors(), 1024u);
+    EXPECT_GT(stats.partition_us, 0.0);
+    EXPECT_GT(stats.tune_us, 0.0);
+    EXPECT_GT(stats.peak_training_bytes, 0u);
+  }
+}
+
+// The default-configured Trainer must be byte-identical to the pre-seam
+// pipeline: same per-table seed derivation, same SHP, same plan.
+TEST(Partitioner, TrainerDefaultMatchesDirectShp) {
+  const std::uint32_t sizes[2] = {1024, 512};
+  const Trace traces[2] = {structured_trace(1024, 1500, 21),
+                           structured_trace(512, 1000, 22)};
+  TrainerConfig tc;
+  tc.total_cache_vectors = 256;
+  const Trainer trainer(StoreConfig{}, tc);
+  const StorePlan plan = trainer.train(traces, sizes);
+
+  for (std::size_t i = 0; i < 2; ++i) {
+    ShpConfig sc = tc.partitioner.shp;
+    sc.vectors_per_block = StoreConfig{}.vectors_per_block();
+    sc.seed = splitmix64(tc.partitioner.shp.seed + i);
+    const ShpResult direct = run_shp(traces[i], sizes[i], sc, nullptr);
+    EXPECT_EQ(plan.tables[i].access_counts, direct.access_counts);
+    EXPECT_EQ(plan.tables[i].shp_train_fanout, direct.final_avg_fanout);
+    EXPECT_EQ(plan.tables[i].layout.order(), direct.order);
+  }
+}
+
+TEST(Partitioner, TrainerStreamTrainsFromSources) {
+  const std::uint32_t sizes[2] = {1024, 1024};
+  SyntheticTraceSource s0(1024, 6'000, 12, 31);
+  SyntheticTraceSource s1(1024, 6'000, 12, 32);
+  TraceSource* sources[2] = {&s0, &s1};
+
+  TrainerConfig tc;
+  tc.total_cache_vectors = 256;
+  tc.partitioner.max_train_queries = 600;
+  tc.partitioner.chunk_queries = 500;
+  const Trainer trainer(StoreConfig{}, tc);
+  TrainerStats stats;
+  const StorePlan plan =
+      trainer.train_stream(sources, sizes, nullptr, {}, &stats);
+  ASSERT_EQ(plan.tables.size(), 2u);
+  for (const auto& t : plan.tables) {
+    EXPECT_EQ(t.layout.num_vectors(), 1024u);
+  }
+  EXPECT_EQ(stats.stream_queries, 12'000u);
+  EXPECT_EQ(stats.sampled_queries, 1'200u);
+  EXPECT_GT(stats.peak_training_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace bandana

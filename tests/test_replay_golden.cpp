@@ -119,7 +119,7 @@ ReplayResult run_replay(BlockStorageFactory factory,
   cfg.cache_shards = 1;  // deterministic single-LRU serving order
   TrainerConfig trainer_cfg;
   trainer_cfg.total_cache_vectors = kTables * kVectors / 4;
-  trainer_cfg.shp.iters_per_level = 6;
+  trainer_cfg.partitioner.shp.iters_per_level = 6;
   // Tables this small make the SHARDS mini-cache degenerate (a 0.1% sample
   // of 4096 vectors is ~4); tune thresholds on the exact trace instead.
   trainer_cfg.tuner.sampling_rate = 1.0;

@@ -572,7 +572,7 @@ TEST(OnlineRetrainer, RetrainNowRepacksFromSampledTrafficAndPushes) {
   rc.sampler.reservoir_queries = 512;
   rc.republish.blocks_per_interval = 16;
   rc.republish.interval_us = 50.0;
-  rc.trainer.shp.iters_per_level = 4;
+  rc.trainer.partitioner.shp.iters_per_level = 4;
   OnlineRetrainer retrainer(store, rc,
                             [&](TableId) -> const EmbeddingTable& {
                               return values;
@@ -600,6 +600,18 @@ TEST(OnlineRetrainer, RetrainNowRepacksFromSampledTrafficAndPushes) {
   EXPECT_GT(stats.blocks_written, 0u);
   EXPECT_EQ(stats.blocks_written + stats.blocks_skipped,
             std::uint64_t{kVectors / kVpb});
+
+  // The latency budget breaks the retrain into phases and surfaces the
+  // same telemetry through StoreMetrics.
+  EXPECT_GT(stats.drain_us, 0.0);
+  EXPECT_GT(stats.train_us, 0.0);
+  EXPECT_GT(stats.diff_us, 0.0);
+  EXPECT_GT(stats.peak_training_bytes, 0u);
+  const StoreMetrics sm = store.store_metrics();
+  EXPECT_EQ(sm.retrain_runs, 1u);
+  EXPECT_GT(sm.retrain_train_us, 0.0);
+  EXPECT_EQ(sm.retrain_peak_training_bytes, stats.peak_training_bytes);
+  EXPECT_EQ(sm.retrain_budget_overruns, stats.budget_overruns);
 
   // A second retrain with no new sampled traffic is a no-op (checked
   // before the verification lookups below, which feed the sampler again).

@@ -55,19 +55,34 @@ TEST(StoreBuilder, RoundTripsATrainedPlan) {
   store_cfg.simulate_timing = false;
   TrainerConfig trainer_cfg;
   trainer_cfg.total_cache_vectors = 512;
-  Trainer trainer(store_cfg, trainer_cfg);
   ThreadPool pool(2);
-  const StorePlan plan = trainer.train(train, sizes, &pool);
 
-  Store store = StoreBuilder(store_cfg).add_plan(plan, values).build();
+  // train_and_add runs the whole offline pipeline inside the builder.
+  TrainerStats tstats;
+  Store store = StoreBuilder(store_cfg)
+                    .train_and_add(trainer_cfg, train, values, &pool, &tstats)
+                    .build();
+  EXPECT_GT(tstats.partition_us, 0.0);
+  EXPECT_GT(tstats.peak_training_bytes, 0u);
+  expect_full_roundtrip(store, values);
+
+  // An explicit Trainer + add_plan must produce the identical store shape,
+  // and from_plan is the same one-shot path.
+  Trainer trainer(store_cfg, trainer_cfg);
+  const StorePlan plan = trainer.train(train, sizes, &pool);
   std::uint64_t want_blocks = 0;
   for (const auto& t : plan.tables) want_blocks += t.layout.num_blocks();
   EXPECT_EQ(store.storage().num_blocks(), want_blocks);
-  expect_full_roundtrip(store, values);
-
-  // from_plan is the same one-shot path.
   Store again = Store::from_plan(store_cfg, plan, values);
   expect_full_roundtrip(again, values);
+}
+
+TEST(StoreBuilder, TrainAndAddRejectsMismatchedTraceCount) {
+  std::vector<EmbeddingTable> values;
+  values.push_back(TraceGenerator(table_config(512), 60).make_embeddings());
+  StoreBuilder builder;
+  EXPECT_THROW(builder.train_and_add(TrainerConfig{}, {}, values),
+               std::invalid_argument);
 }
 
 TEST(StoreBuilder, AllocatesStorageExactlyOnce) {

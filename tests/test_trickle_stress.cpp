@@ -219,7 +219,7 @@ TEST(TrickleSwapStress, BackgroundRetrainerThreadSwapsWhileServing) {
 
   RetrainerConfig rc;
   rc.sampler.reservoir_queries = 256;
-  rc.trainer.shp.iters_per_level = 2;
+  rc.trainer.partitioner.shp.iters_per_level = 2;
   rc.republish.blocks_per_interval = 16;
   rc.republish.interval_us = 10.0;
   rc.min_sampled_queries = 200;
