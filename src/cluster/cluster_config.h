@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "common/rng.h"
 #include "core/config.h"
 
 namespace bandana {
@@ -53,13 +54,24 @@ struct ClusterConfig {
   /// kPlanAware: tables at least this big are range-split across nodes.
   std::uint32_t split_min_vectors = 1u << 20;
 
-  /// Cluster seed; node n's store is seeded with seed + n, so node 0 of a
-  /// 1-node cluster is bit-identical to a bare Store built with `seed`.
+  /// Cluster seed; node n's store is seeded with cluster_node_seed(seed, n)
+  /// below. Node 0 keeps the raw seed, so node 0 of a 1-node cluster is
+  /// bit-identical to a bare Store built with `seed`.
   std::uint64_t seed = 42;
 
   /// Per-node store configuration (block geometry, device model, cache
   /// sharding) — identical on every node.
   StoreConfig store;
 };
+
+/// Seed of node n's store. Derived through splitmix64 rather than the naive
+/// `seed + n`: additive seeding aliases adjacent cluster seeds — node n of a
+/// cluster seeded s IS node n-1 of a cluster seeded s+1, so two experiments
+/// meant to be independent share node RNG streams. Node 0 keeps the raw seed
+/// to preserve the 1-node/1-replica == bare-Store identity contract.
+inline std::uint64_t cluster_node_seed(std::uint64_t seed, std::uint32_t n) {
+  if (n == 0) return seed;
+  return splitmix64(seed ^ (0x9E3779B97F4A7C15ULL * std::uint64_t{n}));
+}
 
 }  // namespace bandana

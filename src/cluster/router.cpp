@@ -11,9 +11,12 @@
 namespace bandana {
 
 ClusterRouter::ClusterRouter(StoreCluster& cluster) : cluster_(cluster) {
+  // Rebalance flips re-point a range's replica but never change range
+  // boundaries or counts, so the flat rotation state sized here stays
+  // valid across every later placement map.
   std::size_t total = 0;
-  range_offset_.reserve(cluster_.placement_.tables.size());
-  for (const auto& ranges : cluster_.placement_.tables) {
+  range_offset_.reserve(cluster_.placement().tables.size());
+  for (const auto& ranges : cluster_.placement().tables) {
     range_offset_.push_back(total);
     total += ranges.size();
   }
@@ -66,8 +69,8 @@ std::int32_t ClusterRouter::pick_replica(TableId t, std::size_t range_idx,
   return -1;  // every replica down
 }
 
-ClusterRouter::Scatter ClusterRouter::scatter(const MultiGetRequest& request) {
-  const PlacementMap& pm = cluster_.placement_;
+ClusterRouter::Scatter ClusterRouter::scatter(const PlacementMap& pm,
+                                              const MultiGetRequest& request) {
   // Validate the whole request before routing mutates anything (the
   // Store::multi_get contract: throw before any part is served).
   for (const auto& get : request.gets) {
@@ -216,12 +219,23 @@ void bump(std::atomic<std::uint64_t>& c, std::uint64_t v) {
 }  // namespace
 
 ClusterMultiGetResult ClusterRouter::multi_get(const MultiGetRequest& request) {
-  Scatter sc = scatter(request);
+  // One lease for the whole request: route and serve against the same map,
+  // released only after the last sub-request finished (see router.h).
+  const StoreCluster::PlacementLease lease = cluster_.placement_lease();
+  Scatter sc = scatter(lease.map(), request);
   std::vector<MultiGetResult> sub_results(sc.subs.size());
   for (std::size_t s = 0; s < sc.subs.size(); ++s) {
     auto& node = *cluster_.nodes_[sc.subs[s].node];
     node.outstanding.fetch_add(1, std::memory_order_relaxed);
-    sub_results[s] = node.store->multi_get(sc.subs[s].req);
+    try {
+      sub_results[s] = node.store->multi_get(sc.subs[s].req);
+    } catch (...) {
+      // Decrement on EVERY completion path: a throwing sub-request must
+      // not ratchet the least-outstanding count, or the node looks ever
+      // busier and is never picked again once healthy.
+      node.outstanding.fetch_sub(1, std::memory_order_relaxed);
+      throw;
+    }
     node.outstanding.fetch_sub(1, std::memory_order_relaxed);
   }
   ClusterMultiGetResult out =
@@ -242,6 +256,10 @@ std::future<ClusterMultiGetResult> ClusterRouter::multi_get_async(
     MultiGetRequest request, ThreadPool& pool) {
   struct AsyncState {
     MultiGetRequest request;
+    /// Held until the state dies — i.e. until the last sub-task finished —
+    /// so a concurrent rebalance flip waits for this request before
+    /// retiring the donor replicas it routed to.
+    StoreCluster::PlacementLease lease;
     Scatter sc;
     std::vector<MultiGetResult> sub_results;
     std::vector<double> arrivals;
@@ -252,7 +270,9 @@ std::future<ClusterMultiGetResult> ClusterRouter::multi_get_async(
   };
   auto state = std::make_shared<AsyncState>();
   state->request = std::move(request);
-  state->sc = scatter(state->request);  // bad requests throw here, inline
+  state->lease = cluster_.placement_lease();
+  // Bad requests throw here, inline.
+  state->sc = scatter(state->lease.map(), state->request);
   auto future = state->promise.get_future();
 
   const std::size_t n_subs = state->sc.subs.size();

@@ -22,6 +22,13 @@
 // node's degrade multiplier (StoreCluster::set_node_degraded) scales its
 // sub-latency — one busy node drags the whole request's tail, which is
 // precisely the paper's motivation for replicating the popularity head.
+//
+// Every request (sync and async) routes and serves under one
+// StoreCluster::PlacementLease: the placement map it scattered against
+// stays alive — and the donor replicas it routed to stay un-retired —
+// until the request's last sub-request completes, even while a live
+// rebalance flips the placement mid-flight. A request therefore sees
+// entirely-old or entirely-new routing, never a torn mix.
 #pragma once
 
 #include <cstdint>
@@ -97,9 +104,12 @@ class ClusterRouter {
     std::uint64_t failovers = 0;
   };
 
-  /// Validate and route the whole request (replica choice cached per
-  /// (table, range)); throws before any side effect on the metrics.
-  Scatter scatter(const MultiGetRequest& request);
+  /// Validate and route the whole request against `pm` (replica choice
+  /// cached per (table, range)); throws before any side effect on the
+  /// metrics. `pm` comes from a request-scoped placement lease the caller
+  /// holds until the request is fully served, so a concurrent rebalance
+  /// flip cannot retire donor state this request still routes to.
+  Scatter scatter(const PlacementMap& pm, const MultiGetRequest& request);
   /// Balance a (table, range) onto an alive replica. Returns the node, or
   /// -1 when every replica is down. `failover` reports a down node pushed
   /// the choice off the balancer's pick.

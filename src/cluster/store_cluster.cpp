@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "cluster/router.h"
@@ -12,7 +13,8 @@ namespace bandana {
 StoreCluster::StoreCluster(ClusterConfig cfg, const StorePlan& plan,
                            std::span<const EmbeddingTable> tables,
                            BlockStorageFactory storage_factory,
-                           const PlacementPolicy* placement)
+                           const PlacementPolicy* placement,
+                           const NodeSetup& node_setup)
     : cfg_(std::move(cfg)) {
   if (cfg_.nodes == 0) {
     throw std::invalid_argument("StoreCluster: nodes must be >= 1");
@@ -26,8 +28,8 @@ StoreCluster::StoreCluster(ClusterConfig cfg, const StorePlan& plan,
     owned_policy = make_placement_policy(cfg_);
     placement = owned_policy.get();
   }
-  placement_ = placement->place(plan, tables, cfg_);
-  if (placement_.tables.size() != plan.tables.size()) {
+  PlacementMap placement_map = placement->place(plan, tables, cfg_);
+  if (placement_map.tables.size() != plan.tables.size()) {
     throw std::logic_error("StoreCluster: placement covers wrong table count");
   }
 
@@ -36,14 +38,17 @@ StoreCluster::StoreCluster(ClusterConfig cfg, const StorePlan& plan,
     table_vectors_.push_back(tp.layout.num_vectors());
   }
 
-  // One builder per node; node n's seed is cfg.seed + n so node 0 of a
-  // 1-node cluster is bit-identical to a bare Store built with cfg.seed.
+  // One builder per node. Node seeds come from cluster_node_seed
+  // (cluster_config.h): splitmix64-derived per-node streams, with node 0
+  // keeping the raw seed so a 1-node cluster stays bit-identical to a bare
+  // Store built with cfg.seed.
   std::vector<StoreBuilder> builders;
   builders.reserve(cfg_.nodes);
   for (std::uint32_t n = 0; n < cfg_.nodes; ++n) {
     builders.emplace_back(cfg_.store);
-    builders.back().seed(cfg_.seed + n);
+    builders.back().seed(cluster_node_seed(cfg_.seed, n));
     if (storage_factory) builders.back().storage(storage_factory);
+    if (node_setup) node_setup(n, builders.back());
   }
 
   // Register every (table, range, replica) in deterministic order —
@@ -55,7 +60,7 @@ StoreCluster::StoreCluster(ClusterConfig cfg, const StorePlan& plan,
   std::vector<TableId> next_local(cfg_.nodes, 0);
   for (std::size_t t = 0; t < plan.tables.size(); ++t) {
     const std::uint32_t nv = plan.tables[t].layout.num_vectors();
-    auto& ranges = placement_.tables[t];
+    auto& ranges = placement_map.tables[t];
     if (ranges.empty()) {
       throw std::logic_error("StoreCluster: table with no placement range");
     }
@@ -88,10 +93,92 @@ StoreCluster::StoreCluster(ClusterConfig cfg, const StorePlan& plan,
     node->store = std::make_unique<Store>(builders[n].build());
     nodes_.push_back(std::move(node));
   }
+  placement_owner_ =
+      std::make_unique<const PlacementMap>(std::move(placement_map));
+  placement_ptr_.store(placement_owner_.get(), std::memory_order_release);
   router_ = std::make_unique<ClusterRouter>(*this);
 }
 
 StoreCluster::~StoreCluster() = default;
+
+std::uint32_t StoreCluster::lease_slot() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kLeaseSlots;
+  return slot;
+}
+
+StoreCluster::PlacementLease StoreCluster::placement_lease() const {
+  PlacementLease lease;
+  lease.c_ = this;
+  lease.bank_ = static_cast<std::uint32_t>(
+      lease_gen_.load(std::memory_order_relaxed) & 1);
+  lease.slot_ = lease_slot();
+  // seq_cst enter THEN seq_cst map load: a flip's drain scan that does not
+  // observe this enter is seq_cst-ordered before it, and therefore before
+  // the map load — which then sees the flipped pointer. Either the flip
+  // waits for this lease, or this lease already routes on the new map.
+  lease_banks_[lease.bank_][lease.slot_].entered.fetch_add(
+      1, std::memory_order_seq_cst);
+  lease.map_ = placement_ptr_.load(std::memory_order_seq_cst);
+  return lease;
+}
+
+void StoreCluster::PlacementLease::release() noexcept {
+  if (c_ == nullptr) return;
+  c_->lease_banks_[bank_][slot_].exited.fetch_add(1,
+                                                  std::memory_order_release);
+  c_ = nullptr;
+}
+
+bool StoreCluster::lease_bank_drained(std::uint32_t bank) const {
+  for (std::uint32_t s = 0; s < kLeaseSlots; ++s) {
+    // exited first: both counters are monotone, so observing
+    // exited >= entered proves the slot was empty at some instant between
+    // the two loads.
+    const std::uint64_t exited =
+        lease_banks_[bank][s].exited.load(std::memory_order_acquire);
+    const std::uint64_t entered =
+        lease_banks_[bank][s].entered.load(std::memory_order_seq_cst);
+    if (entered != exited) return false;
+  }
+  return true;
+}
+
+void StoreCluster::flip_placement(std::unique_ptr<const PlacementMap> next) {
+  std::lock_guard<std::mutex> flip_lock(flip_mu_);
+  const PlacementMap* fresh = next.get();
+  std::unique_ptr<const PlacementMap> old = std::move(placement_owner_);
+  placement_owner_ = std::move(next);
+  placement_ptr_.store(fresh, std::memory_order_seq_cst);
+  placement_flips_.fetch_add(1, std::memory_order_relaxed);
+  // Two-phase drain: flip the lease generation so fresh leases land on the
+  // other bank (a continuous request stream can't keep a bank busy
+  // forever), then wait for the old-generation bank to empty; repeat for
+  // the second bank, since a lease may have read the generation just
+  // before the first flip. A lease the scans miss is seq_cst-ordered after
+  // the pointer store above, i.e. it routes on the NEW map (see
+  // placement_lease()); every lease that could still hold `old` is
+  // therefore waited out here, making it safe for the caller to retire
+  // donor-side state once we return.
+  for (int phase = 0; phase < 2; ++phase) {
+    const std::uint32_t old_bank = static_cast<std::uint32_t>(
+        lease_gen_.fetch_add(1, std::memory_order_seq_cst) & 1);
+    while (!lease_bank_drained(old_bank)) std::this_thread::yield();
+  }
+  // `old` dies here — no reader can reference it.
+}
+
+void StoreCluster::flip_range(TableId t, std::size_t range_idx,
+                              std::uint32_t replica, std::uint32_t target_node,
+                              TableId target_local) {
+  auto next = std::make_unique<PlacementMap>(placement());
+  auto& range = next->tables.at(t).at(range_idx);
+  range.nodes.at(replica) = target_node;
+  range.local_ids.at(replica) = target_local;
+  flip_placement(
+      std::unique_ptr<const PlacementMap>(std::move(next)));
+}
 
 void StoreCluster::set_node_down(std::uint32_t n, bool down) {
   nodes_.at(n)->down.store(down, std::memory_order_release);
@@ -130,7 +217,8 @@ ClusterMetrics StoreCluster::metrics() const {
 
 TableMetrics StoreCluster::table_metrics(TableId t) const {
   TableMetrics total;
-  for (const auto& range : placement_.tables.at(t)) {
+  const PlacementLease lease = placement_lease();
+  for (const auto& range : lease.map().tables.at(t)) {
     for (std::size_t r = 0; r < range.nodes.size(); ++r) {
       total.merge(
           nodes_[range.nodes[r]]->store->table_metrics(range.local_ids[r]));
@@ -148,7 +236,8 @@ double StoreCluster::republish(TableId t, const EmbeddingTable& values,
     throw std::invalid_argument("republish: values shape mismatch");
   }
   double max_latency = 0.0;
-  for (const auto& range : placement_.tables[t]) {
+  const PlacementLease lease = placement_lease();
+  for (const auto& range : lease.map().tables[t]) {
     const bool whole = range.lo == 0 && range.hi == table_vectors_[t];
     EmbeddingTable sliced(1, 1);
     if (!whole) sliced = slice_embedding_table(values, range.lo, range.hi);
@@ -180,7 +269,8 @@ ClusterRepublish StoreCluster::begin_trickle_republish(
   // (owned_values_ outlives sessions_ by member order). Whole-table ranges
   // read the caller's `values` directly, which the single-store contract
   // already requires to outlive the sessions.
-  for (const auto& range : placement_.tables[t]) {
+  const PlacementLease lease = placement_lease();
+  for (const auto& range : lease.map().tables[t]) {
     const bool whole = range.lo == 0 && range.hi == table_vectors_[t];
     TablePlan sub_plan = slice_table_plan(plan, range.lo, range.hi, vpb);
     const EmbeddingTable* vals = &values;

@@ -32,11 +32,23 @@
 // and begin_trickle_republish fan a new plan out to every replica of
 // every range of the changed table (slicing the plan and values per range
 // for split tables).
+//
+// Live rebalancing: the placement is no longer static. begin_rebalance
+// (cluster/rebalance.h) streams one (table, range, replica) from its donor
+// node to a target node while the donor keeps serving, then atomically
+// re-points the placement entry. Routing reads the placement through
+// PlacementLease — a two-bank reader-epoch guard (the BandanaTable swap
+// idiom, applied to the placement map) — so every request routes AND
+// serves against exactly one map: entirely-old or entirely-new, never
+// torn. The flip blocks until every lease on the old map drains, which is
+// what makes it safe to retire the donor's copy afterwards.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -50,7 +62,9 @@
 
 namespace bandana {
 
-class ClusterRouter;  // cluster/router.h
+class ClusterRouter;     // cluster/router.h
+class RebalanceSession;  // cluster/rebalance.h
+class StoreBuilder;      // core/store_builder.h
 
 /// Router-side counters: requests routed, sub-requests dispatched and
 /// lost, lookups zero-filled, and replica failovers.
@@ -123,15 +137,24 @@ class ClusterRepublish {
 
 class StoreCluster {
  public:
+  /// Per-node builder hook: invoked once per node (after seed and storage
+  /// are applied) so callers can give each node its own backend/manifest —
+  /// e.g. `.file_storage(dir/"node3.blocks").manifest(dir/"node3.manifest")`
+  /// — without threading state through a shared factory.
+  using NodeSetup = std::function<void(std::uint32_t node, StoreBuilder&)>;
+
   /// Build the cluster from a trained plan. `tables[i]` holds the values
-  /// for `plan.tables[i]`; node n's store is seeded cfg.seed + n. The
-  /// storage factory (default: heap memory) is invoked once per node — a
+  /// for `plan.tables[i]`; node n's store is seeded
+  /// cluster_node_seed(cfg.seed, n) (cluster_config.h). The storage
+  /// factory (default: heap memory) is invoked once per node — a
   /// file-backed cluster needs a factory that derives a distinct path per
-  /// invocation. `placement` overrides the policy cfg.placement names.
+  /// invocation, or a `node_setup` hook that configures each builder.
+  /// `placement` overrides the policy cfg.placement names.
   StoreCluster(ClusterConfig cfg, const StorePlan& plan,
                std::span<const EmbeddingTable> tables,
                BlockStorageFactory storage_factory = nullptr,
-               const PlacementPolicy* placement = nullptr);
+               const PlacementPolicy* placement = nullptr,
+               const NodeSetup& node_setup = nullptr);
   ~StoreCluster();
 
   StoreCluster(const StoreCluster&) = delete;
@@ -143,8 +166,79 @@ class StoreCluster {
   /// Logical tables (the plan's numbering, which requests address).
   std::size_t num_tables() const { return table_vectors_.size(); }
   std::uint32_t table_vectors(TableId t) const { return table_vectors_[t]; }
-  const PlacementMap& placement() const { return placement_; }
   const ClusterConfig& config() const { return cfg_; }
+
+  /// RAII read lease on the current placement map. A request routes and
+  /// serves against lease.map() for its whole lifetime; a concurrent
+  /// placement flip publishes a new map and BLOCKS until every lease taken
+  /// against any older map releases, so donor-side state is only retired
+  /// once no in-flight request can still reach it. Cheap (two striped
+  /// atomic ops), move-only, and safe to hold across blocking serving
+  /// calls.
+  class PlacementLease {
+   public:
+    PlacementLease() = default;
+    PlacementLease(PlacementLease&& o) noexcept
+        : c_(o.c_), map_(o.map_), bank_(o.bank_), slot_(o.slot_) {
+      o.c_ = nullptr;
+    }
+    PlacementLease& operator=(PlacementLease&& o) noexcept {
+      if (this != &o) {
+        release();
+        c_ = o.c_;
+        map_ = o.map_;
+        bank_ = o.bank_;
+        slot_ = o.slot_;
+        o.c_ = nullptr;
+      }
+      return *this;
+    }
+    ~PlacementLease() { release(); }
+
+    explicit operator bool() const { return c_ != nullptr; }
+    const PlacementMap& map() const { return *map_; }
+
+   private:
+    friend class StoreCluster;
+    void release() noexcept;
+    const StoreCluster* c_ = nullptr;
+    const PlacementMap* map_ = nullptr;
+    std::uint32_t bank_ = 0;
+    std::uint32_t slot_ = 0;
+  };
+
+  /// Take a read lease on the placement (see PlacementLease).
+  PlacementLease placement_lease() const;
+
+  /// The current placement map. Convenience for quiescent callers (tests,
+  /// setup code): the reference is only stable while no rebalance can
+  /// flip — concurrent readers must hold a placement_lease() instead.
+  const PlacementMap& placement() const {
+    return *placement_ptr_.load(std::memory_order_acquire);
+  }
+
+  /// Completed placement flips (one per finished migration).
+  std::uint64_t placement_flips() const {
+    return placement_flips_.load(std::memory_order_relaxed);
+  }
+
+  /// Router-outstanding sub-requests on node n — the kLeastOutstanding
+  /// balancing signal, exposed so tests can pin its bookkeeping (a failed
+  /// sub-request must decrement too, or the node is blacklisted forever).
+  std::uint64_t node_outstanding(std::uint32_t n) const {
+    return nodes_.at(n)->outstanding.load(std::memory_order_relaxed);
+  }
+
+  /// Begin a live migration of (table t, range range_idx)'s replica
+  /// `replica` from its current node to `target_node` (cluster/rebalance.h
+  /// — session lifecycle, rate limiting, crash ordering). One session at a
+  /// time per cluster; throws std::logic_error if one is active, and
+  /// std::invalid_argument for a self-move or a target already hosting the
+  /// range.
+  RebalanceSession begin_rebalance(TableId t, std::size_t range_idx,
+                                   std::uint32_t replica,
+                                   std::uint32_t target_node,
+                                   const RepublishConfig& rate = {});
 
   Store& node(std::uint32_t n) { return *nodes_[n]->store; }
   const Store& node(std::uint32_t n) const { return *nodes_[n]->store; }
@@ -189,6 +283,7 @@ class StoreCluster {
 
  private:
   friend class ClusterRouter;
+  friend class RebalanceSession;
 
   struct Node {
     std::unique_ptr<Store> store;
@@ -198,11 +293,42 @@ class StoreCluster {
     std::atomic<std::uint64_t> outstanding{0};
   };
 
+  /// Re-point (t, range_idx, replica) at (target_node, target_local) and
+  /// flip: publish the new map and block until every lease on older maps
+  /// drains. Range boundaries and counts are unchanged, so the router's
+  /// flat per-range round-robin state stays valid across flips.
+  void flip_range(TableId t, std::size_t range_idx, std::uint32_t replica,
+                  std::uint32_t target_node, TableId target_local);
+  /// Publish `next` and block until old-map leases drain (two-phase bank
+  /// drain — see placement_lease()).
+  void flip_placement(std::unique_ptr<const PlacementMap> next);
+  bool lease_bank_drained(std::uint32_t bank) const;
+
   ClusterConfig cfg_;
-  PlacementMap placement_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::uint32_t> table_vectors_;
   std::unique_ptr<ClusterRouter> router_;
+
+  // --- Placement, behind reader epochs (the BandanaTable two-bank idiom:
+  // leases enter a bank with a seq_cst increment then load the map pointer
+  // seq_cst; a flip that misses an enter during its drain scan is globally
+  // ordered before it, so that lease read the NEW map). ---
+  static constexpr std::uint32_t kLeaseSlots = 16;
+  struct alignas(64) LeaseSlot {
+    std::atomic<std::uint64_t> entered{0};
+    std::atomic<std::uint64_t> exited{0};
+  };
+  static std::uint32_t lease_slot();
+
+  std::unique_ptr<const PlacementMap> placement_owner_;
+  std::atomic<const PlacementMap*> placement_ptr_{nullptr};
+  mutable LeaseSlot lease_banks_[2][kLeaseSlots];
+  std::atomic<std::uint64_t> lease_gen_{0};
+  /// Serializes placement flips (at most one migration completes at a
+  /// time; begin_rebalance also guards with rebalance_active_).
+  std::mutex flip_mu_;
+  std::atomic<std::uint64_t> placement_flips_{0};
+  std::atomic<bool> rebalance_active_{false};
 };
 
 }  // namespace bandana

@@ -78,6 +78,12 @@ std::vector<std::uint8_t> serialize_payload(const Manifest& m) {
     put_u32_vec(out, t.block_map);
     put_u32_vec(out, t.access_counts);
     put_u32_vec(out, t.free_blocks);
+    put_u32(out, t.retired ? 1u : 0u);
+  }
+  put_u32_vec(out, m.free_pool);
+  put_u64(out, m.pending_installs.size());
+  for (const std::vector<BlockId>& blocks : m.pending_installs) {
+    put_u32_vec(out, blocks);
   }
   return out;
 }
@@ -170,7 +176,18 @@ std::optional<Manifest> parse_payload(const std::uint8_t* data,
     t.block_map = r.get_u32_vec<BlockId>();
     t.access_counts = r.get_u32_vec<std::uint32_t>();
     t.free_blocks = r.get_u32_vec<BlockId>();
+    t.retired = r.get_u32() != 0;
     m.tables.push_back(std::move(t));
+  }
+  m.free_pool = r.get_u32_vec<BlockId>();
+  std::uint64_t num_pending = r.get_u64();
+  if (!r.ok || num_pending > (size - r.pos)) {
+    if (error) *error = "manifest payload truncated";
+    return std::nullopt;
+  }
+  m.pending_installs.reserve(static_cast<std::size_t>(num_pending));
+  for (std::uint64_t i = 0; i < num_pending && r.ok; ++i) {
+    m.pending_installs.push_back(r.get_u32_vec<BlockId>());
   }
   if (!r.ok || r.pos != size) {
     if (error) *error = "manifest payload truncated or overlong";

@@ -46,7 +46,9 @@
 namespace bandana {
 
 /// Current on-disk format version. Loaders reject anything else.
-inline constexpr std::uint32_t kManifestVersion = 1;
+/// v2 added live-migration state: per-table retired tombstones, the
+/// store-wide reclaimed free pool, and pending-install block reservations.
+inline constexpr std::uint32_t kManifestVersion = 2;
 
 /// One table's recoverable state.
 struct ManifestTable {
@@ -58,6 +60,10 @@ struct ManifestTable {
   /// Storage blocks retired by this table's completed swaps, free for its
   /// next republish (the replacement bank).
   std::vector<BlockId> free_blocks;
+  /// Tombstone: the table was migrated out (Store::retire_table) — its
+  /// slot keeps the TableId but it no longer serves, and its blocks were
+  /// reclaimed into the store-wide free pool.
+  bool retired = false;
 };
 
 /// Everything Store::open needs, plus the commit bookkeeping.
@@ -73,6 +79,14 @@ struct Manifest {
   /// factory (empty for memory-backed stores, which are not recoverable).
   std::string block_file;
   std::vector<ManifestTable> tables;
+  /// Store-wide free pool: blocks reclaimed from retired tables, handed to
+  /// future streaming installs before the file grows.
+  std::vector<BlockId> free_pool;
+  /// Blocks reserved by streaming installs still in flight at commit time
+  /// (Store::begin_table_install). No table references them yet; recovery
+  /// reclaims each list into the free pool and drops the record, so a
+  /// crash mid-stream leaves no half-table and leaks no storage.
+  std::vector<std::vector<BlockId>> pending_installs;
 };
 
 /// Test seam for crash injection around the commit's atomic pointer flip.

@@ -103,6 +103,14 @@ struct StoreMetrics {
                                               ///< wall time exceeded the
                                               ///< RepublishConfig-derived
                                               ///< push budget.
+  std::uint64_t migration_read_blocks = 0;   ///< Donor blocks read out by
+                                             ///< read_table_blocks waves.
+  std::uint64_t migration_write_blocks = 0;  ///< Blocks streamed into tables
+                                             ///< via TableInstall waves.
+  std::uint64_t table_installs = 0;          ///< Streaming installs finished
+                                             ///< (migrated-in tables).
+  std::uint64_t tables_retired = 0;          ///< Tables retired (migrated
+                                             ///< out, blocks reclaimed).
   bool registered_buffers_active = false;  ///< The backend carries waves on
                                            ///< an io_uring registered-buffer
                                            ///< pool (zero-copy FIXED ops).
@@ -133,6 +141,10 @@ struct StoreMetrics {
             ? retrain_peak_training_bytes
             : o.retrain_peak_training_bytes;
     retrain_budget_overruns += o.retrain_budget_overruns;
+    migration_read_blocks += o.migration_read_blocks;
+    migration_write_blocks += o.migration_write_blocks;
+    table_installs += o.table_installs;
+    tables_retired += o.tables_retired;
     // A rollup is "registered" when any node carries its waves zero-copy.
     registered_buffers_active = registered_buffers_active ||
                                 o.registered_buffers_active;
@@ -162,6 +174,10 @@ struct AtomicStoreMetrics {
   std::atomic<std::uint64_t> retrain_diff_us{0};
   std::atomic<std::uint64_t> retrain_peak_training_bytes{0};
   std::atomic<std::uint64_t> retrain_budget_overruns{0};
+  std::atomic<std::uint64_t> migration_read_blocks{0};
+  std::atomic<std::uint64_t> migration_write_blocks{0};
+  std::atomic<std::uint64_t> table_installs{0};
+  std::atomic<std::uint64_t> tables_retired{0};
   // write_short_resubmits and registered_buffers_active live in the
   // storage backend (BlockStorage::write_stats); Store::store_metrics()
   // samples them into the snapshot.
@@ -198,6 +214,12 @@ struct AtomicStoreMetrics {
         retrain_peak_training_bytes.load(std::memory_order_relaxed);
     m.retrain_budget_overruns =
         retrain_budget_overruns.load(std::memory_order_relaxed);
+    m.migration_read_blocks =
+        migration_read_blocks.load(std::memory_order_relaxed);
+    m.migration_write_blocks =
+        migration_write_blocks.load(std::memory_order_relaxed);
+    m.table_installs = table_installs.load(std::memory_order_relaxed);
+    m.tables_retired = tables_retired.load(std::memory_order_relaxed);
     return m;
   }
 };

@@ -46,6 +46,24 @@ struct TrickleState {
   bool installed_mapping = false;  ///< The push replaced the table's plan.
   mutable std::mutex mu;  ///< serializes pump/done/stat reads
 };
+
+/// One in-flight streaming table install (Store::begin_table_install) —
+/// the receiving half of a cluster shard migration. The reserved blocks
+/// were committed as a pending-install manifest record at begin; no table
+/// references them until install_finish registers the BandanaTable and
+/// drops the record in one commit.
+struct InstallState {
+  Store* store = nullptr;
+  std::uint64_t id = 0;  ///< Key into Store::pending_installs_.
+  TablePolicy policy;
+  std::optional<BlockLayout> layout;  ///< Moved into the table at finish.
+  std::vector<std::uint32_t> access_counts;
+  std::vector<BlockId> blocks;  ///< Reserved storage blocks, local order.
+  std::uint64_t written = 0;    ///< Blocks streamed so far.
+  std::uint64_t waves = 0;      ///< write_blocks() calls so far.
+  bool finished = false;
+  mutable std::mutex mu;  ///< serializes write/finish/stat reads
+};
 }  // namespace detail
 
 namespace {
@@ -144,6 +162,15 @@ void Store::restore_from(const Manifest& m, const std::string& manifest_path) {
         mt.access_counts, mt.first_block, mt.block_map));
     free_blocks_.push_back(mt.free_blocks);
     republish_in_flight_.push_back(0);
+    retired_.push_back(mt.retired ? 1 : 0);
+  }
+  free_pool_ = m.free_pool;
+  // Crash-orphaned install reservations: the install never finished, so no
+  // table references these blocks — reclaim them as free capacity. No
+  // re-commit needed; reclaiming again on the next reopen is idempotent,
+  // and the next durable commit drops the records.
+  for (const std::vector<BlockId>& blocks : m.pending_installs) {
+    free_pool_.insert(free_pool_.end(), blocks.begin(), blocks.end());
   }
   next_block_ = static_cast<BlockId>(m.next_block);
   trickle_epoch_ = m.trickle_epoch;
@@ -195,7 +222,13 @@ Manifest Store::compose_manifest() const {
     mt.access_counts = std::move(snap.access_counts);
     mt.policy = snap.policy;
     mt.free_blocks = free_blocks_[t];
+    mt.retired = retired_[t] != 0;
     m.tables.push_back(std::move(mt));
+  }
+  m.free_pool = free_pool_;
+  m.pending_installs.reserve(pending_installs_.size());
+  for (const auto& [id, blocks] : pending_installs_) {
+    m.pending_installs.push_back(blocks);
   }
   return m;
 }
@@ -321,6 +354,7 @@ TableId Store::add_table(const EmbeddingTable& values, BlockLayout layout,
   tables_.push_back(std::move(table));
   free_blocks_.emplace_back();
   republish_in_flight_.push_back(0);
+  retired_.push_back(0);
   next_block_ += blocks;
   // The table becomes durable only when this commit's pointer flip lands:
   // a crash mid-publish (or mid-commit) recovers to the previous manifest,
@@ -332,6 +366,10 @@ TableId Store::add_table(const EmbeddingTable& values, BlockLayout layout,
 const BandanaTable& Store::checked_table(TableId t) const {
   if (t >= tables_.size()) {
     throw std::out_of_range("Store: bad table id " + std::to_string(t));
+  }
+  if (t < retired_.size() && retired_[t]) {
+    throw std::logic_error("Store: table " + std::to_string(t) +
+                           " was retired (migrated out)");
   }
   return *tables_[t];
 }
@@ -995,6 +1033,283 @@ void Store::abandon_trickle(detail::TrickleState& s) noexcept {
   }
 }
 
+// --- Cross-node migration primitives (cluster/rebalance.h) ---------------
+
+void Store::claim_table_for_migration(TableId t) {
+  std::unique_lock lock(*storage_mu_);
+  checked_table(t);  // throws on bad id / retired table
+  if (republish_in_flight_[t]) {
+    throw std::logic_error(
+        "claim_table_for_migration: a session for this table is already "
+        "active");
+  }
+  republish_in_flight_[t] = 1;
+}
+
+void Store::release_table_claim(TableId t) noexcept {
+  try {
+    std::unique_lock lock(*storage_mu_);
+    if (t < republish_in_flight_.size()) republish_in_flight_[t] = 0;
+  } catch (...) {
+    // Destructor context (RebalanceSession unwind): a leaked claim only
+    // blocks future sessions on this table; crashing is worse.
+  }
+}
+
+BandanaTable::RetrainedState Store::migration_snapshot(TableId t) const {
+  std::shared_lock lock(*storage_mu_);
+  const BandanaTable& table = checked_table(t);
+  if (!republish_in_flight_[t]) {
+    throw std::logic_error(
+        "migration_snapshot: requires claim_table_for_migration");
+  }
+  // The claim excludes mapping swaps, so this snapshot stays byte-accurate
+  // for the whole read-out stream that follows.
+  return table.mapping_snapshot();
+}
+
+void Store::read_table_blocks(TableId t, std::uint32_t first_block,
+                              std::uint32_t count, std::span<std::byte> out) {
+  {
+    std::shared_lock lock(*storage_mu_);
+    const BandanaTable& table = checked_table(t);
+    if (!republish_in_flight_[t]) {
+      throw std::logic_error(
+          "read_table_blocks: requires claim_table_for_migration");
+    }
+    const std::size_t bb = config_.block_bytes;
+    if (out.size() < std::size_t{count} * bb) {
+      throw std::invalid_argument("read_table_blocks: output span too small");
+    }
+    const std::vector<BlockId> map = table.block_map();
+    if (std::uint64_t{first_block} + count > map.size()) {
+      throw std::out_of_range("read_table_blocks: range past table end");
+    }
+    if (count == 0) return;
+    // Batched read-out chunked to the admission wave: the donor's stream
+    // traffic holds the same gate slots as serving reads would, never more.
+    const std::uint64_t wave = real_write_wave_blocks();
+    std::vector<BlockReadOp> ops;
+    ops.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(wave, count)));
+    for (std::uint64_t c0 = 0; c0 < count; c0 += wave) {
+      const std::uint64_t n = std::min<std::uint64_t>(wave, count - c0);
+      ops.clear();
+      for (std::uint64_t i = 0; i < n; ++i) {
+        ops.push_back({map[first_block + c0 + i],
+                       out.subspan((c0 + i) * bb, bb)});
+      }
+      storage_->read_blocks(ops);
+    }
+  }
+  staging_metrics_->migration_read_blocks.fetch_add(count,
+                                                    std::memory_order_relaxed);
+  // Open loop: migration read-out is background traffic; its reads stay
+  // queued on the channels at the current clock so concurrent serving sees
+  // the interference (bench_cluster during-migration sweep).
+  schedule_reads(count, migration_latency_, /*advance_clock=*/false);
+}
+
+std::vector<BlockId> Store::allocate_blocks(std::uint64_t count) {
+  std::vector<BlockId> out;
+  out.reserve(static_cast<std::size_t>(count));
+  while (out.size() < count && !free_pool_.empty()) {
+    out.push_back(free_pool_.back());
+    free_pool_.pop_back();
+  }
+  const std::uint64_t grow = count - out.size();
+  if (grow > 0) {
+    ensure_capacity(std::uint64_t{next_block_} + grow);
+    for (std::uint64_t i = 0; i < grow; ++i) out.push_back(next_block_++);
+  }
+  return out;
+}
+
+TableInstall Store::begin_table_install(
+    BlockLayout layout, TablePolicy policy,
+    std::vector<std::uint32_t> access_counts) {
+  if (layout.vectors_per_block() != config_.vectors_per_block()) {
+    throw std::invalid_argument(
+        "begin_table_install: layout vectors_per_block disagrees with the "
+        "store geometry");
+  }
+  // Mirror the table ctor's contract: counts are optional (empty) unless
+  // the policy needs them, and must match the layout when present.
+  if (!access_counts.empty() && access_counts.size() != layout.num_vectors()) {
+    throw std::invalid_argument(
+        "begin_table_install: access_counts shape mismatch");
+  }
+  if (policy.policy == PrefetchPolicy::kThreshold && access_counts.empty()) {
+    throw std::invalid_argument(
+        "begin_table_install: kThreshold requires per-vector access counts");
+  }
+  auto s = std::make_unique<detail::InstallState>();
+  s->store = this;
+  s->policy = policy;
+  const std::uint32_t blocks = layout.num_blocks();
+  s->layout.emplace(std::move(layout));
+  s->access_counts = std::move(access_counts);
+
+  std::unique_lock lock(*storage_mu_);
+  s->id = ++next_install_id_;
+  s->blocks = allocate_blocks(blocks);
+  pending_installs_.emplace_back(s->id, s->blocks);
+  try {
+    // The pending record becomes durable BEFORE any byte streams: a crash
+    // mid-install reopens to a manifest that knows the reserved blocks are
+    // reclaimable garbage and knows NO table — recovery serves entirely
+    // from the donor copy.
+    commit_manifest();
+  } catch (...) {
+    free_pool_.insert(free_pool_.end(), s->blocks.begin(), s->blocks.end());
+    pending_installs_.pop_back();
+    throw;
+  }
+  return TableInstall(std::move(s));
+}
+
+std::size_t Store::install_write(detail::InstallState& s, std::uint32_t first,
+                                 std::span<const std::byte> bytes) {
+  std::lock_guard session_lock(s.mu);
+  if (s.finished) {
+    throw std::logic_error("TableInstall: install already finished");
+  }
+  const std::size_t bb = config_.block_bytes;
+  if (bytes.size() % bb != 0) {
+    throw std::invalid_argument(
+        "TableInstall: bytes must be whole block images");
+  }
+  const std::uint64_t count = bytes.size() / bb;
+  if (std::uint64_t{first} + count > s.blocks.size()) {
+    throw std::out_of_range("TableInstall: write past the reservation");
+  }
+  if (count == 0) return 0;
+  {
+    // Shared lock: the reserved blocks are referenced by no mapping, so
+    // serving reads proceed concurrently; only storage-map mutators are
+    // excluded. Zero-copy: the ops point straight into the caller's wave
+    // buffer (the images were composed on the donor).
+    std::shared_lock storage_lock(*storage_mu_);
+    const std::uint64_t wave = real_write_wave_blocks();
+    std::vector<BlockWriteOp> ops;
+    ops.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(wave, count)));
+    for (std::uint64_t c0 = 0; c0 < count; c0 += wave) {
+      const std::uint64_t n = std::min<std::uint64_t>(wave, count - c0);
+      ops.clear();
+      for (std::uint64_t i = 0; i < n; ++i) {
+        ops.push_back({s.blocks[first + c0 + i],
+                       bytes.subspan((c0 + i) * bb, bb)});
+      }
+      storage_->write_blocks(ops);
+      staging_metrics_->write_batches.fetch_add(1, std::memory_order_relaxed);
+    }
+    std::lock_guard timing_lock(*timing_mu_);
+    endurance_.record_write(count * config_.block_bytes, 0.0);
+  }
+  staging_metrics_->migration_write_blocks.fetch_add(
+      count, std::memory_order_relaxed);
+  // Open loop: install waves are background write traffic on the target's
+  // channels, contending with its serving reads (paper §2.2 interference).
+  schedule_writes(count, /*advance_clock=*/false);
+  s.written += count;
+  ++s.waves;
+  return static_cast<std::size_t>(count);
+}
+
+TableId Store::install_finish(detail::InstallState& s) {
+  std::lock_guard session_lock(s.mu);
+  if (s.finished) {
+    throw std::logic_error("TableInstall: install already finished");
+  }
+  if (s.written < s.blocks.size()) {
+    throw std::logic_error(
+        "TableInstall: finish() before every reserved block was written");
+  }
+  std::unique_lock lock(*storage_mu_);
+  // The restore ctor validates layout/map/count shapes against each other
+  // and the config geometry, exactly as reopen does.
+  auto table = std::make_unique<BandanaTable>(
+      config_, s.policy, std::move(*s.layout), std::move(s.access_counts),
+      /*first_block=*/s.blocks.empty() ? 0 : s.blocks.front(), s.blocks);
+  tables_.push_back(std::move(table));
+  free_blocks_.emplace_back();
+  republish_in_flight_.push_back(0);
+  retired_.push_back(0);
+  for (auto it = pending_installs_.begin(); it != pending_installs_.end();
+       ++it) {
+    if (it->first == s.id) {
+      pending_installs_.erase(it);
+      break;
+    }
+  }
+  s.finished = true;
+  staging_metrics_->table_installs.fetch_add(1, std::memory_order_relaxed);
+  // ONE commit flips both facts: the table exists and its pending record is
+  // gone. Recovery sees "reclaimable blocks, no table" strictly before the
+  // rename lands and "durable table" strictly after — never a half-table.
+  commit_manifest();
+  return static_cast<TableId>(tables_.size() - 1);
+}
+
+void Store::install_abandon(detail::InstallState& s) noexcept {
+  try {
+    std::lock_guard session_lock(s.mu);
+    if (s.finished) return;
+    std::unique_lock lock(*storage_mu_);
+    free_pool_.insert(free_pool_.end(), s.blocks.begin(), s.blocks.end());
+    for (auto it = pending_installs_.begin(); it != pending_installs_.end();
+         ++it) {
+      if (it->first == s.id) {
+        pending_installs_.erase(it);
+        break;
+      }
+    }
+    s.finished = true;
+    // Drop the pending record durably while the backend still cooperates.
+    // If this commit throws (abandon often runs because storage died), the
+    // durable record survives and reopen reclaims the blocks — idempotent.
+    commit_manifest();
+  } catch (...) {
+    // Destructor context: a stale pending record or a leaked reservation
+    // costs a little storage until the next reopen; crashing is worse.
+  }
+}
+
+void Store::retire_table(TableId t) {
+  std::unique_lock lock(*storage_mu_);
+  if (t >= tables_.size()) {
+    throw std::out_of_range("retire_table: bad table id " + std::to_string(t));
+  }
+  if (retired_[t]) return;  // idempotent
+  // Reclaim everything the table references — its serving map and its
+  // trickle replacement bank — into the store-wide pool for future
+  // installs. The BandanaTable object stays (its slot keeps the TableId)
+  // but checked_table refuses it from here on.
+  const std::vector<BlockId> map = tables_[t]->block_map();
+  free_pool_.insert(free_pool_.end(), map.begin(), map.end());
+  auto& fl = free_blocks_[t];
+  free_pool_.insert(free_pool_.end(), fl.begin(), fl.end());
+  fl.clear();
+  retired_[t] = 1;
+  // Terminal: retiring clears the table's claim bit (the migration's own
+  // read-out claim — no trickle session can coexist with it).
+  republish_in_flight_[t] = 0;
+  staging_metrics_->tables_retired.fetch_add(1, std::memory_order_relaxed);
+  // Donor-retire-LAST ordering (cluster/rebalance.h): by the time this
+  // commit runs, the target's copy is durable and the placement flipped —
+  // a crash on either side of this rename leaves a servable placement with
+  // at least one committed replica of every vector.
+  commit_manifest();
+}
+
+bool Store::table_retired(TableId t) const {
+  std::shared_lock lock(*storage_mu_);
+  if (t >= tables_.size()) {
+    throw std::out_of_range("table_retired: bad table id " +
+                            std::to_string(t));
+  }
+  return retired_[t] != 0;
+}
+
 TrickleRepublish::TrickleRepublish(std::unique_ptr<detail::TrickleState> state)
     : state_(std::move(state)) {}
 
@@ -1059,6 +1374,50 @@ std::uint64_t TrickleRepublish::peak_wave_bytes() const {
   return state_->peak_wave_bytes;
 }
 
+TableInstall::TableInstall(std::unique_ptr<detail::InstallState> state)
+    : state_(std::move(state)) {}
+
+TableInstall::TableInstall(TableInstall&& other) noexcept = default;
+
+TableInstall& TableInstall::operator=(TableInstall&& other) noexcept {
+  if (this != &other) {
+    if (state_) state_->store->install_abandon(*state_);
+    state_ = std::move(other.state_);
+  }
+  return *this;
+}
+
+TableInstall::~TableInstall() {
+  if (state_) state_->store->install_abandon(*state_);
+}
+
+std::size_t TableInstall::write_blocks(std::uint32_t first,
+                                       std::span<const std::byte> bytes) {
+  if (!state_) throw std::logic_error("TableInstall: moved-from handle");
+  return state_->store->install_write(*state_, first, bytes);
+}
+
+TableId TableInstall::finish() {
+  if (!state_) throw std::logic_error("TableInstall: moved-from handle");
+  return state_->store->install_finish(*state_);
+}
+
+std::uint32_t TableInstall::total_blocks() const {
+  return state_ ? static_cast<std::uint32_t>(state_->blocks.size()) : 0;
+}
+
+std::uint64_t TableInstall::written_blocks() const {
+  if (!state_) return 0;
+  std::lock_guard lock(state_->mu);
+  return state_->written;
+}
+
+std::uint64_t TableInstall::waves() const {
+  if (!state_) return 0;
+  std::lock_guard lock(state_->mu);
+  return state_->waves;
+}
+
 TableMetrics Store::table_metrics(TableId t) const {
   return checked_table(t).metrics();
 }
@@ -1086,6 +1445,11 @@ LatencyRecorder Store::request_latency_us() const {
 LatencyRecorder Store::write_latency_us() const {
   std::lock_guard lock(*timing_mu_);
   return write_latency_;
+}
+
+LatencyRecorder Store::migration_latency_us() const {
+  std::lock_guard lock(*timing_mu_);
+  return migration_latency_;
 }
 
 EnduranceTracker Store::endurance() const {

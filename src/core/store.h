@@ -64,9 +64,11 @@ namespace bandana {
 struct StorePlan;  // trainer.h
 struct TablePlan;  // trainer.h
 class TrickleRepublish;
+class TableInstall;
 
 namespace detail {
 struct TrickleState;  // store.cpp
+struct InstallState;  // store.cpp
 }  // namespace detail
 
 /// Serving-path hook: when attached (Store::set_access_tap), the store
@@ -246,6 +248,60 @@ class Store {
                                            const RepublishConfig& republish_cfg,
                                            double day = 0.0);
 
+  // --- Cross-node migration primitives (the donor and target halves of a
+  // cluster RebalanceSession; see cluster/rebalance.h) ---
+
+  /// Claim table `t` for a migration read-out: the same one-session-per-
+  /// table exclusivity bit as a trickle republish, so the table's mapping
+  /// — and therefore every storage block the read-out streams — cannot
+  /// swap mid-stream. Serving is unaffected. Throws std::logic_error when
+  /// a trickle session or another migration already owns the table, or the
+  /// table is retired. Pair with release_table_claim (or retire_table,
+  /// which clears the claim terminally).
+  void claim_table_for_migration(TableId t);
+  void release_table_claim(TableId t) noexcept;
+
+  /// The claimed table's full mapping snapshot (layout, block map, access
+  /// counts, policy) — everything a receiving node needs to install an
+  /// equivalent table. Requires the migration claim (it is what makes the
+  /// snapshot stable across the stream that follows).
+  BandanaTable::RetrainedState migration_snapshot(TableId t) const;
+
+  /// Donor-side stream read: copy table t's local blocks
+  /// [first_block, first_block + count) into `out` (count x block_bytes)
+  /// via batched BlockStorage::read_blocks chunked to the admission wave
+  /// size, under the shared storage lock — serving proceeds concurrently —
+  /// and account the blocks as one open-loop read wave on the engine, so
+  /// migration read-out contends with serving like any other I/O (latency
+  /// recorded in migration_latency_us()). Requires the migration claim.
+  void read_table_blocks(TableId t, std::uint32_t first_block,
+                         std::uint32_t count, std::span<std::byte> out);
+
+  /// Begin a streaming table install — the receiving half of a migration.
+  /// Storage for the table is reserved up front (recycling the store-wide
+  /// free pool left by retired tables before growing the file) and a
+  /// manifest with a pending-install record naming the reserved blocks is
+  /// committed BEFORE any byte lands: a crash mid-stream reopens with the
+  /// blocks reclaimed and NO half-table. The returned handle streams block
+  /// images in admission-sized batched write waves; finish() registers the
+  /// table and atomically replaces the pending record with the table in
+  /// one commit. Destroying an unfinished handle abandons the install
+  /// (blocks return to the free pool). `layout`/`access_counts` must match
+  /// the store geometry (vectors_per_block).
+  TableInstall begin_table_install(BlockLayout layout, TablePolicy policy,
+                                   std::vector<std::uint32_t> access_counts);
+
+  /// Retire table `t`: stop serving it (lookups on a retired table throw
+  /// std::logic_error), reclaim its storage blocks — current map plus
+  /// replacement bank — into the store-wide free pool for future installs,
+  /// and commit. The slot keeps its TableId (a tombstone): later tables do
+  /// not shift. Idempotent. A migration retires the donor copy LAST, after
+  /// the target's install committed and the placement flipped, so a crash
+  /// anywhere in a migration leaves at least one committed replica of
+  /// every vector.
+  void retire_table(TableId t);
+  bool table_retired(TableId t) const;
+
   /// Attach (or with nullptr detach) the serving-path access tap. Safe to
   /// flip while serving is live: after the call returns, no in-flight
   /// request can still invoke the PREVIOUS tap (the store quiesces on its
@@ -276,6 +332,9 @@ class Store {
   /// Per-wave service latency of publish/republish/growth write waves
   /// through the engine (empty when timing is off).
   LatencyRecorder write_latency_us() const;
+  /// Per-wave service latency of migration read-out waves
+  /// (read_table_blocks) through the engine (empty when timing is off).
+  LatencyRecorder migration_latency_us() const;
   /// Snapshot of the endurance accounting (copy taken under the timing
   /// lock — a background trickle may be recording writes concurrently).
   EnduranceTracker endurance() const;
@@ -299,6 +358,7 @@ class Store {
 
  private:
   friend class TrickleRepublish;
+  friend class TableInstall;
 
   /// Grow storage to `total_blocks` via the factory, streaming published
   /// blocks across in bounded chunks (file factories keep their existing
@@ -381,6 +441,20 @@ class Store {
   std::size_t pump_trickle(detail::TrickleState& s);
   void finish_trickle(detail::TrickleState& s);
   void abandon_trickle(detail::TrickleState& s) noexcept;
+
+  // Streaming-install plumbing (called by TableInstall on its state).
+  /// Stream `bytes` (whole block images) into the install's reserved
+  /// blocks starting at local index `first`, as admission-sized batched
+  /// write waves under the shared lock (the blocks are referenced by no
+  /// mapping, so serving proceeds). Returns blocks written.
+  std::size_t install_write(detail::InstallState& s, std::uint32_t first,
+                            std::span<const std::byte> bytes);
+  TableId install_finish(detail::InstallState& s);
+  void install_abandon(detail::InstallState& s) noexcept;
+  /// Hand out `count` fresh storage blocks: the store-wide free pool
+  /// first (blocks reclaimed from retired tables), then tail growth via
+  /// ensure_capacity. Caller holds the unique storage lock.
+  std::vector<BlockId> allocate_blocks(std::uint64_t count);
   /// Rebuild tables_/free_blocks_/next_block_ from a validated manifest
   /// (Store::open). Caller: fresh store, no tables yet.
   void restore_from(const Manifest& m, const std::string& manifest_path);
@@ -415,8 +489,23 @@ class Store {
   /// is touched under the unique lock (begin/abandon) or by table t's
   /// single active session (finish, under the shared lock).
   std::vector<std::vector<BlockId>> free_blocks_;
-  /// Per-table flag: a trickle session is mid-flight (one per table).
+  /// Per-table flag: a trickle session OR a migration read-out claim is
+  /// mid-flight (one per table; both exclude mapping swaps).
   std::vector<std::uint8_t> republish_in_flight_;
+  /// Per-table tombstones: retired (migrated-out) tables keep their slot
+  /// but no longer serve (checked_table throws).
+  std::vector<std::uint8_t> retired_;
+  /// Store-wide free pool: blocks reclaimed from retired tables, consumed
+  /// by allocate_blocks before the file grows. Distinct from the per-table
+  /// free_blocks_ replacement banks (those stay with their table's trickle
+  /// double buffer). Touched under the unique storage lock.
+  std::vector<BlockId> free_pool_;
+  /// In-flight streaming installs' reserved blocks, keyed by install id —
+  /// composed into every manifest commit as pending-install records so a
+  /// crash mid-stream reclaims them on reopen.
+  std::vector<std::pair<std::uint64_t, std::vector<BlockId>>>
+      pending_installs_;
+  std::uint64_t next_install_id_ = 0;
   /// Persistence (empty path = off). manifest_mu_ serializes manifest
   /// compose/commit against the shared-lock-path mapping swaps and
   /// free-list updates (finish_trickle) — lock order: storage_mu_ (either
@@ -440,6 +529,7 @@ class Store {
   LatencyRecorder query_latency_;
   LatencyRecorder request_latency_;
   LatencyRecorder write_latency_;
+  LatencyRecorder migration_latency_;
   EnduranceTracker endurance_;
   /// Staged-read-pipeline counters (relaxed atomics behind a pointer so
   /// the Store stays movable).
@@ -490,6 +580,46 @@ class TrickleRepublish {
   friend class Store;
   explicit TrickleRepublish(std::unique_ptr<detail::TrickleState> state);
   std::unique_ptr<detail::TrickleState> state_;
+};
+
+/// Handle on one in-flight streaming table install
+/// (Store::begin_table_install) — the receiving half of a cluster shard
+/// migration. The blocks were reserved (and recorded in a durable
+/// pending-install manifest record) at begin; write_blocks() streams block
+/// images into them; finish() registers the table and commits. Like
+/// TrickleRepublish, calls on one handle serialize internally, the handle
+/// must not outlive its store, and destroying it unfinished abandons the
+/// install (blocks return to the free pool; a durable commit drops the
+/// pending record when possible — a crash before that is recovered by
+/// reopen, which reclaims pending blocks).
+class TableInstall {
+ public:
+  TableInstall(TableInstall&& other) noexcept;
+  TableInstall& operator=(TableInstall&& other) noexcept;
+  ~TableInstall();
+
+  /// Stream `bytes` — a whole number of block images — into the reserved
+  /// blocks at local indices [first, first + bytes.size()/block_bytes), as
+  /// admission-sized batched write waves (open loop, concurrent with
+  /// serving). Returns blocks written. Throws std::out_of_range past the
+  /// reservation and std::logic_error after finish().
+  std::size_t write_blocks(std::uint32_t first,
+                           std::span<const std::byte> bytes);
+
+  /// Register the table and commit: the table appears and the pending
+  /// record disappears in ONE manifest flip — recovery sees "no table,
+  /// reclaimable blocks" before it and "durable table" after it, never a
+  /// half-table. Returns the new TableId.
+  TableId finish();
+
+  std::uint32_t total_blocks() const;
+  std::uint64_t written_blocks() const;
+  std::uint64_t waves() const;
+
+ private:
+  friend class Store;
+  explicit TableInstall(std::unique_ptr<detail::InstallState> state);
+  std::unique_ptr<detail::InstallState> state_;
 };
 
 }  // namespace bandana

@@ -1,7 +1,6 @@
 #include "nvm/admission.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -34,8 +33,11 @@ void TrickleRateLimiter::consume(double now_us, std::uint64_t blocks) {
     interval_ = interval;
     used_ = 0;
   }
-  assert(blocks <= cfg_.blocks_per_interval - used_);
-  used_ += blocks;
+  // Saturate rather than trust the caller: a pump that sized its wave from
+  // a stale allowance (e.g. across a many-interval idle gap) must not carry
+  // the excess into this interval as a catch-up burst. The interval absorbs
+  // at most blocks_per_interval no matter what was handed in.
+  used_ += std::min(blocks, cfg_.blocks_per_interval - used_);
 }
 
 double submit_reads(const NvmLatencyModel& model, double arrival_us,

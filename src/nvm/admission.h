@@ -109,7 +109,9 @@ class TrickleRateLimiter {
   std::uint64_t allowance(double now_us) const;
 
   /// Consume `blocks` of the interval containing `now_us`. `blocks` must
-  /// not exceed allowance(now_us).
+  /// not exceed allowance(now_us); consumption past the interval's budget
+  /// saturates at blocks_per_interval (so a caller holding a stale
+  /// allowance from before an idle gap cannot bank a catch-up burst).
   void consume(double now_us, std::uint64_t blocks);
 
  private:

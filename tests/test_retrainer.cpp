@@ -157,6 +157,33 @@ TEST(TrickleRateLimiter, PerIntervalAdmissionsNeverExceedCapRandomized) {
   }
 }
 
+TEST(TrickleRateLimiter, IdleGapCannotBankACatchUpBurst) {
+  // Regression: a pump stalled across many intervals must come back to ONE
+  // interval's budget, not the sum of the missed ones — and a pump that
+  // sized its wave from a stale pre-gap allowance must have its consume()
+  // saturate at the cap instead of banking the excess.
+  RepublishConfig cfg;
+  cfg.blocks_per_interval = 8;
+  cfg.interval_us = 100.0;
+  TrickleRateLimiter limiter(cfg);
+  EXPECT_EQ(limiter.allowance(0.0), 8u);
+  limiter.consume(0.0, 8);
+  EXPECT_EQ(limiter.allowance(50.0), 0u);
+
+  // 40 idle intervals later: the allowance is one budget, not 40x.
+  const double later = 40.5 * cfg.interval_us;
+  EXPECT_EQ(limiter.allowance(later), 8u);
+  limiter.consume(later, 8);
+  EXPECT_EQ(limiter.allowance(later), 0u);
+
+  // A stale oversized grant replayed into the exhausted interval:
+  // consumption saturates (no underflow into a huge allowance), and the
+  // next interval resets to exactly one budget.
+  limiter.consume(later, 8);
+  EXPECT_EQ(limiter.allowance(later), 0u);
+  EXPECT_EQ(limiter.allowance(later + cfg.interval_us), 8u);
+}
+
 // ---------------------------------------------------------------------------
 // Layout plan diff.
 
